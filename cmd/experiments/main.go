@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's evaluation artefacts
+// (Section 5): Figures 4, 5, 9 and 10 and the §5.3/§5.4 summary tables.
+//
+// Usage:
+//
+//	experiments -fig 4            # profiling example
+//	experiments -fig 5            # coupling patterns
+//	experiments -fig 9            # IBM baselines
+//	experiments -fig 10 [-bench misex1_241]
+//	experiments -summary overall|layout|bus|freq
+//	experiments -all              # everything (the paper-fidelity run)
+//	experiments -quick ...        # reduced Monte-Carlo budgets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"qproc/internal/experiments"
+	"qproc/internal/gen"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (4, 5, 9, 10)")
+		bench   = flag.String("bench", "", "restrict -fig 10 to one benchmark")
+		summary = flag.String("summary", "", "summary table: overall, layout, bus, freq")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "reduced Monte-Carlo budgets (fast smoke run)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Seed = *seed
+	r := experiments.NewRunner(opt)
+
+	switch {
+	case *fig == 4:
+		s, err := experiments.Fig4()
+		check(err)
+		fmt.Print(s)
+	case *fig == 5:
+		s, err := experiments.Fig5()
+		check(err)
+		fmt.Print(s)
+	case *fig == 9:
+		fmt.Print(experiments.Fig9())
+	case *fig == 10 && *bench != "":
+		start := time.Now()
+		res, err := r.RunBenchmark(*bench)
+		check(err)
+		fmt.Print(experiments.FormatFig10(res))
+		fmt.Fprintf(os.Stderr, "(%s)\n", time.Since(start).Round(time.Millisecond))
+	case *fig == 10, *summary != "", *all:
+		start := time.Now()
+		results, err := r.RunAll()
+		check(err)
+		trials := opt.YieldTrials
+		if *fig == 10 || *all {
+			for _, res := range results {
+				fmt.Print(experiments.FormatFig10(res))
+				fmt.Println()
+			}
+		}
+		if *all {
+			s4, err := experiments.Fig4()
+			check(err)
+			s5, err := experiments.Fig5()
+			check(err)
+			fmt.Print(s4, "\n", s5, "\n", experiments.Fig9(), "\n")
+		}
+		printSummary := func(which string) {
+			switch which {
+			case "overall":
+				fmt.Print(experiments.FormatOverall(experiments.SummaryOverall(results, trials)))
+			case "layout":
+				fmt.Print(experiments.FormatLayout(experiments.SummaryLayout(results, trials)))
+			case "bus":
+				fmt.Print(experiments.FormatBus(experiments.SummaryBus(results, trials)))
+			case "freq":
+				fmt.Print(experiments.FormatFreq(experiments.SummaryFreq(results, trials)))
+			default:
+				check(fmt.Errorf("unknown summary %q", which))
+			}
+		}
+		if *summary != "" {
+			printSummary(*summary)
+		}
+		if *all {
+			for _, s := range []string{"overall", "layout", "bus", "freq"} {
+				printSummary(s)
+				fmt.Println()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "(%s)\n", time.Since(start).Round(time.Millisecond))
+	default:
+		fmt.Fprintf(os.Stderr, "benchmarks: %v\n", gen.Names())
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

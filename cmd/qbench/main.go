@@ -1,0 +1,90 @@
+// Command qbench emits the paper's evaluation benchmarks as OpenQASM 2.0.
+//
+// Usage:
+//
+//	qbench -list
+//	qbench -name misex1_241 [-raw] [-o file.qasm]
+//	qbench -all -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qproc/internal/circuit"
+	"qproc/internal/gen"
+	"qproc/internal/qasm"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available benchmarks")
+		name = flag.String("name", "", "benchmark to emit")
+		raw  = flag.Bool("raw", false, "emit the pre-decomposition network (CCX/SWAP allowed)")
+		out  = flag.String("o", "", "output file (default stdout)")
+		all  = flag.Bool("all", false, "emit every benchmark")
+		dir  = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, b := range gen.Suite() {
+			fmt.Printf("%-16s %2d qubits  %s\n", b.Name, b.Qubits, b.Domain)
+		}
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, b := range gen.Suite() {
+			c := build(b, *raw)
+			path := filepath.Join(*dir, b.Name+".qasm")
+			if err := writeFile(path, c); err != nil {
+				fatal(err)
+			}
+			st := c.Stats()
+			fmt.Printf("%-16s -> %s (%d gates, %d cx)\n", b.Name, path, st.Total, st.CX)
+		}
+	case *name != "":
+		b, err := gen.Get(*name)
+		if err != nil {
+			fatal(err)
+		}
+		c := build(b, *raw)
+		if *out == "" {
+			if err := qasm.Write(os.Stdout, c); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := writeFile(*out, c); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func build(b gen.Benchmark, raw bool) *circuit.Circuit {
+	if raw {
+		return b.Raw()
+	}
+	return b.Build()
+}
+
+func writeFile(path string, c *circuit.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return qasm.Write(f, c)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command qdesign runs the application-specific architecture design flow
+// (Section 4) on a program and emits the generated designs.
+//
+// Usage:
+//
+//	qdesign -name misex1_241                   # full series, rendered
+//	qdesign -name misex1_241 -buses 2 -json d.json
+//	qdesign -qasm prog.qasm -config eff-5-freq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qproc/internal/circuit"
+	"qproc/internal/core"
+	"qproc/internal/experiments"
+	"qproc/internal/gen"
+	"qproc/internal/qasm"
+	"qproc/internal/yield"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "built-in benchmark")
+		file   = flag.String("qasm", "", "OpenQASM 2.0 file")
+		buses  = flag.Int("buses", -1, "emit only the design with this 4-qubit-bus count (-1: whole series)")
+		maxB   = flag.Int("max-buses", -1, "cap the series length (-1: no cap)")
+		config = flag.String("config", "eff-full", "configuration: eff-full, eff-5-freq, eff-layout-only")
+		aux    = flag.Int("aux", 0, "auxiliary physical qubits to add (Section 6 extension; eff-full only)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		trials = flag.Int("freq-trials", 2000, "Monte-Carlo budget per frequency candidate (MC mode)")
+		jsonTo = flag.String("json", "", "write the selected design as JSON")
+		quiet  = flag.Bool("q", false, "suppress the rendered lattice")
+	)
+	flag.Parse()
+
+	c, err := load(*name, *file)
+	if err != nil {
+		fatal(err)
+	}
+	c = c.Decompose()
+
+	flow := core.NewFlow(*seed)
+	flow.FreqLocalTrials = *trials
+
+	var designs []*core.Design
+	switch core.Config(*config) {
+	case core.ConfigEffFull:
+		designs, err = flow.SeriesWithAux(c, *maxB, *aux)
+	case core.ConfigEff5Freq:
+		designs, err = flow.SeriesFiveFreq(c, *maxB)
+	case core.ConfigEffLayoutOnly:
+		designs, err = flow.LayoutOnly(c)
+	default:
+		err = fmt.Errorf("unknown -config %q", *config)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	sim := yield.New(*seed + 7919)
+	for _, d := range designs {
+		if *buses >= 0 && d.Buses != *buses {
+			continue
+		}
+		fmt.Printf("%s: yield %.4g\n", d.Arch, sim.Estimate(d.Arch))
+		if !*quiet {
+			fmt.Print(experiments.RenderDesign(d.Arch))
+		}
+		if *jsonTo != "" {
+			f, err := os.Create(*jsonTo)
+			if err != nil {
+				fatal(err)
+			}
+			if err := d.Arch.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonTo)
+			return
+		}
+	}
+}
+
+func load(name, file string) (*circuit.Circuit, error) {
+	switch {
+	case name != "":
+		b, err := gen.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return b.Build(), nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := qasm.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		c.Name = file
+		return c, nil
+	}
+	return nil, fmt.Errorf("need -name or -qasm")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qdesign:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command qyield estimates the fabrication yield of a processor design by
+// Monte-Carlo simulation of IBM's frequency-collision model (§4.3.1).
+//
+// Usage:
+//
+//	qyield -baseline 1..4          # one of the IBM reference designs
+//	qyield -arch design.json       # a design produced by qdesign
+//	qyield -arch design.json -sigma 0.06 -trials 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qproc/internal/arch"
+	"qproc/internal/collision"
+	"qproc/internal/yield"
+)
+
+func main() {
+	var (
+		baseline = flag.Int("baseline", 0, "IBM baseline number (1-4)")
+		file     = flag.String("arch", "", "architecture JSON file")
+		sigma    = flag.Float64("sigma", yield.DefaultSigma, "fabrication noise σ in GHz")
+		trials   = flag.Int("trials", yield.DefaultTrials, "Monte-Carlo trials")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	var a *arch.Architecture
+	switch {
+	case *baseline >= 1 && *baseline <= 4:
+		a = arch.NewBaseline(arch.Baseline(*baseline))
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		a, rerr = arch.ReadJSON(f)
+		f.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+	default:
+		fatal(fmt.Errorf("need -baseline 1..4 or -arch file.json"))
+	}
+	if a.Freqs == nil {
+		fatal(fmt.Errorf("architecture %q has no frequency assignment", a.Name))
+	}
+
+	sim := yield.New(*seed)
+	sim.Sigma = *sigma
+	sim.Trials = *trials
+	y := sim.Estimate(a)
+	e := collision.ExpectedCollisions(a.AdjList(), a.Freqs, *sigma, collision.DefaultParams())
+	fmt.Printf("%s\n", a)
+	fmt.Printf("sigma %.0f MHz, %d trials\n", *sigma*1000, *trials)
+	fmt.Printf("yield: %.4g (expected collision instances: %.2f)\n", y, e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qyield:", err)
+	os.Exit(1)
+}

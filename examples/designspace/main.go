@@ -1,0 +1,73 @@
+// Design-space exploration: the paper's "Controllability" result
+// (Section 5.3) — by varying one knob, the number of 4-qubit buses, the
+// flow emits a series of architectures that trade yield for performance
+// in a controlled way, without searching the exponential design space.
+//
+// This example sweeps the knob for the misex1_241 PLA benchmark, prints
+// the resulting Pareto curve, marks which points are on the frontier, and
+// renders the richest design as ASCII art with its frequency plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qproc"
+)
+
+func main() {
+	prog := qproc.Benchmark("misex1_241")
+	flow := qproc.NewFlow(1)
+	designs, err := flow.Series(prog, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := qproc.NewYieldSimulator(1)
+
+	type point struct {
+		buses, gates int
+		yield        float64
+	}
+	pts := make([]point, 0, len(designs))
+	for _, d := range designs {
+		res, err := qproc.MapCircuit(prog, d.Arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{d.Buses, res.GateCount, sim.Estimate(d.Arch)})
+	}
+
+	fmt.Printf("design space for %s (%d qubits):\n\n", prog.Name, prog.Qubits)
+	fmt.Printf("%-6s %-8s %-10s %-8s\n", "buses", "gates", "yield", "frontier")
+	for i, p := range pts {
+		onFrontier := true
+		for j, q := range pts {
+			if i != j && q.gates <= p.gates && q.yield >= p.yield &&
+				(q.gates < p.gates || q.yield > p.yield) {
+				onFrontier = false
+			}
+		}
+		mark := ""
+		if onFrontier {
+			mark = "*"
+		}
+		fmt.Printf("%-6d %-8d %-10.4f %-8s\n", p.buses, p.gates, p.yield, mark)
+	}
+
+	// Render the richest design: layout, buses (##), frequency plan.
+	last := designs[len(designs)-1]
+	fmt.Printf("\nrichest design, %s:\n", last.Arch)
+	fmt.Print(renderFrequencies(last))
+
+	fmt.Println("\neach added bus buys gate count and costs yield; pick the")
+	fmt.Println("point matching your fab budget (paper §5.3, Controllability).")
+}
+
+// renderFrequencies prints each qubit with its allocated frequency.
+func renderFrequencies(d *qproc.Design) string {
+	out := ""
+	for q := 0; q < d.Arch.NumQubits(); q++ {
+		out += fmt.Sprintf("  q%-2d at %v: %.2f GHz\n", q, d.Arch.Coords[q], d.Arch.Freqs[q])
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Quickstart: profile a small quantum program, generate an
+// application-specific processor architecture for it, map the program
+// onto the generated chip, and estimate the fabrication yield — the whole
+// design flow of the paper in ~60 lines of API use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qproc"
+)
+
+func main() {
+	// A 5-qubit program (the paper's Figure 4 example, extended with
+	// single-qubit gates and measurements, which profiling ignores).
+	c := qproc.NewCircuit("quickstart", 5)
+	for q := 0; q < 5; q++ {
+		c.H(q)
+	}
+	c.CX(0, 4).CX(0, 1).CX(1, 4).CX(2, 4).CX(4, 0).CX(3, 4)
+	c.MeasureAll()
+
+	// Step 1 — profile: coupling strength matrix + degree list.
+	p, err := qproc.ProfileCircuit(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== program profile ==")
+	fmt.Print(p)
+
+	// Step 2 — run the design flow. Series(-1) returns one architecture
+	// per 4-qubit-bus count, from cheapest (best yield) to richest (best
+	// performance).
+	flow := qproc.NewFlow(1)
+	designs, err := flow.Series(c, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3 — evaluate each design: post-mapping gate count
+	// (performance) and Monte-Carlo yield.
+	sim := qproc.NewYieldSimulator(1)
+	fmt.Println("\n== generated designs ==")
+	fmt.Printf("%-8s %-12s %-12s %s\n", "buses", "connections", "gates", "yield")
+	for _, d := range designs {
+		res, err := qproc.MapCircuit(c, d.Arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-12d %-12d %.3f\n",
+			d.Buses, d.Arch.NumConnections(), res.GateCount, sim.Estimate(d.Arch))
+	}
+
+	// Compare against IBM's general-purpose 16-qubit chip.
+	base := qproc.NewBaseline(qproc.IBM16Q2Bus)
+	res, err := qproc.MapCircuit(c, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline %s: %d gates, yield %.3f\n",
+		base.Name, res.GateCount, sim.Estimate(base))
+}

@@ -1,0 +1,71 @@
+// VQE accelerator design: the paper's motivating near-term workload.
+//
+// A variational quantum eigensolver runs the same ansatz circuit millions
+// of times, so a chip tailored to that one circuit is exactly the
+// "application-specific QC accelerator" the paper envisions. This example
+// designs a processor for the 8-spin-orbital UCCSD ansatz, shows the
+// strong-chain coupling pattern that makes the design efficient
+// (Figure 5 left), and quantifies what the tailored chip buys over the
+// general-purpose baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qproc"
+)
+
+func main() {
+	ansatz := qproc.Benchmark("UCCSD_ansatz_8")
+	p, err := qproc.ProfileCircuit(ansatz)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The UCCSD pattern: nearest-neighbour pairs dominate.
+	chain, total := 0, 0
+	for i := 0; i < p.Qubits; i++ {
+		for j := i + 1; j < p.Qubits; j++ {
+			total += p.Strength[i][j]
+			if j == i+1 {
+				chain += p.Strength[i][j]
+			}
+		}
+	}
+	fmt.Printf("UCCSD_ansatz_8: %d qubits, %d two-qubit gates\n", p.Qubits, p.TotalCX)
+	fmt.Printf("chain pairs carry %.0f%% of all coupling strength\n\n",
+		100*float64(chain)/float64(total))
+
+	flow := qproc.NewFlow(1)
+	designs, err := flow.Series(ansatz, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := qproc.NewYieldSimulator(1)
+
+	fmt.Println("tailored designs (one per 4-qubit-bus count):")
+	fmt.Printf("%-6s %-6s %-7s %-8s %s\n", "buses", "conns", "gates", "swaps", "yield")
+	for _, d := range designs {
+		res, err := qproc.MapCircuit(ansatz, d.Arch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %-6d %-7d %-8d %.3f\n",
+			d.Buses, d.Arch.NumConnections(), res.GateCount, res.Swaps, sim.Estimate(d.Arch))
+	}
+
+	fmt.Println("\nIBM general-purpose baselines:")
+	fmt.Printf("%-22s %-6s %-7s %s\n", "chip", "conns", "gates", "yield")
+	for _, id := range qproc.Baselines() {
+		a := qproc.NewBaseline(id)
+		res, err := qproc.MapCircuit(ansatz, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-6d %-7d %.2g\n",
+			a.Name, a.NumConnections(), res.GateCount, sim.Estimate(a))
+	}
+	fmt.Println("\nthe 8-qubit tailored chip matches the 16/20-qubit chips' gate")
+	fmt.Println("counts with a fraction of the hardware and a far higher yield.")
+}

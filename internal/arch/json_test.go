@@ -1,0 +1,52 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, b := range Baselines() {
+		a := NewBaseline(b)
+		var buf bytes.Buffer
+		if err := a.WriteJSON(&buf); err != nil {
+			t.Fatalf("%v: write: %v", b, err)
+		}
+		back, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%v: read: %v", b, err)
+		}
+		if back.Name != a.Name || back.NumQubits() != a.NumQubits() {
+			t.Fatalf("%v: header mismatch", b)
+		}
+		ea, eb := a.Edges(), back.Edges()
+		if len(ea) != len(eb) {
+			t.Fatalf("%v: edge counts %d vs %d", b, len(ea), len(eb))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("%v: edge %d differs", b, i)
+			}
+		}
+		for q := range a.Freqs {
+			if a.Freqs[q] != back.Freqs[q] {
+				t.Fatalf("%v: frequency %d differs", b, q)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"name":"x","coords":[[0,0],[0,0]],"buses":[]}`,                              // duplicate coords
+		`{"name":"x","coords":[[0,0],[1,0]],"buses":[{"kind":"weird","qubits":[0]}]}`, // unknown kind
+		`{"name":"x","coords":[[0,0],[1,0]],"freqs":[5.0],"buses":[]}`,                // freq length
+		`not json`,
+	}
+	for i, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

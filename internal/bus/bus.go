@@ -1,0 +1,165 @@
+// Package bus implements the second hardware-design subroutine
+// (Section 4.2, Algorithm 2): selecting the lattice squares that carry
+// 4-qubit buses.
+//
+// Starting from a layout whose adjacent qubit pairs are joined by 2-qubit
+// buses, each selected square upgrades to a shared resonator that also
+// couples its diagonals. The cross-coupling weight of a square is the
+// coupling strength of the diagonal pairs a 4-qubit bus would newly
+// support; the filtered weight subtracts the weights of the four
+// edge-sharing neighbour squares that selecting this square would block
+// (prohibited condition, Figure 7).
+package bus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qproc/internal/arch"
+	"qproc/internal/lattice"
+	"qproc/internal/profile"
+)
+
+// Select runs Algorithm 2: it picks up to maxBuses squares in descending
+// filtered-weight order (ties: canonical square order) and applies a
+// multi-qubit bus to the architecture for each. It returns the selected
+// squares in selection order, so callers can rebuild the Pareto series of
+// designs with 0, 1, ..., len(selected) buses.
+//
+// The architecture's physical qubit ids must equal the profile's logical
+// qubit ids (the pseudo mapping produced by layout.Place). maxBuses < 0
+// means "no limit".
+func Select(a *arch.Architecture, p *profile.Profile, maxBuses int) ([]lattice.Square, error) {
+	if a.NumQubits() != p.Qubits {
+		return nil, fmt.Errorf("bus: architecture has %d qubits, profile %d", a.NumQubits(), p.Qubits)
+	}
+	occ := a.Occupied()
+	squares := occ.Squares(3)
+
+	// Line 1: cross coupling weight for each square.
+	weight := make(map[lattice.Square]int, len(squares))
+	available := make(map[lattice.Square]bool, len(squares))
+	for _, sq := range squares {
+		weight[sq] = CrossCouplingWeight(a, p, sq)
+		available[sq] = true
+	}
+
+	var selected []lattice.Square
+	for maxBuses < 0 || len(selected) < maxBuses {
+		best, ok := pickBest(squares, available, weight)
+		if !ok {
+			break // line 6-8: no square available
+		}
+		if err := a.ApplyMultiBus(best); err != nil {
+			return nil, fmt.Errorf("bus: applying %v: %w", best, err)
+		}
+		selected = append(selected, best)
+		// Line 10: block the selected square and its neighbours and zero
+		// their weights so they no longer influence future filtering.
+		available[best] = false
+		weight[best] = 0
+		for _, n := range best.Neighbors() {
+			if available[n] {
+				available[n] = false
+				weight[n] = 0
+			}
+		}
+	}
+	return selected, nil
+}
+
+// pickBest returns the available square with the highest filtered weight.
+// Squares whose weight is zero are never selected: a zero-weight 4-qubit
+// bus supports no two-qubit gate and would only lower yield (the paper's
+// ising_model case generates zero squares for exactly this reason).
+func pickBest(squares []lattice.Square, available map[lattice.Square]bool, weight map[lattice.Square]int) (lattice.Square, bool) {
+	var best lattice.Square
+	bestW := 0
+	found := false
+	for _, sq := range squares { // canonical order ⇒ deterministic ties
+		if !available[sq] || weight[sq] <= 0 {
+			continue
+		}
+		fw := weight[sq]
+		for _, n := range sq.Neighbors() {
+			fw -= weight[n] // blocked neighbours already zeroed
+		}
+		if !found || fw > bestW {
+			best, bestW, found = sq, fw, true
+		}
+	}
+	return best, found
+}
+
+// CrossCouplingWeight returns the square's cross-coupling weight: the
+// summed coupling strength of the diagonal qubit pairs that are fully
+// occupied. A 4-qubit square contributes both diagonals; the 3-qubit
+// corner case (Figure 7b) contributes only its fully occupied diagonal.
+func CrossCouplingWeight(a *arch.Architecture, p *profile.Profile, sq lattice.Square) int {
+	w := 0
+	for _, d := range sq.Diagonals() {
+		qa, okA := a.QubitAt(d[0])
+		qb, okB := a.QubitAt(d[1])
+		if okA && okB {
+			w += p.Strength[qa][qb]
+		}
+	}
+	return w
+}
+
+// SelectRandom implements the eff-rd-bus baseline (Section 5.2): it applies
+// up to maxBuses multi-qubit buses on uniformly random eligible squares,
+// respecting the prohibited condition, and returns them in selection
+// order. Unlike Select it ignores coupling weights entirely, including the
+// zero-weight exclusion. maxBuses < 0 means "no limit".
+func SelectRandom(a *arch.Architecture, maxBuses int, seed int64) []lattice.Square {
+	rng := rand.New(rand.NewSource(seed))
+	occ := a.Occupied()
+	var selected []lattice.Square
+	for maxBuses < 0 || len(selected) < maxBuses {
+		var eligible []lattice.Square
+		for _, sq := range occ.Squares(3) {
+			if a.CanApplyMultiBus(sq) {
+				eligible = append(eligible, sq)
+			}
+		}
+		if len(eligible) == 0 {
+			break
+		}
+		sq := eligible[rng.Intn(len(eligible))]
+		if err := a.ApplyMultiBus(sq); err != nil {
+			panic(err) // unreachable: eligibility just checked
+		}
+		selected = append(selected, sq)
+	}
+	return selected
+}
+
+// MaxPossible returns an upper bound on the number of multi-qubit buses
+// any selection can place on the architecture's layout: the greedy maximal
+// packing size over eligible squares. The design flow uses it to size the
+// eff-full series.
+func MaxPossible(a *arch.Architecture) int {
+	c := a.Clone()
+	return c.MaxMultiBuses()
+}
+
+// Weights reports the cross-coupling weight of every eligible square,
+// sorted descending (ties canonical), for diagnostics and the qft
+// uniform-pattern analysis in the experiments.
+func Weights(a *arch.Architecture, p *profile.Profile) []WeightedSquare {
+	occ := a.Occupied()
+	var out []WeightedSquare
+	for _, sq := range occ.Squares(3) {
+		out = append(out, WeightedSquare{Square: sq, Weight: CrossCouplingWeight(a, p, sq)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out
+}
+
+// WeightedSquare pairs a square with its cross-coupling weight.
+type WeightedSquare struct {
+	Square lattice.Square
+	Weight int
+}

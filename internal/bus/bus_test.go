@@ -1,0 +1,240 @@
+package bus
+
+import (
+	"testing"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/lattice"
+	"qproc/internal/profile"
+)
+
+// blockProfile builds a 2x3 placement with known diagonal couplings:
+//
+//	q3 q4 q5
+//	q0 q1 q2
+//
+// Diagonals: (q0,q4) strength 5, (q1,q3) 1 in the left square;
+// (q1,q5) 2, (q2,q4) 0 in the right square.
+func blockArch(t *testing.T) (*arch.Architecture, *profile.Profile) {
+	t.Helper()
+	coords := []lattice.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}}
+	a, err := arch.New("block", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("prog", 6)
+	for i := 0; i < 5; i++ {
+		c.CX(0, 4)
+	}
+	c.CX(1, 3)
+	c.CX(1, 5)
+	c.CX(1, 5)
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p
+}
+
+func TestCrossCouplingWeight(t *testing.T) {
+	a, p := blockArch(t)
+	left := lattice.Square{Origin: lattice.Coord{X: 0, Y: 0}}
+	right := lattice.Square{Origin: lattice.Coord{X: 1, Y: 0}}
+	if w := CrossCouplingWeight(a, p, left); w != 6 {
+		t.Errorf("left weight = %d, want 6 (5+1)", w)
+	}
+	if w := CrossCouplingWeight(a, p, right); w != 2 {
+		t.Errorf("right weight = %d, want 2", w)
+	}
+}
+
+func TestSelectPicksHighestFilteredWeight(t *testing.T) {
+	a, p := blockArch(t)
+	sel, err := Select(a, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left (weight 6, filtered 6-2=4) beats right (2-6=-4); selecting
+	// left blocks right, so exactly one bus.
+	if len(sel) != 1 || sel[0].Origin != (lattice.Coord{X: 0, Y: 0}) {
+		t.Fatalf("selected %v, want the left square", sel)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The diagonal coupling now exists physically.
+	found := false
+	for _, e := range a.Edges() {
+		if e.A == 0 && e.B == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("diagonal (0,4) not coupled after bus selection")
+	}
+}
+
+func TestSelectRespectsMaxBuses(t *testing.T) {
+	a, p := blockArch(t)
+	sel, err := Select(a, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 0 {
+		t.Fatalf("maxBuses=0 selected %v", sel)
+	}
+}
+
+func TestSelectSkipsZeroWeightSquares(t *testing.T) {
+	// Chain program: no diagonal coupling anywhere, so no square should
+	// be selected — the paper's ising_model case (§5.3.1).
+	coords := []lattice.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}}
+	a, err := arch.New("chain", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("chain", 6)
+	for _, pair := range [][2]int{{0, 1}, {1, 2}, {2, 5}, {5, 4}, {4, 3}} {
+		c.CX(pair[0], pair[1])
+	}
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(a, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 0 {
+		t.Fatalf("chain program selected buses %v", sel)
+	}
+}
+
+func TestSelectProhibitedCondition(t *testing.T) {
+	// 2x4 block where both end squares carry weight: middle square is
+	// heaviest but selecting it must block its neighbours.
+	coords := lattice.Grid(2, 4)
+	a, err := arch.New("g", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Qubit ids row-major: row0 = 0..3, row1 = 4..7.
+	c := circuit.New("prog", 8)
+	for i := 0; i < 4; i++ {
+		c.CX(1, 6) // middle-left square diagonal
+	}
+	for i := 0; i < 3; i++ {
+		c.CX(0, 5) // left square diagonal
+		c.CX(2, 7) // middle-right diagonal
+	}
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(a, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sel {
+		for j := i + 1; j < len(sel); j++ {
+			if lattice.Manhattan(s.Origin, sel[j].Origin) == 1 {
+				t.Fatalf("adjacent squares selected: %v", sel)
+			}
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRandomRespectsConstraints(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a, _ := blockArch(t)
+		sel := SelectRandom(a, -1, seed)
+		if len(sel) == 0 {
+			t.Fatal("random selection found nothing on an eligible layout")
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSelectRandomDeterministicPerSeed(t *testing.T) {
+	a1, _ := blockArch(t)
+	a2, _ := blockArch(t)
+	s1 := SelectRandom(a1, -1, 99)
+	s2 := SelectRandom(a2, -1, 99)
+	if len(s1) != len(s2) {
+		t.Fatalf("different lengths: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("seed 99 diverges: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestMaxPossible(t *testing.T) {
+	a, _ := blockArch(t)
+	if got := MaxPossible(a); got != 1 {
+		t.Fatalf("MaxPossible = %d, want 1 (2x3 grid)", got)
+	}
+	// MaxPossible must not mutate.
+	if len(a.MultiBusSquares()) != 0 {
+		t.Fatal("MaxPossible mutated the architecture")
+	}
+}
+
+func TestWeightsSorted(t *testing.T) {
+	a, p := blockArch(t)
+	ws := Weights(a, p)
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1].Weight < ws[i].Weight {
+			t.Fatalf("weights not descending: %v", ws)
+		}
+	}
+}
+
+func TestSelectQubitCountMismatch(t *testing.T) {
+	a, _ := blockArch(t)
+	c := circuit.New("small", 3)
+	c.CX(0, 1)
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Select(a, p, -1); err == nil {
+		t.Fatal("qubit-count mismatch accepted")
+	}
+}
+
+func TestThreeQubitSquareWeight(t *testing.T) {
+	// L-shape: the square has 3 qubits; its weight is the strength of
+	// the fully occupied diagonal only (Figure 7b).
+	coords := []lattice.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	a, err := arch.New("l", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("prog", 3)
+	for i := 0; i < 4; i++ {
+		c.CX(1, 2) // the (1,0)-(0,1) diagonal
+	}
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := lattice.Square{Origin: lattice.Coord{X: 0, Y: 0}}
+	if w := CrossCouplingWeight(a, p, sq); w != 4 {
+		t.Fatalf("3-qubit square weight = %d, want 4", w)
+	}
+	sel, err := Select(a, p, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 {
+		t.Fatalf("selected %v", sel)
+	}
+}

@@ -1,0 +1,104 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildersAndStats(t *testing.T) {
+	c := New("demo", 3)
+	c.H(0).CX(0, 1).T(1).CCX(0, 1, 2).Swap(1, 2).RZ(2, 0.5).MeasureAll()
+	st := c.Stats()
+	if st.OneQubit != 3 || st.CX != 1 || st.CCX != 1 || st.SWAP != 1 || st.Measure != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Total != len(c.Gates) {
+		t.Fatalf("total %d != len %d", st.Total, len(c.Gates))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bad", 2).CX(0, 2)
+}
+
+func TestGateCountExcludesBarriers(t *testing.T) {
+	c := New("b", 2)
+	c.H(0)
+	c.Append(Gate{Kind: Barrier})
+	c.CX(0, 1)
+	if got := c.GateCount(); got != 2 {
+		t.Fatalf("GateCount = %d, want 2", got)
+	}
+}
+
+func TestDecomposeEliminatesSwapCCX(t *testing.T) {
+	c := New("d", 3)
+	c.Swap(0, 1).CCX(0, 1, 2).H(2)
+	d := c.Decompose()
+	st := d.Stats()
+	if st.SWAP != 0 || st.CCX != 0 {
+		t.Fatalf("decomposed still has swap=%d ccx=%d", st.SWAP, st.CCX)
+	}
+	// SWAP -> 3 CX; CCX -> 6 CX.
+	if st.CX != 9 {
+		t.Fatalf("CX count = %d, want 9", st.CX)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New("orig", 2)
+	c.RZ(0, 1.5).CX(0, 1)
+	d := c.Clone()
+	d.Gates[0].Params[0] = 99
+	d.Gates[1].Qubits[0] = 1
+	if c.Gates[0].Params[0] != 1.5 || c.Gates[1].Qubits[0] != 0 {
+		t.Fatal("clone shares backing arrays with original")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []func(*Circuit){
+		func(c *Circuit) { c.Gates = append(c.Gates, Gate{Kind: CX, Qubits: []int{0}}) },
+		func(c *Circuit) { c.Gates = append(c.Gates, Gate{Kind: CX, Qubits: []int{0, 0}}) },
+		func(c *Circuit) { c.Gates = append(c.Gates, Gate{Kind: OneQubit, Qubits: []int{0}}) },
+		func(c *Circuit) { c.Gates = append(c.Gates, Gate{Kind: CX, Qubits: []int{0, 5}}) },
+		func(c *Circuit) { c.Gates = append(c.Gates, Gate{Kind: Kind(99), Qubits: []int{0}}) },
+	}
+	for i, corrupt := range cases {
+		c := New("v", 2)
+		c.H(0)
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: corruption not detected", i)
+		}
+	}
+}
+
+func TestGateString(t *testing.T) {
+	if s := NewCX(0, 4).String(); s != "cx 0,4" {
+		t.Errorf("cx string = %q", s)
+	}
+	if s := NewRZ(3, 1.5).String(); !strings.HasPrefix(s, "rz(1.5") || !strings.HasSuffix(s, " 3") {
+		t.Errorf("rz string = %q", s)
+	}
+}
+
+func TestTwoQubitGates(t *testing.T) {
+	c := New("t", 3)
+	c.H(0).CX(0, 1).T(1).CX(1, 2).MeasureAll()
+	idx := c.TwoQubitGates()
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("TwoQubitGates = %v", idx)
+	}
+}

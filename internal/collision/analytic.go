@@ -1,0 +1,62 @@
+package collision
+
+import "math"
+
+// Analytic collision probabilities under the fabrication model: each
+// qubit's post-fabrication frequency is its design frequency plus
+// independent N(0, σ) noise. Every condition of Figure 3 is a window (or
+// half-line) test on a Gaussian combination of one, two or three noise
+// terms, so its marginal probability has a closed form in Φ. The expected
+// number of triggered condition instances, ExpectedCollisions, is the sum
+// of these marginals; exp(−E) approximates the yield when individual
+// probabilities are small, and E is an exact, noise-free ranking signal
+// for frequency allocation (unlike a Monte-Carlo yield estimate, whose
+// argmax wobbles at realistic trial budgets).
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// windowProb returns P(|X + d − center| < threshold) for d ~ N(0, sd).
+func windowProb(x, center, threshold, sd float64) float64 {
+	if sd <= 0 {
+		if diff := math.Abs(x - center); diff < threshold {
+			return 1
+		}
+		return 0
+	}
+	return phi((center+threshold-x)/sd) - phi((center-threshold-x)/sd)
+}
+
+// PairProb returns the probability that the directed pair (fj, fk) of
+// connected qubits triggers any of conditions 1-4, as the sum of the four
+// window probabilities (an upper bound that is tight when the windows are
+// disjoint, as they are for the Figure 3 constants). delta is fj − fk
+// noise-free; the noise on the difference has sd σ√2.
+func (p Params) PairProb(fj, fk, sigma float64) float64 {
+	sd := sigma * math.Sqrt2
+	d := fj - fk
+	pr := windowProb(d, 0, p.T1, sd) +
+		windowProb(d, -p.Delta/2, p.T2, sd) +
+		windowProb(d, -p.Delta, p.T3, sd)
+	// Condition 4: fj − fk > −δ.
+	if sd > 0 {
+		pr += 1 - phi((-p.Delta-d)/sd)
+	} else if d > -p.Delta {
+		pr += 1
+	}
+	return pr
+}
+
+// SpectatorProb returns the probability that spectator pair (fi, fk)
+// around hub fj triggers any of conditions 5-7. Conditions 5-6 depend on
+// fi − fk (sd σ√2); condition 7 on 2fj − fi − fk (sd σ√6).
+func (p Params) SpectatorProb(fj, fi, fk, sigma float64) float64 {
+	sd2 := sigma * math.Sqrt2
+	d := fi - fk
+	pr := windowProb(d, 0, p.T5, sd2) +
+		windowProb(d, -p.Delta, p.T6, sd2)
+	sd6 := sigma * math.Sqrt(6)
+	v := 2*fj + p.Delta - fi - fk
+	pr += windowProb(v, 0, p.T7, sd6)
+	return pr
+}

@@ -1,0 +1,291 @@
+// Package core assembles the paper's primary contribution: the end-to-end
+// application-specific architecture design flow of Figure 1. Given a
+// quantum program it
+//
+//  1. profiles the program (coupling strength matrix + degree list,
+//     Section 3),
+//  2. places qubits on a 2D lattice (layout design, Algorithm 1),
+//  3. selects 4-qubit-bus squares in descending benefit order (bus
+//     selection, Algorithm 2), and
+//  4. allocates per-qubit frequencies (frequency allocation, Algorithm 3),
+//
+// producing a *series* of architectures — one per 4-qubit-bus count — that
+// trades yield against performance in a controlled way (Section 5.3,
+// "Controllability"). The experiment configurations of Section 5.2 that
+// ablate individual subroutines (eff-5-freq, eff-rd-bus, eff-layout-only)
+// are provided alongside the full flow.
+package core
+
+import (
+	"fmt"
+
+	"qproc/internal/arch"
+	"qproc/internal/bus"
+	"qproc/internal/circuit"
+	"qproc/internal/freq"
+	"qproc/internal/lattice"
+	"qproc/internal/layout"
+	"qproc/internal/profile"
+)
+
+// Config identifies one of the five experiment configurations of
+// Section 5.2.
+type Config string
+
+const (
+	// ConfigIBM is the general-purpose baseline: the four IBM designs.
+	ConfigIBM Config = "ibm"
+	// ConfigEffFull runs all three subroutines.
+	ConfigEffFull Config = "eff-full"
+	// ConfigEff5Freq runs layout + bus selection but frequencies the
+	// designs with IBM's regular 5-frequency scheme.
+	ConfigEff5Freq Config = "eff-5-freq"
+	// ConfigEffRdBus runs layout + frequency allocation but selects bus
+	// squares uniformly at random (prohibited condition respected).
+	ConfigEffRdBus Config = "eff-rd-bus"
+	// ConfigEffLayoutOnly runs layout only: 2-qubit buses or maximal
+	// 4-qubit buses, 5-frequency scheme.
+	ConfigEffLayoutOnly Config = "eff-layout-only"
+)
+
+// Configs lists the five configurations in the paper's order.
+func Configs() []Config {
+	return []Config{ConfigIBM, ConfigEffFull, ConfigEffRdBus, ConfigEff5Freq, ConfigEffLayoutOnly}
+}
+
+// Flow carries the tunable parameters of the design flow.
+type Flow struct {
+	// Seed drives every stochastic component (frequency allocation's
+	// local simulations, random bus selection) deterministically.
+	Seed int64
+	// FreqLocalTrials is the Monte-Carlo budget per candidate frequency
+	// during Algorithm 3.
+	FreqLocalTrials int
+}
+
+// NewFlow returns a Flow with the default parameters.
+func NewFlow(seed int64) *Flow {
+	return &Flow{Seed: seed, FreqLocalTrials: 2000}
+}
+
+// Design is one generated architecture together with its provenance.
+type Design struct {
+	// Arch is the finished architecture (layout, buses, frequencies).
+	Arch *arch.Architecture
+	// Buses is the number of multi-qubit buses applied.
+	Buses int
+	// Squares are the bus squares, in selection order.
+	Squares []lattice.Square
+	// Config records which configuration produced the design.
+	Config Config
+	// AuxQubits is the number of auxiliary physical qubits added beyond
+	// the program's logical qubits (Section 6 extension; 0 for the
+	// paper's main flow).
+	AuxQubits int
+}
+
+// allocator builds the Algorithm 3 allocator for this flow.
+func (f *Flow) allocator() *freq.Allocator {
+	al := freq.NewAllocator(f.Seed)
+	if f.FreqLocalTrials > 0 {
+		al.LocalTrials = f.FreqLocalTrials
+	}
+	return al
+}
+
+// Profile profiles the program (it must be in the decomposed basis).
+func (f *Flow) Profile(c *circuit.Circuit) (*profile.Profile, error) {
+	return profile.New(c)
+}
+
+// Layout runs Algorithm 1 and returns the architecture skeleton: placed
+// qubits joined by 2-qubit buses, no frequencies yet.
+func (f *Flow) Layout(p *profile.Profile, name string) (*arch.Architecture, error) {
+	coords := layout.Normalize(layout.Place(p))
+	a, err := arch.New(name, coords)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	return a, nil
+}
+
+// Series runs the full flow (eff-full) and returns one design per
+// 4-qubit-bus count k = 0..K, where K is the number of squares
+// Algorithm 2 selects before running out of beneficial squares (or
+// maxBuses, if ≥ 0). Each design gets its own Algorithm 3 frequency
+// allocation.
+func (f *Flow) Series(c *circuit.Circuit, maxBuses int) ([]*Design, error) {
+	return f.series(c, maxBuses, ConfigEffFull, 0)
+}
+
+// SeriesFiveFreq is the eff-5-freq ablation: identical topologies to
+// Series, frequencied with IBM's 5-frequency scheme instead of
+// Algorithm 3.
+func (f *Flow) SeriesFiveFreq(c *circuit.Circuit, maxBuses int) ([]*Design, error) {
+	return f.series(c, maxBuses, ConfigEff5Freq, 0)
+}
+
+// SeriesWithAux is the Section 6 design-space extension: the layout is
+// augmented with aux auxiliary physical qubits (zero logical coupling,
+// placed on the frontier nodes with the most occupied neighbours) before
+// bus selection and frequency allocation. Auxiliary qubits give the
+// router extra freedom — trading yield (more connections) for
+// performance, the opposite direction to the bus knob.
+func (f *Flow) SeriesWithAux(c *circuit.Circuit, maxBuses, aux int) ([]*Design, error) {
+	if aux < 0 {
+		return nil, fmt.Errorf("core: negative aux qubit count %d", aux)
+	}
+	return f.series(c, maxBuses, ConfigEffFull, aux)
+}
+
+func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]*Design, error) {
+	p, err := f.Profile(c)
+	if err != nil {
+		return nil, err
+	}
+	coords := layout.Place(p)
+	if aux > 0 {
+		auxCoords := layout.AddAux(coords, aux)
+		coords = append(coords, auxCoords...)
+		p = p.WithAux(len(auxCoords))
+	}
+	base, err := arch.New("", layout.Normalize(coords))
+	if err != nil {
+		return nil, fmt.Errorf("core: layout: %w", err)
+	}
+	// Select on a scratch copy to learn the square order.
+	scratch := base.Clone()
+	selected, err := bus.Select(scratch, p, maxBuses)
+	if err != nil {
+		return nil, fmt.Errorf("core: bus selection: %w", err)
+	}
+	var designs []*Design
+	for k := 0; k <= len(selected); k++ {
+		d, err := f.finishDesign(base, p, selected[:k], cfg, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		d.AuxQubits = aux
+		designs = append(designs, d)
+	}
+	return designs, nil
+}
+
+// SeriesRandomBus is the eff-rd-bus ablation: for each bus count
+// k = 1..max and each of sampleSeeds random draws, random eligible
+// squares are selected and Algorithm 3 allocates frequencies. The samples
+// reveal the yield/performance distribution random connection designs
+// achieve (Section 5.4.2).
+func (f *Flow) SeriesRandomBus(c *circuit.Circuit, maxBuses, samples int) ([]*Design, error) {
+	p, err := f.Profile(c)
+	if err != nil {
+		return nil, err
+	}
+	base, err := f.Layout(p, "")
+	if err != nil {
+		return nil, err
+	}
+	limit := bus.MaxPossible(base)
+	if maxBuses >= 0 && maxBuses < limit {
+		limit = maxBuses
+	}
+	var designs []*Design
+	for s := 0; s < samples; s++ {
+		for k := 1; k <= limit; k++ {
+			scratch := base.Clone()
+			sel := bus.SelectRandom(scratch, k, f.Seed+int64(1000*s+k))
+			d, err := f.finishDesign(base, p, sel, ConfigEffRdBus, c.Name)
+			if err != nil {
+				return nil, err
+			}
+			designs = append(designs, d)
+		}
+	}
+	return designs, nil
+}
+
+// LayoutOnly is the eff-layout-only ablation: the generated layout with
+// either 2-qubit buses only or maximal 4-qubit buses, frequencied with
+// the 5-frequency scheme (the two data points per benchmark in Fig. 10).
+func (f *Flow) LayoutOnly(c *circuit.Circuit) ([]*Design, error) {
+	p, err := f.Profile(c)
+	if err != nil {
+		return nil, err
+	}
+	base, err := f.Layout(p, "")
+	if err != nil {
+		return nil, err
+	}
+	var designs []*Design
+	for _, maximal := range []bool{false, true} {
+		a := base.Clone()
+		nb := 0
+		if maximal {
+			nb = a.MaxMultiBuses()
+		}
+		a.Name = designName(c.Name, ConfigEffLayoutOnly, nb)
+		if err := a.SetFrequencies(arch.FiveFreqScheme(a)); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		designs = append(designs, &Design{
+			Arch:    a,
+			Buses:   nb,
+			Squares: a.MultiBusSquares(),
+			Config:  ConfigEffLayoutOnly,
+		})
+	}
+	return designs, nil
+}
+
+// Baselines returns the four IBM designs wrapped as Designs, skipping
+// those with fewer physical qubits than the program needs.
+func (f *Flow) Baselines(c *circuit.Circuit) []*Design {
+	var out []*Design
+	for _, b := range arch.Baselines() {
+		a := arch.NewBaseline(b)
+		if a.NumQubits() < c.Qubits {
+			continue
+		}
+		out = append(out, &Design{
+			Arch:    a,
+			Buses:   len(a.MultiBusSquares()),
+			Squares: a.MultiBusSquares(),
+			Config:  ConfigIBM,
+		})
+	}
+	return out
+}
+
+// finishDesign rebuilds the architecture from the base layout, applies
+// the given bus squares, names it, and allocates frequencies per the
+// configuration.
+func (f *Flow) finishDesign(base *arch.Architecture, p *profile.Profile, squares []lattice.Square, cfg Config, prog string) (*Design, error) {
+	a := base.Clone()
+	for _, sq := range squares {
+		if err := a.ApplyMultiBus(sq); err != nil {
+			return nil, fmt.Errorf("core: applying bus %v: %w", sq, err)
+		}
+	}
+	a.Name = designName(prog, cfg, len(squares))
+	switch cfg {
+	case ConfigEff5Freq, ConfigEffLayoutOnly:
+		if err := a.SetFrequencies(arch.FiveFreqScheme(a)); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	default:
+		if err := f.allocator().Assign(a); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: generated design invalid: %w", err)
+	}
+	return &Design{Arch: a, Buses: len(squares), Squares: squares, Config: cfg}, nil
+}
+
+func designName(prog string, cfg Config, buses int) string {
+	if prog == "" {
+		prog = "program"
+	}
+	return fmt.Sprintf("%s/%s-%dbus", prog, cfg, buses)
+}

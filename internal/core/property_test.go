@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"qproc/internal/circuit"
+	"qproc/internal/mapper"
+	"qproc/internal/profile"
+)
+
+// TestFlowPropertyRandomPrograms runs the complete design flow on random
+// programs and checks the whole-pipeline invariants:
+//
+//  1. every generated design validates structurally,
+//  2. physical qubit count equals logical qubit count (paper's choice),
+//  3. every design supports the program's strongest pair natively,
+//  4. connections grow monotonically along the series,
+//  5. the program maps onto every design,
+//  6. all frequencies lie in the allowed window.
+func TestFlowPropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(10)
+		c := circuit.New("rand", n)
+		for g := 0; g < 20+rng.Intn(150); g++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			switch {
+			case a == b || rng.Intn(5) == 0:
+				c.H(a)
+			default:
+				c.CX(a, b)
+			}
+		}
+		c.MeasureAll()
+
+		f := quickFlow()
+		designs, err := f.Series(c, -1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(designs) == 0 {
+			t.Fatalf("trial %d: empty series", trial)
+		}
+		p, err := profile.New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, bj, bw := -1, -1, 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if p.Strength[i][j] > bw {
+					bi, bj, bw = i, j, p.Strength[i][j]
+				}
+			}
+		}
+		prevConns := -1
+		for k, d := range designs {
+			if err := d.Arch.Validate(); err != nil {
+				t.Fatalf("trial %d design %d: %v", trial, k, err)
+			}
+			if d.Arch.NumQubits() != n {
+				t.Fatalf("trial %d design %d: %d physical qubits for %d logical",
+					trial, k, d.Arch.NumQubits(), n)
+			}
+			if conns := d.Arch.NumConnections(); conns <= prevConns {
+				t.Fatalf("trial %d design %d: connections %d not increasing", trial, k, conns)
+			} else {
+				prevConns = conns
+			}
+			if bw > 0 {
+				adj := d.Arch.AdjList()
+				native := false
+				for _, nb := range adj[bi] {
+					if nb == bj {
+						native = true
+					}
+				}
+				if !native {
+					t.Fatalf("trial %d design %d: strongest pair (%d,%d) not native", trial, k, bi, bj)
+				}
+			}
+			res, err := mapper.Map(c, d.Arch, mapper.DefaultOptions())
+			if err != nil {
+				t.Fatalf("trial %d design %d: mapping: %v", trial, k, err)
+			}
+			if res.GateCount < c.GateCount() {
+				t.Fatalf("trial %d design %d: mapped gates below original", trial, k)
+			}
+			for q, fr := range d.Arch.Freqs {
+				if fr < 5.00-1e-9 || fr > 5.34+1e-9 {
+					t.Fatalf("trial %d design %d: qubit %d frequency %.3f outside window", trial, k, q, fr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/gen"
+	"qproc/internal/lattice"
+	"qproc/internal/profile"
+)
+
+// Fig4Circuit returns the worked profiling example of Figure 4(a): a
+// 5-qubit circuit whose two-qubit gates produce the coupling strength
+// matrix of Figure 4(c) and the degree list q4:5, q0:3, q1:2, q2:1, q3:1
+// of Figure 4(d).
+func Fig4Circuit() *circuit.Circuit {
+	c := circuit.New("fig4-example", 5)
+	for q := 0; q < 5; q++ {
+		c.H(q)
+	}
+	c.CX(0, 4)
+	c.CX(0, 1)
+	c.CX(1, 4)
+	c.CX(2, 4)
+	c.T(2)
+	c.CX(4, 0)
+	c.CX(3, 4)
+	c.MeasureAll()
+	return c
+}
+
+// Fig4 renders the profiling example: circuit statistics, coupling
+// strength matrix and coupling degree list.
+func Fig4() (string, error) {
+	c := Fig4Circuit()
+	p, err := profile.New(c)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: profiling example\n")
+	st := c.Stats()
+	fmt.Fprintf(&b, "circuit: %d qubits, %d gates (%d two-qubit)\n", c.Qubits, st.Total, st.CX)
+	b.WriteString(p.String())
+	return b.String(), nil
+}
+
+// Fig5 renders the coupling-strength-matrix heat maps of Figure 5 for
+// UCCSD_ansatz_8 and misex1_241 (as numeric matrices).
+func Fig5() (string, error) {
+	var b strings.Builder
+	b.WriteString("Figure 5: qubit coupling strength patterns\n\n")
+	for _, name := range []string{"UCCSD_ansatz_8", "misex1_241"} {
+		bench, err := gen.Get(name)
+		if err != nil {
+			return "", err
+		}
+		c := bench.Build()
+		p, err := profile.New(c)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s, %d qubits, %s\n", bench.Name, bench.Qubits, bench.Domain)
+		b.WriteString(p.String())
+		b.WriteString(chainShare(p))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// chainShare reports what fraction of the total coupling strength lies on
+// the nearest-neighbour chain (q0-q1, q1-q2, ...), the structural feature
+// Figure 5 highlights for the UCCSD ansatz.
+func chainShare(p *profile.Profile) string {
+	chain, total := 0, 0
+	for i := 0; i < p.Qubits; i++ {
+		for j := i + 1; j < p.Qubits; j++ {
+			total += p.Strength[i][j]
+			if j == i+1 {
+				chain += p.Strength[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return "no two-qubit gates\n"
+	}
+	return fmt.Sprintf("chain pairs carry %d/%d of coupling strength (%.0f%%)\n",
+		chain, total, 100*float64(chain)/float64(total))
+}
+
+// Fig9 renders the four IBM baseline designs: lattice, bus layout and the
+// 5-frequency arrangement.
+func Fig9() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: baseline qubit frequency, layout and connection designs\n\n")
+	for i, bl := range arch.Baselines() {
+		a := arch.NewBaseline(bl)
+		fmt.Fprintf(&b, "(%d) %s\n", i+1, a)
+		b.WriteString(renderLattice(a))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "frequency scheme: fi = %.2f + %.4f*i GHz, i = (x + 2y) mod 5\n",
+		arch.FiveFreqBase, arch.FiveFreqStep)
+	return b.String()
+}
+
+// renderLattice draws an architecture as ASCII art: qubit frequency
+// index at each occupied node, '#' marking squares with 4-qubit buses.
+func renderLattice(a *arch.Architecture) string {
+	occ := a.Occupied()
+	min, max, ok := occ.Bounds()
+	if !ok {
+		return "(empty)\n"
+	}
+	multi := map[lattice.Square]bool{}
+	for _, sq := range a.MultiBusSquares() {
+		multi[sq] = true
+	}
+	var b strings.Builder
+	for y := max.Y; y >= min.Y; y-- {
+		// Node row.
+		for x := min.X; x <= max.X; x++ {
+			c := lattice.Coord{X: x, Y: y}
+			if q, here := a.QubitAt(c); here {
+				label := "?"
+				if a.Freqs != nil {
+					idx := int((a.Freqs[q]-arch.FiveFreqBase)/arch.FiveFreqStep + 0.5)
+					label = fmt.Sprintf("%d", idx+1)
+				}
+				b.WriteString(label)
+			} else {
+				b.WriteString(".")
+			}
+			if x < max.X {
+				right := lattice.Coord{X: x + 1, Y: y}
+				_, hasL := a.QubitAt(c)
+				_, hasR := a.QubitAt(right)
+				if hasL && hasR {
+					b.WriteString("--")
+				} else {
+					b.WriteString("  ")
+				}
+			}
+		}
+		b.WriteByte('\n')
+		if y > min.Y {
+			// Edge/square row.
+			for x := min.X; x <= max.X; x++ {
+				c := lattice.Coord{X: x, Y: y}
+				below := lattice.Coord{X: x, Y: y - 1}
+				_, hasT := a.QubitAt(c)
+				_, hasB := a.QubitAt(below)
+				if hasT && hasB {
+					b.WriteString("|")
+				} else {
+					b.WriteString(" ")
+				}
+				if x < max.X {
+					if multi[lattice.Square{Origin: lattice.Coord{X: x, Y: y - 1}}] {
+						b.WriteString("##")
+					} else {
+						b.WriteString("  ")
+					}
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderDesign draws a generated architecture with frequencies in GHz.
+func RenderDesign(a *arch.Architecture) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", a)
+	occ := a.Occupied()
+	min, max, ok := occ.Bounds()
+	if !ok {
+		return b.String()
+	}
+	multi := map[lattice.Square]bool{}
+	for _, sq := range a.MultiBusSquares() {
+		multi[sq] = true
+	}
+	for y := max.Y; y >= min.Y; y-- {
+		for x := min.X; x <= max.X; x++ {
+			c := lattice.Coord{X: x, Y: y}
+			if q, here := a.QubitAt(c); here {
+				if a.Freqs != nil {
+					fmt.Fprintf(&b, "q%-2d[%4.2f]", q, a.Freqs[q])
+				} else {
+					fmt.Fprintf(&b, "q%-2d      ", q)
+				}
+			} else {
+				b.WriteString("  .      ")
+			}
+			if x < max.X {
+				right := lattice.Coord{X: x + 1, Y: y}
+				_, hasL := a.QubitAt(c)
+				_, hasR := a.QubitAt(right)
+				if hasL && hasR {
+					b.WriteString("--")
+				} else {
+					b.WriteString("  ")
+				}
+			}
+		}
+		b.WriteByte('\n')
+		if y > min.Y {
+			for x := min.X; x <= max.X; x++ {
+				c := lattice.Coord{X: x, Y: y}
+				below := lattice.Coord{X: x, Y: y - 1}
+				_, hasT := a.QubitAt(c)
+				_, hasB := a.QubitAt(below)
+				if hasT && hasB {
+					b.WriteString("   |     ")
+				} else {
+					b.WriteString("         ")
+				}
+				if x < max.X {
+					if multi[lattice.Square{Origin: lattice.Coord{X: x, Y: y - 1}}] {
+						b.WriteString("##")
+					} else {
+						b.WriteString("  ")
+					}
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

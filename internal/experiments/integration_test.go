@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"qproc/internal/core"
+	"qproc/internal/gen"
+)
+
+// TestIntegrationAllBenchmarks pushes every benchmark through the whole
+// pipeline at a small Monte-Carlo budget and checks the cross-benchmark
+// invariants the paper's evaluation rests on. Run with -short to skip.
+func TestIntegrationAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	o := QuickOptions()
+	o.YieldTrials = 500
+	o.FreqLocalTrials = 100
+	r := NewRunner(o)
+	results, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 12 {
+		t.Fatalf("got %d benchmark results", len(results))
+	}
+	for _, res := range results {
+		ibm := res.ByConfig(core.ConfigIBM)
+		full := res.ByConfig(core.ConfigEffFull)
+		if len(ibm) == 0 || len(full) == 0 {
+			t.Errorf("%s: missing configurations", res.Name)
+			continue
+		}
+		// Generated designs never use more physical qubits than logical.
+		for _, p := range full {
+			if p.Qubits != res.Qubits {
+				t.Errorf("%s: eff design has %d qubits, program %d", res.Name, p.Qubits, res.Qubits)
+			}
+		}
+		// Normalisation anchored at baseline (1).
+		if ibm[0].NormPerf != 1 {
+			t.Errorf("%s: baseline (1) norm perf %v", res.Name, ibm[0].NormPerf)
+		}
+		// The series trades monotonically in hardware.
+		for k := 1; k < len(full); k++ {
+			if full[k].Connections <= full[k-1].Connections {
+				t.Errorf("%s: connections not increasing at k=%d", res.Name, k)
+			}
+		}
+	}
+
+	// Cross-benchmark invariants.
+	for _, res := range results {
+		full := res.ByConfig(core.ConfigEffFull)
+		switch res.Name {
+		case "ising_model_16":
+			// §5.3.1: single design, all configurations same gate count.
+			if len(full) != 1 {
+				t.Errorf("ising: %d eff-full designs, want 1", len(full))
+			}
+			gates := res.Points[0].GateCount
+			for _, p := range res.Points {
+				if p.GateCount != gates {
+					t.Errorf("ising: gate count varies (%d vs %d) — should be a vertical line", p.GateCount, gates)
+				}
+			}
+		case "qft_16":
+			// Uniform pattern: the flow still produces multiple designs.
+			if len(full) < 2 {
+				t.Errorf("qft: only %d designs", len(full))
+			}
+		}
+	}
+
+	// The small benchmarks must show the headline yield win.
+	bySize := map[string]*BenchmarkResult{}
+	for _, res := range results {
+		bySize[res.Name] = res
+	}
+	for _, name := range []string{"sym6_145", "UCCSD_ansatz_8", "ising_model_16"} {
+		res := bySize[name]
+		eff := res.ByConfig(core.ConfigEffFull)[0]
+		base := res.ByConfig(core.ConfigIBM)[0]
+		if eff.Yield <= base.Yield {
+			t.Errorf("%s: eff yield %.4f <= baseline %.4f", name, eff.Yield, base.Yield)
+		}
+	}
+
+	// Sanity on the suite inventory used above.
+	if len(gen.Names()) != 12 {
+		t.Fatalf("suite inventory changed: %v", gen.Names())
+	}
+}

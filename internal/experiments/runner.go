@@ -1,0 +1,284 @@
+// Package experiments regenerates every figure and headline table of the
+// paper's evaluation (Section 5): the Figure 10 yield-vs-performance
+// sweeps over all twelve benchmarks and five configurations, the Figure 5
+// coupling-pattern matrices, the Figure 9 baselines, and the §5.3/§5.4
+// summary statistics (overall Pareto gains and per-subroutine breakdowns).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/core"
+	"qproc/internal/gen"
+	"qproc/internal/mapper"
+	"qproc/internal/yield"
+)
+
+// Options sets the fidelity/runtime trade-off of an experiment run.
+type Options struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// YieldTrials is the Monte-Carlo budget per reported yield
+	// (paper: 10 000).
+	YieldTrials int
+	// FreqLocalTrials is the Monte-Carlo budget per candidate frequency
+	// inside Algorithm 3.
+	FreqLocalTrials int
+	// RandomBusSamples is the number of random draws per bus count for
+	// the eff-rd-bus configuration.
+	RandomBusSamples int
+	// MaxBuses caps the series length; < 0 means no cap.
+	MaxBuses int
+	// Mapper holds the SABRE parameters.
+	Mapper mapper.Options
+	// Parallel runs benchmarks concurrently.
+	Parallel bool
+}
+
+// DefaultOptions reproduces the paper's evaluation configuration.
+func DefaultOptions() Options {
+	return Options{
+		Seed:             1,
+		YieldTrials:      yield.DefaultTrials,
+		FreqLocalTrials:  2000,
+		RandomBusSamples: 3,
+		MaxBuses:         -1,
+		Mapper:           mapper.DefaultOptions(),
+		Parallel:         true,
+	}
+}
+
+// QuickOptions is a reduced-budget configuration for tests and smoke
+// runs: same code paths, smaller Monte-Carlo budgets.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.YieldTrials = 2000
+	o.FreqLocalTrials = 300
+	o.RandomBusSamples = 1
+	return o
+}
+
+// Point is one data point of Figure 10: one architecture evaluated for
+// one benchmark.
+type Point struct {
+	Benchmark   string
+	Config      core.Config
+	Label       string // "(1)".."(4)" for baselines, "k=N" for series
+	Qubits      int    // physical qubits of the architecture
+	Connections int    // coupled pairs
+	Buses       int    // multi-qubit buses
+	GateCount   int    // post-mapping total gate count
+	Swaps       int    // SWAPs the mapper inserted
+	Yield       float64
+	// NormPerf is the paper's X axis: gate count of the ibm (1) baseline
+	// divided by this design's gate count (normalised reciprocal).
+	NormPerf float64
+}
+
+// BenchmarkResult carries every point of one Figure 10 subplot.
+type BenchmarkResult struct {
+	Name   string
+	Qubits int
+	Points []Point
+}
+
+// ByConfig returns the points of one configuration, in series order.
+func (r *BenchmarkResult) ByConfig(cfg core.Config) []Point {
+	var out []Point
+	for _, p := range r.Points {
+		if p.Config == cfg {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Runner executes the evaluation.
+type Runner struct {
+	opt Options
+}
+
+// NewRunner returns a Runner with the given options.
+func NewRunner(opt Options) *Runner { return &Runner{opt: opt} }
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opt }
+
+func (r *Runner) flow() *core.Flow {
+	f := core.NewFlow(r.opt.Seed)
+	f.FreqLocalTrials = r.opt.FreqLocalTrials
+	return f
+}
+
+func (r *Runner) simulator() *yield.Simulator {
+	s := yield.New(r.opt.Seed + 7919)
+	s.Trials = r.opt.YieldTrials
+	return s
+}
+
+// RunBenchmark evaluates all five configurations for the named benchmark
+// and returns the Figure 10 subplot data.
+func (r *Runner) RunBenchmark(name string) (*BenchmarkResult, error) {
+	b, err := gen.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.RunCircuit(b.Build())
+}
+
+// RunCircuit evaluates all five configurations for an arbitrary program
+// in the decomposed basis.
+func (r *Runner) RunCircuit(c *circuit.Circuit) (*BenchmarkResult, error) {
+	flow := r.flow()
+	sim := r.simulator()
+	res := &BenchmarkResult{Name: c.Name, Qubits: c.Qubits}
+
+	// ibm baselines first: baseline (1) defines the normalisation.
+	baselines := flow.Baselines(c)
+	if len(baselines) == 0 {
+		return nil, fmt.Errorf("experiments: %s needs %d qubits, exceeding every baseline", c.Name, c.Qubits)
+	}
+	var baseGates int
+	for i, d := range baselines {
+		pt, err := r.evaluate(c, d, sim)
+		if err != nil {
+			return nil, err
+		}
+		pt.Label = fmt.Sprintf("(%d)", i+1)
+		if i == 0 {
+			baseGates = pt.GateCount
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	type seriesRun struct {
+		designs []*core.Design
+		err     error
+	}
+	runs := map[core.Config]seriesRun{}
+	full, err := flow.Series(c, r.opt.MaxBuses)
+	runs[core.ConfigEffFull] = seriesRun{full, err}
+	if err == nil {
+		d5, e5 := flow.SeriesFiveFreq(c, r.opt.MaxBuses)
+		runs[core.ConfigEff5Freq] = seriesRun{d5, e5}
+		rd, erd := flow.SeriesRandomBus(c, r.opt.MaxBuses, r.opt.RandomBusSamples)
+		runs[core.ConfigEffRdBus] = seriesRun{rd, erd}
+		lo, elo := flow.LayoutOnly(c)
+		runs[core.ConfigEffLayoutOnly] = seriesRun{lo, elo}
+	}
+	for _, cfg := range []core.Config{core.ConfigEffFull, core.ConfigEffRdBus, core.ConfigEff5Freq, core.ConfigEffLayoutOnly} {
+		run := runs[cfg]
+		if run.err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", c.Name, cfg, run.err)
+		}
+		for _, d := range run.designs {
+			pt, err := r.evaluate(c, d, sim)
+			if err != nil {
+				return nil, err
+			}
+			pt.Label = fmt.Sprintf("k=%d", d.Buses)
+			res.Points = append(res.Points, pt)
+		}
+	}
+
+	// Normalise performance to baseline (1).
+	for i := range res.Points {
+		res.Points[i].NormPerf = float64(baseGates) / float64(res.Points[i].GateCount)
+	}
+	return res, nil
+}
+
+// evaluate maps the program onto the design and simulates its yield.
+func (r *Runner) evaluate(c *circuit.Circuit, d *core.Design, sim *yield.Simulator) (Point, error) {
+	mres, err := mapper.Map(c, d.Arch, r.opt.Mapper)
+	if err != nil {
+		return Point{}, fmt.Errorf("experiments: mapping %s onto %s: %w", c.Name, d.Arch.Name, err)
+	}
+	return Point{
+		Benchmark:   c.Name,
+		Config:      d.Config,
+		Qubits:      d.Arch.NumQubits(),
+		Connections: d.Arch.NumConnections(),
+		Buses:       d.Buses,
+		GateCount:   mres.GateCount,
+		Swaps:       mres.Swaps,
+		Yield:       sim.Estimate(d.Arch),
+	}, nil
+}
+
+// RunAll evaluates every benchmark of the suite, optionally in parallel,
+// returning results in Figure 10 order.
+func (r *Runner) RunAll() ([]*BenchmarkResult, error) {
+	names := gen.Names()
+	results := make([]*BenchmarkResult, len(names))
+	errs := make([]error, len(names))
+	if !r.opt.Parallel {
+		for i, n := range names {
+			results[i], errs[i] = r.RunBenchmark(n)
+		}
+	} else {
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		var wg sync.WaitGroup
+		for i, n := range names {
+			wg.Add(1)
+			go func(i int, n string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = r.RunBenchmark(n)
+			}(i, n)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)
+		}
+	}
+	return results, nil
+}
+
+// ParetoFrontier returns the subset of points not dominated in
+// (NormPerf, Yield) by any other point in the list, sorted by NormPerf.
+// Used to check the paper's optimality claim: eff-full should supply the
+// frontier of the union with the baselines.
+func ParetoFrontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.NormPerf >= p.NormPerf && q.Yield >= p.Yield &&
+				(q.NormPerf > p.NormPerf || q.Yield > p.Yield) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NormPerf < out[j].NormPerf })
+	return out
+}
+
+// yieldFloor bounds yields away from zero for ratio reporting: a zero
+// estimate from T trials is reported as if it were half of one success.
+func yieldFloor(y float64, trials int) float64 {
+	floor := 0.5 / float64(trials)
+	if y < floor {
+		return floor
+	}
+	return y
+}
+
+// minBaseline returns the architecture of IBM baseline (1), used by the
+// figure renderers.
+func minBaseline() *arch.Architecture { return arch.NewBaseline(arch.IBM16Q2Bus) }

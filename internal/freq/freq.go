@@ -1,0 +1,290 @@
+// Package freq implements the third hardware-design subroutine
+// (Section 4.3, Algorithm 3): assigning a pre-fabrication frequency to
+// every qubit of a designed topology so as to maximise the simulated
+// fabrication yield.
+//
+// Frequencies are confined to IBM's allowed interval [5.00 GHz, 5.34 GHz]
+// (which bounds the reach of collision condition 4). The allocator fixes
+// the geometrically central qubit to the middle of the interval, then
+// walks the coupling graph breadth-first, choosing for each newly reached
+// qubit the candidate frequency that maximises the yield of the qubit's
+// local region — the subgraph of already-assigned qubits that could share
+// a collision condition with it.
+//
+// Two scoring modes are provided. ScoreMC simulates the local-region
+// yield by Monte-Carlo with common random numbers, the paper's literal
+// procedure. ScoreAnalytic (the default) minimises the closed-form
+// expected collision count of the local region, which ranks candidates by
+// the same objective without sampling noise: at realistic trial budgets
+// the Monte-Carlo argmax is noise-limited (yield differences of interest
+// are ~1%, below the estimator's standard error), and the analytic score
+// recovers those differences exactly. An optional refinement sweep
+// (Sweeps > 0) revisits every qubit in the same BFS order after the
+// initial pass, re-optimising it against its now fully assigned
+// neighbourhood — a light coordinate-descent step toward the global
+// optimisation the paper leaves as future work.
+package freq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qproc/internal/arch"
+	"qproc/internal/collision"
+	"qproc/internal/yield"
+)
+
+// Allowed frequency interval and candidate grid (Section 4.3): candidates
+// are 5.00, 5.01, ..., 5.34 GHz.
+const (
+	// Lo is the lower end of the allowed frequency interval, GHz.
+	Lo = 5.00
+	// Hi is the upper end of the allowed frequency interval, GHz.
+	Hi = 5.34
+	// Step is the candidate grid spacing, GHz (0.01 ⇒ 35 candidates).
+	Step = 0.01
+)
+
+// Mode selects the candidate scoring strategy.
+type Mode int
+
+const (
+	// ScoreAnalytic ranks candidates by closed-form expected collision
+	// count of the local region (lower is better).
+	ScoreAnalytic Mode = iota
+	// ScoreMC ranks candidates by Monte-Carlo local-region yield with
+	// common random numbers (higher is better), the paper's literal
+	// Algorithm 3.
+	ScoreMC
+)
+
+// Allocator runs Algorithm 3.
+type Allocator struct {
+	// Sigma is the fabrication noise parameter used in the local scoring,
+	// GHz.
+	Sigma float64
+	// Mode selects analytic or Monte-Carlo scoring.
+	Mode Mode
+	// LocalTrials is the Monte-Carlo trial count per candidate
+	// evaluation in ScoreMC mode.
+	LocalTrials int
+	// Sweeps is the number of refinement passes after the initial
+	// centre-out assignment.
+	Sweeps int
+	// Seed drives the ScoreMC simulations deterministically.
+	Seed int64
+	// Params are the collision-model constants.
+	Params collision.Params
+}
+
+// NewAllocator returns an Allocator with the paper's physical constants,
+// analytic scoring, one refinement sweep, and a 2000-trial budget for
+// ScoreMC mode.
+func NewAllocator(seed int64) *Allocator {
+	return &Allocator{
+		Sigma:       yield.DefaultSigma,
+		Mode:        ScoreAnalytic,
+		LocalTrials: 2000,
+		Sweeps:      1,
+		Seed:        seed,
+		Params:      collision.DefaultParams(),
+	}
+}
+
+// Candidates returns the candidate frequency grid.
+func Candidates() []float64 {
+	n := int(math.Round((Hi-Lo)/Step)) + 1
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round((Lo+float64(i)*Step)*100) / 100
+	}
+	return out
+}
+
+// Mid returns the middle of the allowed interval, the frequency pinned to
+// the central qubit.
+func Mid() float64 { return math.Round((Lo+Hi)/2*100) / 100 }
+
+// Allocate computes a frequency for every qubit of the architecture and
+// returns the assignment (GHz, indexed by qubit). The architecture is not
+// modified; install the result with SetFrequencies.
+func (al *Allocator) Allocate(a *arch.Architecture) []float64 {
+	n := a.NumQubits()
+	freqs := make([]float64, n)
+	if n == 0 {
+		return freqs
+	}
+	assigned := make([]bool, n)
+	adj := a.AdjList()
+
+	// Line 1: centre qubit pinned to the middle of the range.
+	center := centerQubit(a)
+	freqs[center] = Mid()
+	assigned[center] = true
+
+	order := bfsOrder(adj, center)
+	for _, qi := range order {
+		if assigned[qi] {
+			continue
+		}
+		freqs[qi] = al.bestCandidate(adj, freqs, assigned, qi, math.NaN())
+		assigned[qi] = true
+	}
+	// Refinement sweeps: every qubit (centre included) revisited against
+	// its complete neighbourhood. The incumbent frequency only moves on
+	// strict improvement, so the sweep is monotone and terminates.
+	for s := 0; s < al.Sweeps; s++ {
+		changed := false
+		for _, qi := range order {
+			f := al.bestCandidate(adj, freqs, assigned, qi, freqs[qi])
+			if f != freqs[qi] {
+				freqs[qi] = f
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return freqs
+}
+
+// Assign allocates frequencies and installs them on the architecture.
+func (al *Allocator) Assign(a *arch.Architecture) error {
+	if err := a.SetFrequencies(al.Allocate(a)); err != nil {
+		return fmt.Errorf("freq: %w", err)
+	}
+	return nil
+}
+
+// bestCandidate scores every candidate frequency for qubit qi against its
+// local region and returns the winner. When incumbent is a real frequency
+// it wins all ties (refinement sweeps only move on strict improvement);
+// when incumbent is NaN (initial assignment) ties break to the lowest
+// candidate.
+func (al *Allocator) bestCandidate(adj [][]int, freqs []float64, assigned []bool, qi int, incumbent float64) float64 {
+	region := localRegion(adj, qi, assigned)
+	sub := yield.Subgraph(adj, region)
+	subFreqs := make([]float64, len(region))
+	qiIdx := -1
+	for i, q := range region {
+		if q == qi {
+			qiIdx = i
+		} else {
+			subFreqs[i] = freqs[q]
+		}
+	}
+	candidates := Candidates()
+	switch al.Mode {
+	case ScoreMC:
+		sim := &yield.Simulator{
+			Sigma:  al.Sigma,
+			Trials: al.LocalTrials,
+			Seed:   al.Seed,
+			Params: al.Params,
+		}
+		// Common random numbers: one noise draw shared by all candidates.
+		noise := sim.GenNoise(len(region))
+		best, bestYield := math.NaN(), math.Inf(-1)
+		if !math.IsNaN(incumbent) {
+			subFreqs[qiIdx] = incumbent
+			best, bestYield = incumbent, sim.EstimateWithNoise(sub, subFreqs, noise)
+		}
+		for _, f := range candidates {
+			subFreqs[qiIdx] = f
+			if y := sim.EstimateWithNoise(sub, subFreqs, noise); y > bestYield {
+				best, bestYield = f, y
+			}
+		}
+		return best
+	default: // ScoreAnalytic
+		best, bestE := math.NaN(), math.Inf(1)
+		if !math.IsNaN(incumbent) {
+			subFreqs[qiIdx] = incumbent
+			best, bestE = incumbent, collision.ExpectedCollisions(sub, subFreqs, al.Sigma, al.Params)
+		}
+		for _, f := range candidates {
+			subFreqs[qiIdx] = f
+			if e := collision.ExpectedCollisions(sub, subFreqs, al.Sigma, al.Params); e < bestE {
+				best, bestE = f, e
+			}
+		}
+		return best
+	}
+}
+
+// centerQubit returns the qubit whose lattice node is closest to the
+// geometric centre of the placed qubits (Algorithm 3 line 1): central
+// qubits have the most connections and are the most collision-prone, so
+// they get first pick.
+func centerQubit(a *arch.Architecture) int {
+	c, ok := a.Occupied().Center()
+	if !ok {
+		return 0
+	}
+	q, ok := a.QubitAt(c)
+	if !ok {
+		return 0 // unreachable: Center returns a member node
+	}
+	return q
+}
+
+// bfsOrder returns every qubit in breadth-first order over the coupling
+// graph from start, ties by ascending qubit id; disconnected components
+// follow in ascending order of their smallest member. All qubits appear
+// exactly once.
+func bfsOrder(adj [][]int, start int) []int {
+	n := len(adj)
+	visited := make([]bool, n)
+	var order []int
+	enqueueComponent := func(s int) {
+		queue := []int{s}
+		visited[s] = true
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			order = append(order, q)
+			nbrs := append([]int(nil), adj[q]...)
+			sort.Ints(nbrs)
+			for _, nb := range nbrs {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	enqueueComponent(start)
+	for q := 0; q < n; q++ {
+		if !visited[q] {
+			enqueueComponent(q)
+		}
+	}
+	return order
+}
+
+// localRegion returns qi plus every already-assigned qubit within
+// coupling distance 2 of qi — exactly the qubits that can participate in
+// a collision condition with qi (conditions 1-4 need distance 1,
+// conditions 5-7 a common neighbour, i.e. distance ≤ 2). Sorted ascending
+// with qi included.
+func localRegion(adj [][]int, qi int, assigned []bool) []int {
+	in := map[int]bool{qi: true}
+	for _, n1 := range adj[qi] {
+		if assigned[n1] {
+			in[n1] = true
+		}
+		for _, n2 := range adj[n1] {
+			if n2 != qi && assigned[n2] {
+				in[n2] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(in))
+	for q := range in {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}

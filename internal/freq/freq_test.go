@@ -1,0 +1,194 @@
+package freq
+
+import (
+	"math"
+	"testing"
+
+	"qproc/internal/arch"
+	"qproc/internal/collision"
+	"qproc/internal/lattice"
+	"qproc/internal/yield"
+)
+
+func TestCandidatesGrid(t *testing.T) {
+	c := Candidates()
+	if len(c) != 35 {
+		t.Fatalf("candidate count = %d, want 35", len(c))
+	}
+	if c[0] != 5.00 || c[len(c)-1] != 5.34 {
+		t.Fatalf("range = [%.2f, %.2f]", c[0], c[len(c)-1])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]-c[i-1]-0.01) > 1e-9 {
+			t.Fatalf("step at %d: %.4f", i, c[i]-c[i-1])
+		}
+	}
+	if Mid() != 5.17 {
+		t.Fatalf("Mid = %.2f, want 5.17", Mid())
+	}
+}
+
+func TestAllocateWithinInterval(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q2Bus)
+	al := NewAllocator(1)
+	freqs := al.Allocate(a)
+	if len(freqs) != 16 {
+		t.Fatalf("allocated %d frequencies", len(freqs))
+	}
+	for q, f := range freqs {
+		if f < Lo-1e-9 || f > Hi+1e-9 {
+			t.Errorf("qubit %d frequency %.3f outside [%.2f, %.2f]", q, f, Lo, Hi)
+		}
+	}
+}
+
+func TestCenterQubitPinned(t *testing.T) {
+	// A 3x3 grid has an unambiguous centre: its qubit must get 5.17.
+	a := arch.MustNew("3x3", lattice.Grid(3, 3))
+	al := NewAllocator(1)
+	al.Sweeps = 0 // refinement may legitimately move the centre
+	freqs := al.Allocate(a)
+	q, ok := a.QubitAt(lattice.Coord{X: 1, Y: 1})
+	if !ok {
+		t.Fatal("no centre qubit")
+	}
+	if freqs[q] != Mid() {
+		t.Fatalf("centre frequency = %.2f, want %.2f", freqs[q], Mid())
+	}
+}
+
+func TestAllocateBeatsFiveFreqScheme(t *testing.T) {
+	// §5.4.3: Algorithm 3 outperforms the regular 5-frequency scheme.
+	for _, b := range []arch.Baseline{arch.IBM16Q2Bus, arch.IBM20Q2Bus} {
+		a := arch.NewBaseline(b)
+		sim := yield.New(77)
+		sim.Trials = 20000
+		schemeYield := sim.Estimate(a)
+
+		al := NewAllocator(1)
+		if err := al.Assign(a); err != nil {
+			t.Fatal(err)
+		}
+		allocYield := sim.Estimate(a)
+		if allocYield <= schemeYield {
+			t.Errorf("%v: allocator yield %.4f <= 5-freq scheme %.4f", b, allocYield, schemeYield)
+		}
+	}
+}
+
+func TestAnalyticAndMCModesAgreeDirectionally(t *testing.T) {
+	// Both scoring modes should produce assignments of comparable
+	// quality on a small design (within a factor on expected collisions).
+	a := arch.MustNew("2x3", lattice.Grid(2, 3))
+	adj := a.AdjList()
+	p := collision.DefaultParams()
+
+	analytic := NewAllocator(1)
+	fa := analytic.Allocate(a)
+	ea := collision.ExpectedCollisions(adj, fa, analytic.Sigma, p)
+
+	mc := NewAllocator(1)
+	mc.Mode = ScoreMC
+	mc.LocalTrials = 4000
+	fm := mc.Allocate(a)
+	em := collision.ExpectedCollisions(adj, fm, mc.Sigma, p)
+
+	if ea > 3*em+0.5 {
+		t.Errorf("analytic plan much worse than MC plan: E=%.3f vs %.3f", ea, em)
+	}
+	if em > 3*ea+0.5 {
+		t.Errorf("MC plan much worse than analytic plan: E=%.3f vs %.3f", em, ea)
+	}
+}
+
+func TestSweepNeverHurts(t *testing.T) {
+	for _, b := range []arch.Baseline{arch.IBM16Q2Bus, arch.IBM16Q4Bus} {
+		a := arch.NewBaseline(b)
+		adj := a.AdjList()
+		p := collision.DefaultParams()
+
+		noSweep := NewAllocator(1)
+		noSweep.Sweeps = 0
+		e0 := collision.ExpectedCollisions(adj, noSweep.Allocate(a), noSweep.Sigma, p)
+
+		sweep := NewAllocator(1)
+		sweep.Sweeps = 2
+		e2 := collision.ExpectedCollisions(adj, sweep.Allocate(a), sweep.Sigma, p)
+		if e2 > e0+1e-9 {
+			t.Errorf("%v: sweeps increased expected collisions %.4f -> %.4f", b, e0, e2)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q4Bus)
+	al1 := NewAllocator(123)
+	al2 := NewAllocator(123)
+	f1 := al1.Allocate(a)
+	f2 := al2.Allocate(a)
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("allocation not deterministic at qubit %d", i)
+		}
+	}
+}
+
+func TestBFSOrderCoversAll(t *testing.T) {
+	adj := [][]int{{1}, {0}, {3}, {2}, {}} // two components + isolated qubit
+	order := bfsOrder(adj, 0)
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	seen := map[int]bool{}
+	for _, q := range order {
+		if seen[q] {
+			t.Fatalf("duplicate %d in %v", q, order)
+		}
+		seen[q] = true
+	}
+	if order[0] != 0 {
+		t.Fatalf("order starts at %d", order[0])
+	}
+}
+
+func TestLocalRegionDistanceTwo(t *testing.T) {
+	// Path 0-1-2-3-4: region of 2 with all assigned = {0,1,2,3,4};
+	// qubit 0's region excludes distance-3+ nodes.
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
+	assigned := []bool{true, true, true, true, true}
+	r := localRegion(adj, 2, assigned)
+	if len(r) != 5 {
+		t.Fatalf("region of middle = %v", r)
+	}
+	r0 := localRegion(adj, 0, assigned)
+	want := []int{0, 1, 2}
+	if len(r0) != len(want) {
+		t.Fatalf("region of end = %v, want %v", r0, want)
+	}
+	for i := range want {
+		if r0[i] != want[i] {
+			t.Fatalf("region of end = %v, want %v", r0, want)
+		}
+	}
+	// Unassigned qubits are excluded (except the subject).
+	assigned[1] = false
+	r0 = localRegion(adj, 0, assigned)
+	if len(r0) != 2 || r0[0] != 0 || r0[1] != 2 {
+		t.Fatalf("region with unassigned neighbour = %v", r0)
+	}
+}
+
+func TestEmptyAndSingleQubit(t *testing.T) {
+	empty, err := arch.New("none", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NewAllocator(1).Allocate(empty); len(got) != 0 {
+		t.Fatalf("empty allocation = %v", got)
+	}
+	one := arch.MustNew("one", []lattice.Coord{{X: 0, Y: 0}})
+	f := NewAllocator(1).Allocate(one)
+	if len(f) != 1 || f[0] != Mid() {
+		t.Fatalf("single-qubit allocation = %v", f)
+	}
+}

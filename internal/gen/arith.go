@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"qproc/internal/circuit"
+)
+
+// Reversible arithmetic networks standing in for the RevLib benchmarks
+// radd_250, adr4_197, z4_268, rd84_142 and square_root_7 at the original
+// qubit counts. All are genuine classical reversible circuits over
+// {X, CX, CCX} whose functions the test suite verifies by truth table.
+
+// CuccaroAdder returns the in-place ripple-carry adder of Cuccaro et al.
+// on 2n+1 qubits: carry-in qubit c, operand registers a and b interleaved
+// along the qubit index, computing b ← (a + b + c) mod 2ⁿ with a and c
+// restored. Qubit ids: c = 0, aᵢ = 2i+1, bᵢ = 2i+2; the interleaving keeps
+// the logical coupling near-linear like hand-mapped adder netlists.
+func CuccaroAdder(name string, n int) *circuit.Circuit {
+	c := circuit.New(name, 2*n+1)
+	cin := 0
+	a := func(i int) int { return 2*i + 1 }
+	b := func(i int) int { return 2*i + 2 }
+
+	maj := func(x, y, z int) { // MAJ(c,b,a)
+		c.CX(z, y)
+		c.CX(z, x)
+		c.CCX(x, y, z)
+	}
+	uma := func(x, y, z int) { // UMA(c,b,a)
+		c.CCX(x, y, z)
+		c.CX(z, x)
+		c.CX(x, y)
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < n; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	for i := n - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	c.MeasureAll()
+	return c
+}
+
+// CuccaroA and CuccaroB return the qubit ids of operand bits i, for tests
+// and examples that pack integers into registers.
+func CuccaroA(i int) int { return 2*i + 1 }
+func CuccaroB(i int) int { return 2*i + 2 }
+
+// RAdd250 is the radd_250 stand-in: a 6-bit in-place adder on 13 qubits.
+func RAdd250() *circuit.Circuit { return CuccaroAdder("radd_250", 6) }
+
+// Z4_268 is the z4_268 stand-in: a 5-bit in-place adder on 11 qubits.
+func Z4_268() *circuit.Circuit { return CuccaroAdder("z4_268", 5) }
+
+// VBEAdder returns the carry-ancilla ripple adder of Vedral, Barenco and
+// Ekert on 3n+1 qubits: aᵢ = i, bᵢ = n+i, carry cᵢ = 2n+i (c₀ = carry-in,
+// c_n = carry-out, c₁..c_{n-1} restored to their inputs). Computes
+// b ← (a + b + c₀) mod 2ⁿ and c_n ← carry.
+func VBEAdder(name string, n int) *circuit.Circuit {
+	c := circuit.New(name, 3*n+1)
+	a := func(i int) int { return i }
+	b := func(i int) int { return n + i }
+	cr := func(i int) int { return 2*n + i }
+
+	carry := func(ci, ai, bi, cj int) {
+		c.CCX(ai, bi, cj)
+		c.CX(ai, bi)
+		c.CCX(ci, bi, cj)
+	}
+	icarry := func(ci, ai, bi, cj int) {
+		c.CCX(ci, bi, cj)
+		c.CX(ai, bi)
+		c.CCX(ai, bi, cj)
+	}
+	sum := func(ci, ai, bi int) {
+		c.CX(ai, bi)
+		c.CX(ci, bi)
+	}
+
+	for i := 0; i < n; i++ {
+		carry(cr(i), a(i), b(i), cr(i+1))
+	}
+	c.CX(a(n-1), b(n-1))
+	sum(cr(n-1), a(n-1), b(n-1))
+	for i := n - 2; i >= 0; i-- {
+		icarry(cr(i), a(i), b(i), cr(i+1))
+		sum(cr(i), a(i), b(i))
+	}
+	c.MeasureAll()
+	return c
+}
+
+// Adr4_197 is the adr4_197 stand-in: a 4-bit VBE adder with explicit
+// carry chain on 13 qubits.
+func Adr4_197() *circuit.Circuit { return VBEAdder("adr4_197", 4) }
+
+// Rd84_142 is the rd84_142 stand-in on 15 qubits: the Hamming-weight
+// function of 8 inputs. Inputs x₀..x₇ = qubits 0..7; the 4-bit weight
+// register w = qubits 8..11 (clean); qubits 12..14 are ancillas used only
+// as borrowed scratch by the multi-controlled Toffolis. For each input
+// bit, the weight register is incremented under its control.
+func Rd84_142() *circuit.Circuit {
+	const (
+		nin  = 8
+		wlo  = 8
+		nw   = 4
+		nall = 15
+	)
+	c := circuit.New("rd84_142", nall)
+	w := func(i int) int { return wlo + i }
+	for x := 0; x < nin; x++ {
+		// Controlled increment of w, most significant bit first:
+		// w₃ ^= x·w₀w₁w₂, w₂ ^= x·w₀w₁, w₁ ^= x·w₀, w₀ ^= x.
+		for k := nw - 1; k >= 1; k-- {
+			controls := []int{x}
+			for i := 0; i < k; i++ {
+				controls = append(controls, w(i))
+			}
+			busy := append(append([]int(nil), controls...), w(k))
+			MCT(c, controls, w(k), freeLines(nall, busy...))
+		}
+		c.CX(x, w(0))
+	}
+	c.MeasureAll()
+	return c
+}
+
+// SquareRoot7 is the square_root_7 stand-in on 15 qubits: an integer
+// squaring unit with the same register structure as RevLib's
+// shift-and-subtract root extractor (operand, wide result, scratch).
+// Inputs x₀..x₃ = qubits 0..3; the 8-bit product register p = qubits
+// 4..11 (clean) receives x²; qubit 12 is the product-term flag and qubits
+// 13..14 extra borrowed scratch. x is preserved.
+//
+//	x² = Σᵢ xᵢ·4ⁱ + Σ_{i<j} xᵢxⱼ·2^{i+j+1}
+//
+// Each term is added with full carry propagation by a controlled ripple
+// increment starting at the term's bit position.
+func SquareRoot7() *circuit.Circuit {
+	const (
+		nx   = 4
+		plo  = 4
+		np   = 8
+		flag = 12
+		nall = 15
+	)
+	c := circuit.New("square_root_7", nall)
+	p := func(i int) int { return plo + i }
+
+	// addBit adds 2^pos into p controlled on ctrl, rippling carries to
+	// the top of the register.
+	addBit := func(ctrl, pos int) {
+		for k := np - 1; k > pos; k-- {
+			controls := []int{ctrl}
+			for i := pos; i < k; i++ {
+				controls = append(controls, p(i))
+			}
+			busy := append(append([]int(nil), controls...), p(k))
+			MCT(c, controls, p(k), freeLines(nall, busy...))
+		}
+		c.CX(ctrl, p(pos))
+	}
+
+	for i := 0; i < nx; i++ {
+		addBit(i, 2*i)
+	}
+	for i := 0; i < nx; i++ {
+		for j := i + 1; j < nx; j++ {
+			c.CCX(i, j, flag)
+			addBit(flag, i+j+1)
+			c.CCX(i, j, flag)
+		}
+	}
+	c.MeasureAll()
+	return c
+}

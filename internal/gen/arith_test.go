@@ -1,0 +1,187 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qproc/internal/circuit"
+	"qproc/internal/sim"
+)
+
+// runRaw executes a raw classical network on packed input x.
+func runRaw(t *testing.T, c *circuit.Circuit, x uint64) uint64 {
+	t.Helper()
+	out, err := sim.Classical(c, sim.NewBits(c.Qubits, x))
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	return out.Uint64()
+}
+
+// packCuccaro builds the interleaved input word for an n-bit Cuccaro
+// adder from operands a, b and carry-in.
+func packCuccaro(n int, a, b uint64, cin bool) uint64 {
+	var x uint64
+	if cin {
+		x |= 1
+	}
+	for i := 0; i < n; i++ {
+		x |= (a >> uint(i) & 1) << uint(CuccaroA(i))
+		x |= (b >> uint(i) & 1) << uint(CuccaroB(i))
+	}
+	return x
+}
+
+// unpackCuccaro extracts (a, b, cin) from an output word.
+func unpackCuccaro(n int, x uint64) (a, b uint64, cin bool) {
+	cin = x&1 == 1
+	for i := 0; i < n; i++ {
+		a |= (x >> uint(CuccaroA(i)) & 1) << uint(i)
+		b |= (x >> uint(CuccaroB(i)) & 1) << uint(i)
+	}
+	return a, b, cin
+}
+
+// TestCuccaroAdderExhaustive verifies the 5-bit (z4_268) adder over its
+// full truth table: every a, b and carry-in.
+func TestCuccaroAdderExhaustive(t *testing.T) {
+	const n = 5
+	c := Z4_268()
+	if c.Qubits != 11 {
+		t.Fatalf("z4_268 has %d qubits, want 11", c.Qubits)
+	}
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			for _, cin := range []bool{false, true} {
+				out := runRaw(t, c, packCuccaro(n, a, b, cin))
+				ga, gb, gc := unpackCuccaro(n, out)
+				want := a + b
+				if cin {
+					want++
+				}
+				want &= 1<<n - 1
+				if ga != a || gb != want || gc != cin {
+					t.Fatalf("a=%d b=%d cin=%v: got a=%d b=%d cin=%v want b=%d",
+						a, b, cin, ga, gb, gc, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRAdd250Property verifies the 6-bit (radd_250) adder on random
+// operands via testing/quick: b ← a+b+cin mod 64 with a, cin preserved.
+func TestRAdd250Property(t *testing.T) {
+	const n = 6
+	c := RAdd250()
+	if c.Qubits != 13 {
+		t.Fatalf("radd_250 has %d qubits, want 13", c.Qubits)
+	}
+	f := func(a, b uint8, cin bool) bool {
+		av, bv := uint64(a)&63, uint64(b)&63
+		out := runRaw(t, c, packCuccaro(n, av, bv, cin))
+		ga, gb, gc := unpackCuccaro(n, out)
+		want := av + bv
+		if cin {
+			want++
+		}
+		return ga == av && gc == cin && gb == want&63
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVBEAdderExhaustive verifies adr4_197 (4-bit VBE adder) over every
+// operand pair and carry-in: sum in b, carry-out in c4, carry ancillas
+// restored to zero.
+func TestVBEAdderExhaustive(t *testing.T) {
+	const n = 4
+	c := Adr4_197()
+	if c.Qubits != 13 {
+		t.Fatalf("adr4_197 has %d qubits, want 13", c.Qubits)
+	}
+	for a := uint64(0); a < 1<<n; a++ {
+		for b := uint64(0); b < 1<<n; b++ {
+			for cin := uint64(0); cin < 2; cin++ {
+				x := a | b<<n | cin<<(2*n)
+				out := runRaw(t, c, x)
+				gotA := out & (1<<n - 1)
+				gotB := out >> n & (1<<n - 1)
+				gotCin := out >> (2 * n) & 1
+				gotAnc := out >> (2*n + 1) & 7
+				gotCout := out >> (3 * n) & 1
+				sum := a + b + cin
+				if gotA != a || gotB != sum&(1<<n-1) || gotCin != cin ||
+					gotAnc != 0 || gotCout != sum>>n {
+					t.Fatalf("a=%d b=%d cin=%d: out=%013b", a, b, cin, out)
+				}
+			}
+		}
+	}
+}
+
+// TestRd84Exhaustive verifies the weight function over all 256 inputs:
+// w = popcount(x), inputs preserved, scratch restored.
+func TestRd84Exhaustive(t *testing.T) {
+	c := Rd84_142()
+	if c.Qubits != 15 {
+		t.Fatalf("rd84_142 has %d qubits, want 15", c.Qubits)
+	}
+	for x := uint64(0); x < 256; x++ {
+		out := runRaw(t, c, x)
+		if out&255 != x {
+			t.Fatalf("x=%08b: inputs changed: %015b", x, out)
+		}
+		var w uint64
+		for i := 0; i < 8; i++ {
+			w += x >> uint(i) & 1
+		}
+		if got := out >> 8 & 15; got != w {
+			t.Fatalf("x=%08b: weight=%d want %d", x, got, w)
+		}
+		if out>>12 != 0 {
+			t.Fatalf("x=%08b: scratch not restored: %015b", x, out)
+		}
+	}
+}
+
+// TestSquareRoot7Exhaustive verifies the squaring unit over all 16
+// operand values: p = x², operand preserved, scratch restored.
+func TestSquareRoot7Exhaustive(t *testing.T) {
+	c := SquareRoot7()
+	if c.Qubits != 15 {
+		t.Fatalf("square_root_7 has %d qubits, want 15", c.Qubits)
+	}
+	for x := uint64(0); x < 16; x++ {
+		out := runRaw(t, c, x)
+		if out&15 != x {
+			t.Fatalf("x=%d: operand changed: %015b", x, out)
+		}
+		if got := out >> 4 & 255; got != x*x {
+			t.Fatalf("x=%d: p=%d want %d", x, got, x*x)
+		}
+		if out>>12 != 0 {
+			t.Fatalf("x=%d: scratch not restored: %015b", x, out)
+		}
+	}
+}
+
+// TestSquareRoot7ScratchIndependence verifies the borrowed-ancilla
+// contract end to end: arbitrary initial values on the purely borrowed
+// lines (qubits 13-14; qubit 12 is the product-term flag and must start
+// clean) are restored and do not perturb the arithmetic.
+func TestSquareRoot7ScratchIndependence(t *testing.T) {
+	c := SquareRoot7()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		x := uint64(rng.Intn(16))
+		scratch := uint64(rng.Intn(4)) // qubits 13..14
+		in := x | scratch<<13
+		out := runRaw(t, c, in)
+		if out&15 != x || out>>4&255 != x*x || out>>13 != scratch || out>>12&1 != 0 {
+			t.Fatalf("x=%d scratch=%02b: out=%015b", x, scratch, out)
+		}
+	}
+}

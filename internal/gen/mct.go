@@ -1,0 +1,118 @@
+// Package gen synthesises the paper's twelve evaluation benchmarks
+// (Section 5.1) from their mathematical definitions, since the original
+// QISKit/RevLib/ScaffCC artefacts are not available offline. Each
+// generated program has the same qubit count and the same kind of
+// two-qubit-gate pattern as the original; the arithmetic benchmarks are
+// genuine reversible networks whose functions the test suite verifies by
+// truth table (see DESIGN.md §3 for the substitution record).
+package gen
+
+import (
+	"fmt"
+
+	"qproc/internal/circuit"
+)
+
+// MCT appends a multi-controlled Toffoli (C^kX) with the given controls
+// and target to the circuit. For k ≥ 3 it uses the classic
+// borrowed-ancilla ladder network (Barenco et al. 1995, Lemma 7.2), which
+// needs k−2 *dirty* ancillas: qubits distinct from the controls and
+// target whose state is arbitrary and is restored. The network emits
+// 4(k−2) Toffolis for k ≥ 3; callers decompose to the CX basis with
+// circuit.Decompose.
+//
+// MCT panics when the ancilla supply is short or overlaps the operands:
+// generators construct their gate lists statically, so a bad call is a
+// programming error.
+func MCT(c *circuit.Circuit, controls []int, target int, dirty []int) {
+	switch k := len(controls); k {
+	case 0:
+		c.X(target)
+		return
+	case 1:
+		c.CX(controls[0], target)
+		return
+	case 2:
+		c.CCX(controls[0], controls[1], target)
+		return
+	default:
+		anc := pickAncillas(c.Qubits, controls, target, dirty, k-2)
+		ladderMCT(c, controls, target, anc)
+	}
+}
+
+// pickAncillas selects need ancillas from the dirty pool, panicking on
+// shortage or overlap with the operands.
+func pickAncillas(n int, controls []int, target int, dirty []int, need int) []int {
+	busy := make(map[int]bool, len(controls)+1)
+	for _, q := range controls {
+		busy[q] = true
+	}
+	busy[target] = true
+	var anc []int
+	for _, q := range dirty {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("gen: dirty ancilla %d outside [0,%d)", q, n))
+		}
+		if busy[q] {
+			panic(fmt.Sprintf("gen: dirty ancilla %d overlaps MCT operands", q))
+		}
+		busy[q] = true // also guards duplicate ancillas
+		anc = append(anc, q)
+		if len(anc) == need {
+			return anc
+		}
+	}
+	panic(fmt.Sprintf("gen: MCT with %d controls needs %d dirty ancillas, have %d",
+		len(controls), need, len(anc)))
+}
+
+// ladderMCT emits the borrowed-ancilla network for k ≥ 3 controls with
+// exactly k−2 ancillas a[0..k-3]:
+//
+//	F = D, B, reverse(D)
+//	G = D[1:], B, reverse(D[1:])
+//
+// where D is the descending Toffoli ladder
+// CCX(c[k-1], a[k-3], target), CCX(c[k-2], a[k-4], a[k-3]), ...,
+// CCX(c[2], a[0], a[1]) and B = CCX(c[0], c[1], a[0]). The doubled
+// structure cancels the ancillas' unknown initial values.
+func ladderMCT(c *circuit.Circuit, controls []int, target int, anc []int) {
+	k := len(controls)
+	type ccx struct{ a, b, t int }
+	var down []ccx
+	// CCX(c[k-1], a[k-3], target), then descending.
+	down = append(down, ccx{controls[k-1], anc[k-3], target})
+	for i := k - 2; i >= 2; i-- {
+		down = append(down, ccx{controls[i], anc[i-2], anc[i-1]})
+	}
+	bottom := ccx{controls[0], controls[1], anc[0]}
+	emit := func(g ccx) { c.CCX(g.a, g.b, g.t) }
+	seq := func(ds []ccx) {
+		for _, g := range ds {
+			emit(g)
+		}
+		emit(bottom)
+		for i := len(ds) - 1; i >= 0; i-- {
+			emit(ds[i])
+		}
+	}
+	seq(down)     // F
+	seq(down[1:]) // G
+}
+
+// freeLines returns the qubits of the circuit not in the given busy set,
+// ascending — the generators' standard dirty-ancilla pool.
+func freeLines(n int, busy ...int) []int {
+	b := make(map[int]bool, len(busy))
+	for _, q := range busy {
+		b[q] = true
+	}
+	var out []int
+	for q := 0; q < n; q++ {
+		if !b[q] {
+			out = append(out, q)
+		}
+	}
+	return out
+}

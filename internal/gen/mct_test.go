@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"testing"
+
+	"qproc/internal/circuit"
+	"qproc/internal/sim"
+)
+
+// TestMCTTruthTable verifies the borrowed-ancilla MCT network for every
+// control count up to 6 over every input, including every dirty-ancilla
+// value: the target must flip exactly when all controls are set, and every
+// other qubit (controls and ancillas) must be restored.
+func TestMCTTruthTable(t *testing.T) {
+	for k := 0; k <= 6; k++ {
+		n := k + 1
+		if k >= 3 {
+			n += k - 2 // dirty ancillas
+		}
+		controls := make([]int, k)
+		for i := range controls {
+			controls[i] = i
+		}
+		target := k
+		c := circuit.New("mct", n)
+		MCT(c, controls, target, freeLines(n, append(controls, target)...))
+
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			out, err := sim.Classical(c, sim.NewBits(n, x))
+			if err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			allSet := true
+			for _, q := range controls {
+				if x>>uint(q)&1 == 0 {
+					allSet = false
+					break
+				}
+			}
+			want := x
+			if allSet {
+				want ^= 1 << uint(target)
+			}
+			if got := out.Uint64(); got != want {
+				t.Fatalf("k=%d input %b: got %b want %b", k, x, got, want)
+			}
+		}
+	}
+}
+
+// TestMCTDecomposedMatchesRaw checks that decomposing the MCT network to
+// the CX basis preserves its unitary action on every basis state, via the
+// state-vector simulator (k = 4 ⇒ 7 qubits, 128 basis states).
+func TestMCTDecomposedMatchesRaw(t *testing.T) {
+	const k = 4
+	n := k + 1 + (k - 2)
+	controls := []int{0, 1, 2, 3}
+	target := 4
+	raw := circuit.New("mct", n)
+	MCT(raw, controls, target, freeLines(n, 0, 1, 2, 3, 4))
+	dec := raw.Decompose()
+	if got := dec.Stats().CCX; got != 0 {
+		t.Fatalf("decomposed circuit still has %d CCX", got)
+	}
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		sRaw := sim.NewBasisState(n, x)
+		if err := sRaw.Run(raw); err != nil {
+			t.Fatal(err)
+		}
+		sDec := sim.NewBasisState(n, x)
+		if err := sDec.Run(dec); err != nil {
+			t.Fatal(err)
+		}
+		if !sRaw.EqualUpToPhase(sDec, 1e-9) {
+			t.Fatalf("input %b: decomposed MCT diverges from raw (fidelity %g)", x, sRaw.FidelityTo(sDec))
+		}
+	}
+}
+
+// TestMCTPanicsOnShortAncillas documents the contract: too few dirty
+// lines is a programming error.
+func TestMCTPanicsOnShortAncillas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing ancillas")
+		}
+	}()
+	c := circuit.New("mct", 5) // 4 controls + target, zero ancillas
+	MCT(c, []int{0, 1, 2, 3}, 4, nil)
+}
+
+// TestMCTPanicsOnOverlap documents the contract: an ancilla that is also
+// an operand is a programming error.
+func TestMCTPanicsOnOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overlapping ancilla")
+		}
+	}()
+	c := circuit.New("mct", 5)
+	MCT(c, []int{0, 1, 2}, 3, []int{2})
+}

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"qproc/internal/circuit"
+)
+
+// PLA-style benchmarks standing in for RevLib's sym6_145, cm152a_212,
+// dc1_220 and misex1_241 at the original qubit counts: exclusive-sum-of-
+// products (ESOP) covers realised as multi-controlled Toffoli cascades,
+// the standard reversible synthesis of PLA logic.
+
+// Sym6_145 is the sym6_145 stand-in on 7 qubits: the elementary symmetric
+// polynomial e₂ of six inputs, out ^= Σ_{i<j} xᵢxⱼ over GF(2) — by Lucas'
+// theorem this equals C(weight, 2) mod 2, a genuine totally symmetric
+// function. Inputs = qubits 0..5, output = qubit 6.
+func Sym6_145() *circuit.Circuit {
+	c := circuit.New("sym6_145", 7)
+	const out = 6
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			c.CCX(i, j, out)
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+// Sym6Spec is the reference function of Sym6_145: C(popcount(x), 2) mod 2
+// over the 6 input bits of x.
+func Sym6Spec(x uint64) uint64 {
+	w := 0
+	for i := 0; i < 6; i++ {
+		if x>>uint(i)&1 == 1 {
+			w++
+		}
+	}
+	return uint64(w * (w - 1) / 2 % 2)
+}
+
+// Cm152a212 is the cm152a_212 stand-in on 12 qubits: an 8-to-1
+// multiplexer, out ^= d[s]. Data d₀..d₇ = qubits 0..7, select s₀..s₂ =
+// qubits 8..10, output = qubit 11. Each of the eight minterms is one
+// 4-control Toffoli with the select literals negated by conjugated X
+// gates; the idle data lines serve as borrowed ancillas.
+func Cm152a212() *circuit.Circuit {
+	const (
+		nsel = 3
+		slo  = 8
+		out  = 11
+		nall = 12
+	)
+	c := circuit.New("cm152a_212", nall)
+	s := func(i int) int { return slo + i }
+	for minterm := 0; minterm < 8; minterm++ {
+		flip := func() {
+			for b := 0; b < nsel; b++ {
+				if minterm>>uint(b)&1 == 0 {
+					c.X(s(b))
+				}
+			}
+		}
+		flip()
+		controls := []int{s(0), s(1), s(2), minterm}
+		busy := append(append([]int(nil), controls...), out)
+		MCT(c, controls, out, freeLines(nall, busy...))
+		flip()
+	}
+	c.MeasureAll()
+	return c
+}
+
+// plaTerm is one ESOP cube: the output qubit accumulates the AND of the
+// positive literals pos and negated literals neg.
+type plaTerm struct {
+	pos []int
+	neg []int
+	out int
+}
+
+// buildPLA appends every term of the cover to the circuit, conjugating
+// negated literals with X and borrowing idle lines for the MCTs.
+func buildPLA(c *circuit.Circuit, terms []plaTerm) {
+	for _, t := range terms {
+		for _, q := range t.neg {
+			c.X(q)
+		}
+		controls := append(append([]int(nil), t.pos...), t.neg...)
+		busy := append(append([]int(nil), controls...), t.out)
+		MCT(c, controls, t.out, freeLines(c.Qubits, busy...))
+		for _, q := range t.neg {
+			c.X(q)
+		}
+	}
+}
+
+// evalPLA computes the cover as a classical function for the spec tests:
+// given the input bits of x, it returns the XOR-accumulated output bits
+// shifted to their qubit positions.
+func evalPLA(terms []plaTerm, x uint64) uint64 {
+	var out uint64
+	bit := func(q int) uint64 { return x >> uint(q) & 1 }
+	for _, t := range terms {
+		v := uint64(1)
+		for _, q := range t.pos {
+			v &= bit(q)
+		}
+		for _, q := range t.neg {
+			v &= bit(q) ^ 1
+		}
+		out ^= v << uint(t.out)
+	}
+	return out
+}
+
+// dc1Terms is the deterministic 4-input / 7-output cover of the dc1_220
+// stand-in. Inputs = qubits 0..3, outputs = qubits 4..10.
+var dc1Terms = []plaTerm{
+	{pos: []int{0, 1}, out: 4},
+	{pos: []int{2}, neg: []int{3}, out: 4},
+	{pos: []int{1}, out: 5},
+	{pos: []int{2, 3}, out: 5},
+	{pos: []int{0, 2, 3}, out: 6},
+	{pos: []int{0}, out: 7},
+	{pos: []int{1}, out: 7},
+	{pos: []int{2}, out: 7},
+	{pos: []int{1, 3}, out: 8},
+	{pos: []int{0, 2}, out: 8},
+	{pos: []int{0, 1}, out: 9},
+	{pos: []int{0, 2}, out: 9},
+	{pos: []int{1, 2}, out: 9},
+	{pos: []int{0, 1, 2, 3}, out: 10},
+	{neg: []int{0, 1, 2, 3}, out: 10},
+}
+
+// Dc1_220 is the dc1_220 stand-in on 11 qubits: a small two-level PLA.
+func Dc1_220() *circuit.Circuit {
+	c := circuit.New("dc1_220", 11)
+	buildPLA(c, dc1Terms)
+	c.MeasureAll()
+	return c
+}
+
+// Dc1Spec is the reference function of Dc1_220 over the 4 input bits.
+func Dc1Spec(x uint64) uint64 { return evalPLA(dc1Terms, x) }
+
+// misex1Terms is the deterministic 8-input / 7-output, 32-cube cover of
+// the misex1_241 stand-in (the original misex1 PLA also has 32 cubes).
+// Inputs = qubits 0..7, outputs = qubits 8..14. Cube sizes 2-5 mirror the
+// original's literal distribution, concentrating coupling on the shared
+// input lines and the busiest outputs as in Figure 5 (right).
+var misex1Terms = []plaTerm{
+	{pos: []int{0, 1}, out: 8},
+	{pos: []int{2, 3}, neg: []int{4}, out: 8},
+	{pos: []int{5, 6, 7}, out: 8},
+	{pos: []int{0, 2}, neg: []int{1}, out: 9},
+	{pos: []int{3, 4}, out: 9},
+	{pos: []int{1, 5}, neg: []int{7}, out: 9},
+	{pos: []int{6, 7}, out: 9},
+	{pos: []int{0, 3, 5}, out: 10},
+	{pos: []int{1, 2}, neg: []int{3, 4}, out: 10},
+	{pos: []int{4, 6}, out: 10},
+	{pos: []int{2, 5, 7}, out: 10},
+	{pos: []int{0, 4}, neg: []int{2}, out: 11},
+	{pos: []int{1, 3, 6}, out: 11},
+	{pos: []int{5}, neg: []int{0, 6}, out: 11},
+	{pos: []int{2, 4, 7}, out: 11},
+	{pos: []int{0, 1, 2}, out: 12},
+	{pos: []int{3, 5}, neg: []int{1}, out: 12},
+	{pos: []int{4, 5, 6}, out: 12},
+	{pos: []int{0, 7}, neg: []int{3}, out: 12},
+	{pos: []int{1, 4, 5}, out: 12},
+	{pos: []int{2, 6}, neg: []int{5, 7}, out: 13},
+	{pos: []int{0, 3, 4}, out: 13},
+	{pos: []int{1, 6, 7}, out: 13},
+	{pos: []int{2, 3, 5}, neg: []int{0}, out: 13},
+	{pos: []int{4, 7}, out: 13},
+	{pos: []int{0, 5}, neg: []int{4}, out: 14},
+	{pos: []int{1, 2, 7}, out: 14},
+	{pos: []int{3, 6}, neg: []int{2}, out: 14},
+	{pos: []int{0, 1, 4, 6}, out: 14},
+	{pos: []int{5, 7}, neg: []int{1, 3}, out: 14},
+	{pos: []int{2, 4}, out: 14},
+	{pos: []int{3, 7}, neg: []int{5}, out: 14},
+}
+
+// Misex1_241 is the misex1_241 stand-in on 15 qubits: an 8-input,
+// 7-output, 32-cube PLA.
+func Misex1_241() *circuit.Circuit {
+	c := circuit.New("misex1_241", 15)
+	buildPLA(c, misex1Terms)
+	c.MeasureAll()
+	return c
+}
+
+// Misex1Spec is the reference function of Misex1_241 over the 8 input
+// bits.
+func Misex1Spec(x uint64) uint64 { return evalPLA(misex1Terms, x) }
+
+// Cm152aSpec is the reference function of Cm152a212: output bit 11 set
+// iff data bit d[s] of x is set (d = bits 0..7, s = bits 8..10).
+func Cm152aSpec(x uint64) uint64 {
+	s := x >> 8 & 7
+	return x >> uint(s) & 1 << 11
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"testing"
+
+	"qproc/internal/sim"
+)
+
+// TestSym6Exhaustive verifies sym6_145 over all 64 inputs against the
+// symmetric-function spec, and that the function really is symmetric.
+func TestSym6Exhaustive(t *testing.T) {
+	c := Sym6_145()
+	if c.Qubits != 7 {
+		t.Fatalf("sym6_145 has %d qubits, want 7", c.Qubits)
+	}
+	byWeight := map[int]uint64{}
+	for x := uint64(0); x < 64; x++ {
+		out := runRaw(t, c, x)
+		if out&63 != x {
+			t.Fatalf("x=%06b: inputs changed", x)
+		}
+		got := out >> 6 & 1
+		if want := Sym6Spec(x); got != want {
+			t.Fatalf("x=%06b: out=%d want %d", x, got, want)
+		}
+		w := 0
+		for i := 0; i < 6; i++ {
+			w += int(x >> uint(i) & 1)
+		}
+		if prev, ok := byWeight[w]; ok && prev != got {
+			t.Fatalf("weight %d maps to both %d and %d: not symmetric", w, prev, got)
+		}
+		byWeight[w] = got
+	}
+	// C(w,2) mod 2 must be 1 exactly for weights 2, 3 and 6.
+	want := map[int]uint64{0: 0, 1: 0, 2: 1, 3: 1, 4: 0, 5: 0, 6: 1}
+	for w, v := range want {
+		if byWeight[w] != v {
+			t.Fatalf("weight %d: got %d want %d", w, byWeight[w], v)
+		}
+	}
+}
+
+// TestCm152aExhaustive verifies the 8-to-1 multiplexer over all 2048
+// inputs: the output qubit carries d[s], everything else is restored.
+func TestCm152aExhaustive(t *testing.T) {
+	c := Cm152a212()
+	if c.Qubits != 12 {
+		t.Fatalf("cm152a_212 has %d qubits, want 12", c.Qubits)
+	}
+	for x := uint64(0); x < 1<<11; x++ {
+		out := runRaw(t, c, x)
+		if out&(1<<11-1) != x {
+			t.Fatalf("x=%011b: inputs changed: %012b", x, out)
+		}
+		if got, want := out&(1<<11), Cm152aSpec(x); got != want {
+			t.Fatalf("x=%011b: out=%d want %d", x, got>>11, want>>11)
+		}
+	}
+}
+
+// TestDc1Exhaustive verifies the dc1_220 PLA over all 16 inputs.
+func TestDc1Exhaustive(t *testing.T) {
+	c := Dc1_220()
+	if c.Qubits != 11 {
+		t.Fatalf("dc1_220 has %d qubits, want 11", c.Qubits)
+	}
+	for x := uint64(0); x < 16; x++ {
+		out := runRaw(t, c, x)
+		if out&15 != x {
+			t.Fatalf("x=%04b: inputs changed", x)
+		}
+		if got, want := out&^uint64(15), Dc1Spec(x); got != want {
+			t.Fatalf("x=%04b: outputs %011b want %011b", x, got, want)
+		}
+	}
+}
+
+// TestMisex1Exhaustive verifies the misex1_241 PLA over all 256 inputs.
+func TestMisex1Exhaustive(t *testing.T) {
+	c := Misex1_241()
+	if c.Qubits != 15 {
+		t.Fatalf("misex1_241 has %d qubits, want 15", c.Qubits)
+	}
+	for x := uint64(0); x < 256; x++ {
+		out := runRaw(t, c, x)
+		if out&255 != x {
+			t.Fatalf("x=%08b: inputs changed", x)
+		}
+		if got, want := out&^uint64(255), Misex1Spec(x); got != want {
+			t.Fatalf("x=%08b: outputs %015b want %015b", x, got, want)
+		}
+	}
+}
+
+// TestPLAOutputsNontrivial guards the covers against degenerating into
+// constants: every output qubit of each PLA must take both values across
+// the input space.
+func TestPLAOutputsNontrivial(t *testing.T) {
+	cases := []struct {
+		name    string
+		inputs  int
+		outLo   int
+		outputs int
+		spec    func(uint64) uint64
+	}{
+		{"dc1_220", 4, 4, 7, Dc1Spec},
+		{"misex1_241", 8, 8, 7, Misex1Spec},
+	}
+	for _, tc := range cases {
+		seen0 := make([]bool, tc.outputs)
+		seen1 := make([]bool, tc.outputs)
+		for x := uint64(0); x < 1<<uint(tc.inputs); x++ {
+			v := tc.spec(x)
+			for o := 0; o < tc.outputs; o++ {
+				if v>>uint(tc.outLo+o)&1 == 1 {
+					seen1[o] = true
+				} else {
+					seen0[o] = true
+				}
+			}
+		}
+		for o := 0; o < tc.outputs; o++ {
+			if !seen0[o] || !seen1[o] {
+				t.Errorf("%s output %d is constant", tc.name, o)
+			}
+		}
+	}
+}
+
+// TestPLAScratchRestored verifies that the dirty ancillas borrowed inside
+// the PLA MCTs leave arbitrary values untouched where lines are pure
+// bystanders: running cm152a with junk on unused data lines still
+// restores them (they double as borrowed scratch).
+func TestPLAScratchRestored(t *testing.T) {
+	c := Cm152a212()
+	for x := uint64(0); x < 1<<11; x += 37 {
+		out, err := sim.Classical(c, sim.NewBits(c.Qubits, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Uint64()&(1<<11-1) != x {
+			t.Fatalf("x=%011b: bystander lines disturbed", x)
+		}
+	}
+}

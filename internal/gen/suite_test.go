@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"testing"
+
+	"qproc/internal/circuit"
+	"qproc/internal/profile"
+	"qproc/internal/sim"
+)
+
+// TestSuiteInventory checks the benchmark registry against the paper's
+// Figure 10: twelve programs at the quoted qubit counts.
+func TestSuiteInventory(t *testing.T) {
+	want := map[string]int{
+		"qft_16": 16, "adr4_197": 13, "rd84_142": 15, "misex1_241": 15,
+		"square_root_7": 15, "radd_250": 13, "cm152a_212": 12, "dc1_220": 11,
+		"z4_268": 11, "sym6_145": 7, "UCCSD_ansatz_8": 8, "ising_model_16": 16,
+	}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(suite), len(want))
+	}
+	for _, b := range suite {
+		q, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", b.Name)
+			continue
+		}
+		if b.Qubits != q {
+			t.Errorf("%s declares %d qubits, want %d", b.Name, b.Qubits, q)
+		}
+		c := b.Build()
+		if c.Qubits != q {
+			t.Errorf("%s builds %d qubits, want %d", b.Name, c.Qubits, q)
+		}
+		if c.Name != b.Name {
+			t.Errorf("circuit name %q != benchmark name %q", c.Name, b.Name)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestAllBenchmarksDecomposedAndValid: every built benchmark is in the
+// {1q, CX} basis and structurally valid; every raw benchmark is valid.
+func TestAllBenchmarksDecomposedAndValid(t *testing.T) {
+	for _, b := range Suite() {
+		raw := b.Raw()
+		if err := raw.Validate(); err != nil {
+			t.Errorf("%s raw: %v", b.Name, err)
+		}
+		c := b.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		st := c.Stats()
+		if st.SWAP != 0 || st.CCX != 0 {
+			t.Errorf("%s not decomposed: %d swap, %d ccx", b.Name, st.SWAP, st.CCX)
+		}
+		if st.CX == 0 {
+			t.Errorf("%s has no two-qubit gates", b.Name)
+		}
+	}
+}
+
+// TestQFTUniformPattern: §5.4.2's special property — exactly two CNOTs
+// between every qubit pair.
+func TestQFTUniformPattern(t *testing.T) {
+	c := QFT(16)
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if p.Strength[i][j] != 2 {
+				t.Fatalf("qft strength[%d][%d] = %d, want 2", i, j, p.Strength[i][j])
+			}
+		}
+	}
+}
+
+// TestIsingChainPattern: §5.3.1's special case — coupling only on the
+// nearest-neighbour chain.
+func TestIsingChainPattern(t *testing.T) {
+	c := Ising(16, 10)
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			onChain := j == i+1
+			if (p.Strength[i][j] > 0) != onChain {
+				t.Fatalf("ising strength[%d][%d] = %d (chain=%v)", i, j, p.Strength[i][j], onChain)
+			}
+		}
+	}
+}
+
+// TestUCCSDFig5Pattern: Figure 5 (left) — the chain carries most of the
+// coupling strength; off-chain background exists but is much weaker.
+func TestUCCSDFig5Pattern(t *testing.T) {
+	c := UCCSD(8)
+	p, err := profile.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, offChain, offMax := 0, 0, 0
+	chainMin := int(^uint(0) >> 1)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			w := p.Strength[i][j]
+			if j == i+1 {
+				chain += w
+				if w < chainMin {
+					chainMin = w
+				}
+			} else {
+				offChain += w
+				if w > offMax {
+					offMax = w
+				}
+			}
+		}
+	}
+	if offChain == 0 {
+		t.Fatal("UCCSD has no off-chain coupling (Figure 5 shows a weak background)")
+	}
+	if chain <= 4*offChain {
+		t.Fatalf("chain %d not dominant over off-chain %d", chain, offChain)
+	}
+	if offMax >= chainMin {
+		t.Fatalf("strongest off-chain pair (%d) >= weakest chain pair (%d)", offMax, chainMin)
+	}
+}
+
+// TestArithmeticPatternsNonUniform: the RevLib-style benchmarks must show
+// the paper's observation (1): coupling strength varies dramatically
+// across pairs.
+func TestArithmeticPatternsNonUniform(t *testing.T) {
+	for _, name := range []string{"misex1_241", "rd84_142", "cm152a_212", "square_root_7"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profile.New(b.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero, max := 0, 0
+		for i := 0; i < p.Qubits; i++ {
+			for j := i + 1; j < p.Qubits; j++ {
+				if p.Strength[i][j] == 0 {
+					zero++
+				}
+				if p.Strength[i][j] > max {
+					max = p.Strength[i][j]
+				}
+			}
+		}
+		if zero == 0 {
+			t.Errorf("%s: every pair coupled — pattern suspiciously uniform", name)
+		}
+		if max < 10 {
+			t.Errorf("%s: max pair strength %d too small", name, max)
+		}
+	}
+}
+
+// TestDecomposedEquivalence verifies on the smallest benchmark that basis
+// decomposition preserves the unitary (up to global phase) on every basis
+// state.
+func TestDecomposedEquivalence(t *testing.T) {
+	raw := Sym6_145()
+	dec := raw.Decompose()
+	// Strip measurements for state-vector comparison.
+	strip := func(c *circuit.Circuit) *circuit.Circuit {
+		out := circuit.New(c.Name, c.Qubits)
+		for _, g := range c.Gates {
+			if g.Kind != circuit.Measure {
+				out.Gates = append(out.Gates, g)
+			}
+		}
+		return out
+	}
+	rawU, decU := strip(raw), strip(dec)
+	for x := uint64(0); x < 128; x += 11 {
+		a := sim.NewBasisState(7, x)
+		if err := a.Run(rawU); err != nil {
+			t.Fatal(err)
+		}
+		b := sim.NewBasisState(7, x)
+		if err := b.Run(decU); err != nil {
+			t.Fatal(err)
+		}
+		if !a.EqualUpToPhase(b, 1e-9) {
+			t.Fatalf("x=%d: decomposition diverges (fidelity %g)", x, a.FidelityTo(b))
+		}
+	}
+}
+
+// TestBenchmarkSizes documents the circuit scale: every benchmark has a
+// meaningful number of gates (guards against accidentally empty
+// generators).
+func TestBenchmarkSizes(t *testing.T) {
+	for _, b := range Suite() {
+		c := b.Build()
+		if got := c.GateCount(); got < 50 {
+			t.Errorf("%s: only %d gates", b.Name, got)
+		}
+	}
+}
+
+// TestGeneratorsDeterministic: building twice gives identical circuits.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, b := range Suite() {
+		c1, c2 := b.Build(), b.Build()
+		if len(c1.Gates) != len(c2.Gates) {
+			t.Errorf("%s: nondeterministic gate count", b.Name)
+			continue
+		}
+		for i := range c1.Gates {
+			if c1.Gates[i].String() != c2.Gates[i].String() {
+				t.Errorf("%s: gate %d differs", b.Name, i)
+				break
+			}
+		}
+	}
+}

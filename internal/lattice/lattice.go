@@ -1,0 +1,244 @@
+// Package lattice provides 2-dimensional integer lattice geometry for
+// superconducting qubit placement: coordinates, neighbourhoods, Manhattan
+// distance, unit squares (the candidate sites for 4-qubit buses), bounding
+// boxes and geometric centres.
+//
+// The paper confines physical qubits to the nodes of a 2D lattice
+// (Section 4.1) following IBM's and Google's fabrication convention; every
+// architecture-design subroutine operates on this geometry.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coord is a node of the 2D lattice. X grows to the east, Y to the north,
+// matching the paper's placement example (Figure 6) where the first qubit
+// sits at (0,0) and its northern neighbour at (0,1).
+type Coord struct {
+	X, Y int
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Add returns the component-wise sum of two coordinates.
+func (c Coord) Add(d Coord) Coord { return Coord{c.X + d.X, c.Y + d.Y} }
+
+// Less orders coordinates lexicographically by (Y, X). It is the canonical
+// tie-break order used throughout the design flow so that every algorithm
+// is deterministic.
+func (c Coord) Less(d Coord) bool {
+	if c.Y != d.Y {
+		return c.Y < d.Y
+	}
+	return c.X < d.X
+}
+
+// Manhattan returns the L1 distance between two coordinates. Algorithm 1
+// uses it as the placement cost metric.
+func Manhattan(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Neighbors returns the four edge-adjacent lattice nodes of c in
+// deterministic order: north, east, south, west.
+func (c Coord) Neighbors() [4]Coord {
+	return [4]Coord{
+		{c.X, c.Y + 1},
+		{c.X + 1, c.Y},
+		{c.X, c.Y - 1},
+		{c.X - 1, c.Y},
+	}
+}
+
+// Diagonals returns the four diagonally adjacent lattice nodes of c in
+// deterministic order: NE, SE, SW, NW.
+func (c Coord) Diagonals() [4]Coord {
+	return [4]Coord{
+		{c.X + 1, c.Y + 1},
+		{c.X + 1, c.Y - 1},
+		{c.X - 1, c.Y - 1},
+		{c.X - 1, c.Y + 1},
+	}
+}
+
+// Adjacent reports whether a and b share a lattice edge.
+func Adjacent(a, b Coord) bool { return Manhattan(a, b) == 1 }
+
+// Square identifies a unit square of the lattice by its south-west corner.
+// The square with origin (x,y) has corners (x,y), (x+1,y), (x,y+1) and
+// (x+1,y+1).
+type Square struct {
+	Origin Coord
+}
+
+// Corners returns the four corners of the square in deterministic order:
+// SW, SE, NW, NE.
+func (s Square) Corners() [4]Coord {
+	o := s.Origin
+	return [4]Coord{
+		o,
+		{o.X + 1, o.Y},
+		{o.X, o.Y + 1},
+		{o.X + 1, o.Y + 1},
+	}
+}
+
+// Diagonals returns the two diagonal corner pairs of the square:
+// (SW,NE) and (SE,NW). A 4-qubit bus adds coupling on exactly these pairs
+// relative to the 2-qubit-bus-only configuration (Section 4.2).
+func (s Square) Diagonals() [2][2]Coord {
+	o := s.Origin
+	return [2][2]Coord{
+		{o, {o.X + 1, o.Y + 1}},
+		{{o.X + 1, o.Y}, {o.X, o.Y + 1}},
+	}
+}
+
+// Neighbors returns the four edge-sharing squares (N, E, S, W). Two
+// edge-sharing squares may not both carry 4-qubit buses (the prohibited
+// condition, Figure 7a).
+func (s Square) Neighbors() [4]Square {
+	o := s.Origin
+	return [4]Square{
+		{Coord{o.X, o.Y + 1}},
+		{Coord{o.X + 1, o.Y}},
+		{Coord{o.X, o.Y - 1}},
+		{Coord{o.X - 1, o.Y}},
+	}
+}
+
+// String renders the square by its origin.
+func (s Square) String() string { return "sq" + s.Origin.String() }
+
+// Set is a finite set of occupied lattice nodes.
+type Set map[Coord]bool
+
+// NewSet builds a Set from a list of coordinates.
+func NewSet(coords ...Coord) Set {
+	s := make(Set, len(coords))
+	for _, c := range coords {
+		s[c] = true
+	}
+	return s
+}
+
+// Sorted returns the members of the set in canonical (Y, X) order.
+func (s Set) Sorted() []Coord {
+	out := make([]Coord, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Bounds returns the inclusive bounding box of the set. ok is false when
+// the set is empty.
+func (s Set) Bounds() (min, max Coord, ok bool) {
+	first := true
+	for c := range s {
+		if first {
+			min, max, first = c, c, false
+			continue
+		}
+		if c.X < min.X {
+			min.X = c.X
+		}
+		if c.Y < min.Y {
+			min.Y = c.Y
+		}
+		if c.X > max.X {
+			max.X = c.X
+		}
+		if c.Y > max.Y {
+			max.Y = c.Y
+		}
+	}
+	return min, max, !first
+}
+
+// Center returns the member of the set closest (Manhattan, then canonical
+// order) to the arithmetic mean of all members. Algorithm 3 starts its
+// breadth-first frequency assignment from this qubit.
+func (s Set) Center() (Coord, bool) {
+	if len(s) == 0 {
+		return Coord{}, false
+	}
+	var sx, sy int
+	for c := range s {
+		sx += c.X
+		sy += c.Y
+	}
+	n := len(s)
+	best := Coord{}
+	bestDist := -1
+	for _, c := range s.Sorted() {
+		// Distance to the mean in units of 1/n to stay in integers.
+		d := abs(c.X*n-sx) + abs(c.Y*n-sy)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, true
+}
+
+// Squares enumerates every unit square that has at least minOccupied of its
+// four corners in the set, in canonical origin order. Bus selection
+// (Algorithm 2) considers squares with at least three occupied corners.
+func (s Set) Squares(minOccupied int) []Square {
+	min, max, ok := s.Bounds()
+	if !ok {
+		return nil
+	}
+	var out []Square
+	for y := min.Y - 1; y <= max.Y; y++ {
+		for x := min.X - 1; x <= max.X; x++ {
+			sq := Square{Coord{x, y}}
+			n := 0
+			for _, c := range sq.Corners() {
+				if s[c] {
+					n++
+				}
+			}
+			if n >= minOccupied {
+				out = append(out, sq)
+			}
+		}
+	}
+	return out
+}
+
+// OccupiedCorners returns the corners of sq present in the set, in
+// deterministic corner order.
+func (s Set) OccupiedCorners(sq Square) []Coord {
+	var out []Coord
+	for _, c := range sq.Corners() {
+		if s[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Grid returns the coordinates of a rows×cols rectangle anchored at the
+// origin, in row-major canonical order. IBM's baseline chips are 2×8 and
+// 4×5 grids (Figure 9).
+func Grid(rows, cols int) []Coord {
+	out := make([]Coord, 0, rows*cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			out = append(out, Coord{x, y})
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		d    int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{1, 0}, 1},
+		{Coord{0, 0}, Coord{0, -1}, 1},
+		{Coord{2, 3}, Coord{-1, 5}, 5},
+		{Coord{-4, -4}, Coord{4, 4}, 16},
+	}
+	for _, c := range cases {
+		if got := Manhattan(c.a, c.b); got != c.d {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.d)
+		}
+	}
+}
+
+// TestManhattanMetricProperties property-checks the metric axioms:
+// symmetry, identity, and the triangle inequality.
+func TestManhattanMetricProperties(t *testing.T) {
+	sym := func(ax, ay, bx, by int8) bool {
+		a, b := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}
+		return Manhattan(a, b) == Manhattan(b, a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	ident := func(ax, ay int8) bool {
+		a := Coord{int(ax), int(ay)}
+		return Manhattan(a, a) == 0
+	}
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+	tri := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}, Coord{int(cx), int(cy)}
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborsAdjacent(t *testing.T) {
+	c := Coord{3, -2}
+	seen := map[Coord]bool{}
+	for _, n := range c.Neighbors() {
+		if !Adjacent(c, n) {
+			t.Errorf("neighbor %v of %v not adjacent", n, c)
+		}
+		if seen[n] {
+			t.Errorf("duplicate neighbor %v", n)
+		}
+		seen[n] = true
+	}
+	for _, d := range c.Diagonals() {
+		if Manhattan(c, d) != 2 {
+			t.Errorf("diagonal %v of %v at distance %d", d, c, Manhattan(c, d))
+		}
+	}
+}
+
+func TestSquareCorners(t *testing.T) {
+	sq := Square{Coord{1, 1}}
+	want := NewSet(Coord{1, 1}, Coord{2, 1}, Coord{1, 2}, Coord{2, 2})
+	for _, c := range sq.Corners() {
+		if !want[c] {
+			t.Errorf("unexpected corner %v", c)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing corners: %v", want)
+	}
+	// Diagonal pairs are at Manhattan distance 2 and cover all corners.
+	for _, d := range sq.Diagonals() {
+		if Manhattan(d[0], d[1]) != 2 {
+			t.Errorf("diagonal %v not at distance 2", d)
+		}
+	}
+}
+
+func TestSquareNeighborsShareEdge(t *testing.T) {
+	sq := Square{Coord{0, 0}}
+	for _, n := range sq.Neighbors() {
+		if Manhattan(sq.Origin, n.Origin) != 1 {
+			t.Errorf("neighbor square %v not edge-sharing with %v", n, sq)
+		}
+	}
+}
+
+func TestSetBoundsAndCenter(t *testing.T) {
+	s := NewSet(Coord{0, 0}, Coord{2, 0}, Coord{1, 0}, Coord{1, 2})
+	min, max, ok := s.Bounds()
+	if !ok || min != (Coord{0, 0}) || max != (Coord{2, 2}) {
+		t.Fatalf("bounds = %v..%v ok=%v", min, max, ok)
+	}
+	// Mean is (1, 0.5); nearest member is (1,0).
+	c, ok := s.Center()
+	if !ok || c != (Coord{1, 0}) {
+		t.Fatalf("center = %v ok=%v, want (1,0)", c, ok)
+	}
+	if _, _, ok := (Set{}).Bounds(); ok {
+		t.Error("empty set reports bounds")
+	}
+	if _, ok := (Set{}).Center(); ok {
+		t.Error("empty set reports a center")
+	}
+}
+
+func TestSetSortedCanonical(t *testing.T) {
+	s := NewSet(Coord{1, 1}, Coord{0, 0}, Coord{1, 0}, Coord{0, 1})
+	got := s.Sorted()
+	want := []Coord{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSquaresEnumeration(t *testing.T) {
+	// A 2x2 block has exactly one fully occupied unit square.
+	s := NewSet(Grid(2, 2)...)
+	if sq := s.Squares(4); len(sq) != 1 || sq[0].Origin != (Coord{0, 0}) {
+		t.Fatalf("Squares(4) = %v", sq)
+	}
+	// With threshold 3, an L-shaped triomino plus far corner yields one.
+	l := NewSet(Coord{0, 0}, Coord{1, 0}, Coord{0, 1})
+	if sq := l.Squares(3); len(sq) != 1 {
+		t.Fatalf("L-shape Squares(3) = %v", sq)
+	}
+	if sq := l.Squares(4); len(sq) != 0 {
+		t.Fatalf("L-shape Squares(4) = %v", sq)
+	}
+	// A 3x3 grid has 4 unit squares.
+	g := NewSet(Grid(3, 3)...)
+	if sq := g.Squares(4); len(sq) != 4 {
+		t.Fatalf("3x3 Squares(4) = %d, want 4", len(sq))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(2, 8)
+	if len(g) != 16 {
+		t.Fatalf("Grid(2,8) has %d nodes", len(g))
+	}
+	if g[0] != (Coord{0, 0}) || g[15] != (Coord{7, 1}) {
+		t.Fatalf("grid corners: %v, %v", g[0], g[15])
+	}
+	// Row-major canonical order.
+	for i := 1; i < len(g); i++ {
+		if !g[i-1].Less(g[i]) {
+			t.Fatalf("grid not in canonical order at %d: %v !< %v", i, g[i-1], g[i])
+		}
+	}
+}
+
+func TestOccupiedCorners(t *testing.T) {
+	s := NewSet(Coord{0, 0}, Coord{1, 1})
+	sq := Square{Coord{0, 0}}
+	oc := s.OccupiedCorners(sq)
+	if len(oc) != 2 {
+		t.Fatalf("OccupiedCorners = %v", oc)
+	}
+}
+
+func TestCoordLessTotalOrder(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a, b := Coord{int(ax), int(ay)}, Coord{int(bx), int(by)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

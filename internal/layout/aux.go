@@ -1,0 +1,71 @@
+package layout
+
+import (
+	"qproc/internal/lattice"
+)
+
+// Auxiliary qubit placement — the design-space extension the paper
+// sketches in Section 6 ("we can still add auxiliary physical qubits
+// since they can also be used during the qubit routing, trading in more
+// yield rate for higher performance").
+//
+// Auxiliary qubits carry no logical state at program start; their value
+// is connectivity: an aux qubit adjacent to several busy qubits gives the
+// router extra freedom (SWAP paths, parking). AddAux therefore greedily
+// places each auxiliary qubit on the empty lattice node with the most
+// occupied neighbours, breaking ties toward the centre of the placement
+// (compactness) and then canonically.
+
+// AddAux returns the lattice nodes for k auxiliary qubits given the
+// already-placed program qubits. The returned slice holds only the aux
+// coordinates, in placement order; append them to the program coordinates
+// to build the extended architecture.
+func AddAux(placed []lattice.Coord, k int) []lattice.Coord {
+	occupied := lattice.NewSet(placed...)
+	var aux []lattice.Coord
+	for n := 0; n < k; n++ {
+		best, ok := bestAuxNode(occupied)
+		if !ok {
+			break // no occupied nodes at all: nothing to attach to
+		}
+		aux = append(aux, best)
+		occupied[best] = true
+	}
+	return aux
+}
+
+// bestAuxNode scans the empty frontier of the occupied set.
+func bestAuxNode(occupied lattice.Set) (lattice.Coord, bool) {
+	occList := occupied.Sorted()
+	if len(occList) == 0 {
+		return lattice.Coord{}, false
+	}
+	var best lattice.Coord
+	bestAdj, bestCompact := -1, -1
+	considered := lattice.Set{}
+	for _, oc := range occList {
+		for _, cand := range oc.Neighbors() {
+			if occupied[cand] || considered[cand] {
+				continue
+			}
+			considered[cand] = true
+			adj := 0
+			for _, nb := range cand.Neighbors() {
+				if occupied[nb] {
+					adj++
+				}
+			}
+			compact := 0
+			for _, o := range occList {
+				compact += lattice.Manhattan(cand, o)
+			}
+			better := adj > bestAdj ||
+				(adj == bestAdj && compact < bestCompact) ||
+				(adj == bestAdj && compact == bestCompact && cand.Less(best))
+			if better {
+				best, bestAdj, bestCompact = cand, adj, compact
+			}
+		}
+	}
+	return best, bestAdj >= 0
+}

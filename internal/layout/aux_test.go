@@ -1,0 +1,58 @@
+package layout
+
+import (
+	"testing"
+
+	"qproc/internal/lattice"
+)
+
+func TestAddAuxPicksMostConnectedNode(t *testing.T) {
+	// U-shape: the pocket node (1,0) touches three occupied nodes and
+	// must be the first aux choice.
+	placed := []lattice.Coord{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}}
+	aux := AddAux(placed, 1)
+	if len(aux) != 1 || aux[0] != (lattice.Coord{X: 1, Y: 0}) {
+		t.Fatalf("aux = %v, want the pocket (1,0)", aux)
+	}
+}
+
+func TestAddAuxCount(t *testing.T) {
+	placed := []lattice.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	aux := AddAux(placed, 3)
+	if len(aux) != 3 {
+		t.Fatalf("placed %d aux qubits, want 3", len(aux))
+	}
+	occ := lattice.NewSet(placed...)
+	for i, a := range aux {
+		if occ[a] {
+			t.Fatalf("aux %d overlaps at %v", i, a)
+		}
+		adjacent := false
+		for _, nb := range a.Neighbors() {
+			if occ[nb] {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			t.Fatalf("aux %d at %v not adjacent to the placement", i, a)
+		}
+		occ[a] = true // later aux may attach to earlier aux
+	}
+}
+
+func TestAddAuxEmptyPlacement(t *testing.T) {
+	if aux := AddAux(nil, 2); len(aux) != 0 {
+		t.Fatalf("aux on empty placement = %v", aux)
+	}
+}
+
+func TestAddAuxDeterministic(t *testing.T) {
+	placed := []lattice.Coord{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}
+	a := AddAux(placed, 4)
+	b := AddAux(placed, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("aux placement not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package layout implements the first hardware-design subroutine
+// (Section 4.1, Algorithm 1): coupling-based placement of qubits on the
+// nodes of a 2D lattice.
+//
+// The placement establishes the pseudo mapping between logical qubits of
+// the profiled program and physical qubits of the generated architecture:
+// physical qubit q sits at the returned coordinate of logical qubit q.
+// Strongly coupled qubit pairs are placed on adjacent nodes so their
+// two-qubit gates are natively supported; the Manhattan-weighted cost
+// function keeps remaining pairs close to bound the later remapping
+// overhead.
+package layout
+
+import (
+	"qproc/internal/lattice"
+	"qproc/internal/profile"
+)
+
+// Place runs Algorithm 1 on the profile and returns the lattice coordinate
+// of every logical qubit, indexed by qubit id. The result is deterministic:
+// candidate and location ties break by degree-list order and canonical
+// coordinate order respectively.
+func Place(p *profile.Profile) []lattice.Coord {
+	n := p.Qubits
+	coords := make([]lattice.Coord, n)
+	placed := make([]bool, n)
+	occupied := lattice.Set{}
+
+	place := func(q int, c lattice.Coord) {
+		coords[q] = c
+		placed[q] = true
+		occupied[c] = true
+	}
+
+	if n == 0 {
+		return coords
+	}
+	// Line 1: the qubit with the largest coupling degree goes to (0,0).
+	place(p.Degrees[0].Qubit, lattice.Coord{X: 0, Y: 0})
+
+	for remaining := n - 1; remaining > 0; remaining-- {
+		q := nextQubit(p, placed)
+		loc := bestLocation(p, coords, placed, occupied, q)
+		place(q, loc)
+	}
+	return coords
+}
+
+// nextQubit selects the unplaced qubit with the largest coupling degree
+// among those connected to an already placed qubit (Algorithm 1 lines
+// 4-10). When no unplaced qubit connects to the placed set — the logical
+// coupling graph is disconnected, e.g. idle qubits — the highest-degree
+// unplaced qubit is taken so that every qubit still receives a node.
+func nextQubit(p *profile.Profile, placed []bool) int {
+	fallback := -1
+	for _, d := range p.Degrees { // descending degree, ties ascending id
+		q := d.Qubit
+		if placed[q] {
+			continue
+		}
+		if fallback < 0 {
+			fallback = q
+		}
+		for _, nb := range p.Neighbors(q) {
+			if placed[nb] {
+				return q
+			}
+		}
+	}
+	return fallback
+}
+
+// bestLocation evaluates every empty node adjacent to at least one
+// occupied node with the heuristic cost of Algorithm 1 line 13:
+//
+//	cost(loc) = Σ_{q' ∈ placed neighbours of q} M[q][q'] · Manhattan(loc, coord(q'))
+//
+// and returns the minimum-cost node (ties: canonical coordinate order).
+func bestLocation(p *profile.Profile, coords []lattice.Coord, placed []bool, occupied lattice.Set, q int) lattice.Coord {
+	type placedNeighbor struct {
+		at lattice.Coord
+		w  int
+	}
+	var nbrs []placedNeighbor
+	for _, nb := range p.Neighbors(q) {
+		if placed[nb] {
+			nbrs = append(nbrs, placedNeighbor{coords[nb], p.Strength[q][nb]})
+		}
+	}
+
+	var best lattice.Coord
+	bestCost, bestCompact := -1, -1
+	considered := lattice.Set{}
+	occList := occupied.Sorted()
+	for _, oc := range occList {
+		for _, cand := range oc.Neighbors() {
+			if occupied[cand] || considered[cand] {
+				continue
+			}
+			considered[cand] = true
+			cost := 0
+			for _, pn := range nbrs {
+				cost += pn.w * lattice.Manhattan(cand, pn.at)
+			}
+			// Secondary objective on ties: compactness — total distance
+			// to every placed qubit. Keeps the generated layouts blob-
+			// shaped rather than stringy, which benefits both routing
+			// and square availability; final ties break canonically.
+			compact := 0
+			for _, o := range occList {
+				compact += lattice.Manhattan(cand, o)
+			}
+			better := bestCost < 0 || cost < bestCost ||
+				(cost == bestCost && compact < bestCompact) ||
+				(cost == bestCost && compact == bestCompact && cand.Less(best))
+			if better {
+				best, bestCost, bestCompact = cand, cost, compact
+			}
+		}
+	}
+	return best
+}
+
+// Normalize translates a placement so its bounding box starts at the
+// origin, which keeps generated designs directly comparable and printable.
+func Normalize(coords []lattice.Coord) []lattice.Coord {
+	if len(coords) == 0 {
+		return nil
+	}
+	min := coords[0]
+	for _, c := range coords {
+		if c.X < min.X {
+			min.X = c.X
+		}
+		if c.Y < min.Y {
+			min.Y = c.Y
+		}
+	}
+	out := make([]lattice.Coord, len(coords))
+	for i, c := range coords {
+		out[i] = lattice.Coord{X: c.X - min.X, Y: c.Y - min.Y}
+	}
+	return out
+}

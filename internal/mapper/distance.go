@@ -1,0 +1,66 @@
+// Package mapper implements a SABRE-style heuristic qubit mapper and
+// router (Li, Ding, Xie, ASPLOS 2019 — reference [18] of the paper, the
+// state-of-the-art mapping algorithm its evaluation applies): it maps
+// logical qubits of a program onto the physical qubits of an architecture
+// and inserts SWAPs (emitted as 3 CNOTs) until every two-qubit gate acts on
+// a coupled pair.
+//
+// The post-mapping total gate count this package produces is the paper's
+// performance metric: fewer gates mean shorter execution and lower error.
+package mapper
+
+import "qproc/internal/arch"
+
+// Distances holds the all-pairs shortest-path matrix of a coupling graph.
+type Distances struct {
+	n int
+	d []int // n*n, -1 for unreachable
+}
+
+// NewDistances computes BFS shortest paths between every pair of physical
+// qubits of the architecture.
+func NewDistances(a *arch.Architecture) *Distances {
+	return newDistances(a.AdjList())
+}
+
+func newDistances(adj [][]int) *Distances {
+	n := len(adj)
+	dm := &Distances{n: n, d: make([]int, n*n)}
+	for i := range dm.d {
+		dm.d[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for src := 0; src < n; src++ {
+		row := dm.d[src*n : (src+1)*n]
+		row[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[q] {
+				if row[nb] < 0 {
+					row[nb] = row[q] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return dm
+}
+
+// Between returns the coupling distance between physical qubits a and b;
+// -1 when disconnected.
+func (dm *Distances) Between(a, b int) int { return dm.d[a*dm.n+b] }
+
+// N returns the number of physical qubits.
+func (dm *Distances) N() int { return dm.n }
+
+// Connected reports whether every qubit pair is mutually reachable.
+func (dm *Distances) Connected() bool {
+	for _, v := range dm.d {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}

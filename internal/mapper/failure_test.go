@@ -1,0 +1,116 @@
+package mapper
+
+import (
+	"testing"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/lattice"
+)
+
+// disconnectedArch builds two 1x2 islands with no coupling between them.
+func disconnectedArch(t *testing.T) *arch.Architecture {
+	t.Helper()
+	a, err := arch.New("islands", []lattice.Coord{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, // island A
+		{X: 5, Y: 0}, {X: 6, Y: 0}, // island B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestMapRejectsUnroutableProgram: a 3-qubit connected program cannot fit
+// a 2-qubit island; Map must return an error, not panic or loop.
+func TestMapRejectsUnroutableProgram(t *testing.T) {
+	a := disconnectedArch(t)
+	c := circuit.New("triangle", 3)
+	c.CX(0, 1).CX(1, 2).CX(0, 2)
+	if _, err := Map(c, a, DefaultOptions()); err == nil {
+		t.Fatal("unroutable program accepted")
+	}
+}
+
+// TestMapHandlesDisconnectedArchWithFittingProgram: two independent
+// 2-qubit programs fit the islands; mapping must succeed with zero swaps.
+func TestMapHandlesDisconnectedArchWithFittingProgram(t *testing.T) {
+	a := disconnectedArch(t)
+	c := circuit.New("pairs", 4)
+	c.CX(0, 1).CX(2, 3).CX(0, 1)
+	res, err := Map(c, a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps != 0 {
+		t.Fatalf("independent pairs needed %d swaps", res.Swaps)
+	}
+}
+
+// TestMapSingleQubitProgram: degenerate programs with no two-qubit gates
+// map trivially onto anything.
+func TestMapSingleQubitProgram(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q2Bus)
+	c := circuit.New("only1q", 5)
+	for q := 0; q < 5; q++ {
+		c.H(q)
+	}
+	c.MeasureAll()
+	res, err := Map(c, a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps != 0 || res.GateCount != c.GateCount() {
+		t.Fatalf("trivial program: %d swaps, %d gates", res.Swaps, res.GateCount)
+	}
+}
+
+// TestMapEmptyCircuit maps a gate-free circuit.
+func TestMapEmptyCircuit(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q2Bus)
+	c := circuit.New("empty", 3)
+	res, err := Map(c, a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GateCount != 0 {
+		t.Fatalf("empty circuit mapped to %d gates", res.GateCount)
+	}
+}
+
+// TestForceProgressFallback drives the router into the deterministic
+// fallback by disabling the heuristic's look-ahead and decay on a
+// pathological long line, and checks it still terminates correctly.
+func TestForceProgressFallback(t *testing.T) {
+	coords := make([]lattice.Coord, 12)
+	for i := range coords {
+		coords[i] = lattice.Coord{X: i, Y: 0}
+	}
+	a, err := arch.New("line", coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("far", 12)
+	// Repeated far-apart pairs stress the swap search.
+	for i := 0; i < 6; i++ {
+		c.CX(0, 11)
+		c.CX(11, 0)
+	}
+	opt := DefaultOptions()
+	opt.ExtendedSize = 0
+	opt.DecayDelta = 0
+	opt.Iterations = 0
+	res, err := Map(c, a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the routing postcondition regardless of path taken.
+	for i, g := range res.Mapped.Gates {
+		if g.Kind == circuit.CX {
+			d := lattice.Manhattan(coords[g.Qubits[0]], coords[g.Qubits[1]])
+			if d != 1 {
+				t.Fatalf("gate %d spans distance %d", i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/profile"
+)
+
+// Options tunes the router. The zero value is not meaningful; use
+// DefaultOptions.
+type Options struct {
+	// ExtendedSize is the number of look-ahead CX gates in the extended
+	// set E of the SABRE heuristic.
+	ExtendedSize int
+	// ExtendedWeight is the weight W of the extended-set term.
+	ExtendedWeight float64
+	// DecayDelta is the decay increment applied to the physical qubits
+	// of each inserted SWAP, discouraging back-to-back swaps on the same
+	// qubits and so encouraging parallelism.
+	DecayDelta float64
+	// DecayReset is the number of SWAP insertions after which all decay
+	// factors reset to 1.
+	DecayReset int
+	// Iterations is the number of forward-backward refinement rounds run
+	// to polish the initial mapping before the final forward pass.
+	Iterations int
+}
+
+// DefaultOptions returns the SABRE parameters from the ASPLOS'19 paper
+// (|E| = 20, W = 0.5, decay 0.001 reset every 5 swaps) with three
+// forward-backward refinement rounds.
+func DefaultOptions() Options {
+	return Options{
+		ExtendedSize:   20,
+		ExtendedWeight: 0.5,
+		DecayDelta:     0.001,
+		DecayReset:     5,
+		Iterations:     3,
+	}
+}
+
+// Result is the outcome of mapping one circuit onto one architecture.
+type Result struct {
+	// Mapped is the physical circuit: it acts on the architecture's
+	// physical qubits and every CX respects the coupling graph. SWAPs
+	// appear pre-decomposed as 3 CX.
+	Mapped *circuit.Circuit
+	// Initial and Final give logical→physical mappings before and after
+	// execution.
+	Initial, Final []int
+	// Swaps is the number of SWAPs inserted.
+	Swaps int
+	// GateCount is Mapped.GateCount(): original executable gates plus
+	// 3 per inserted SWAP — the paper's performance metric.
+	GateCount int
+}
+
+// Map routes the circuit onto the architecture and returns the mapping
+// result. The circuit must be decomposed (no SWAP/CCX) and must not have
+// more logical qubits than the architecture has physical qubits; the
+// architecture's coupling graph must connect all physical qubits that end
+// up holding logical qubits (guaranteed for connected graphs).
+func Map(c *circuit.Circuit, a *arch.Architecture, opt Options) (*Result, error) {
+	for i, g := range c.Gates {
+		if g.Kind == circuit.SWAP || g.Kind == circuit.CCX {
+			return nil, fmt.Errorf("mapper: gate %d (%v) not decomposed", i, g)
+		}
+	}
+	if c.Qubits > a.NumQubits() {
+		return nil, fmt.Errorf("mapper: program needs %d qubits, architecture %q has %d",
+			c.Qubits, a.Name, a.NumQubits())
+	}
+	p, err := profile.New(c)
+	if err != nil {
+		return nil, fmt.Errorf("mapper: %w", err)
+	}
+	dm := NewDistances(a)
+	if err := checkRoutable(p, dm); err != nil {
+		return nil, err
+	}
+
+	// Two deterministic initial-mapping candidates: the coupling-driven
+	// greedy and the snake walk (perfect for chain-structured programs).
+	// Each is polished by SABRE forward-backward refinement; the final
+	// routing with the fewest gates wins.
+	rev := reversed(c)
+	var best *Result
+	for _, seed := range []*Mapping{
+		InitialMapping(p, a, dm),
+		SnakeMapping(p, a),
+	} {
+		if !seedRoutable(p, dm, seed) {
+			continue // e.g. the snake walk crossed architecture components
+		}
+		m := seed
+		for it := 0; it < opt.Iterations; it++ {
+			fwd := route(c, a, dm, m.Clone(), opt)
+			if fwd.swaps == 0 {
+				break // already perfect; refinement cannot improve
+			}
+			bwd := route(rev, a, dm, fwd.finalMapping, opt)
+			m = bwd.finalMapping
+		}
+		initial := append([]int(nil), m.L2P...)
+		run := route(c, a, dm, m, opt)
+		res := &Result{
+			Mapped:    run.out,
+			Initial:   initial,
+			Final:     append([]int(nil), run.finalMapping.L2P...),
+			Swaps:     run.swaps,
+			GateCount: run.out.GateCount(),
+		}
+		if best == nil || res.GateCount < best.GateCount {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mapper: no routable placement of %q on %q", c.Name, a.Name)
+	}
+	return best, nil
+}
+
+// seedRoutable reports whether every logically coupled pair is mutually
+// reachable under the seed mapping.
+func seedRoutable(p *profile.Profile, dm *Distances, m *Mapping) bool {
+	for _, e := range p.Edges() {
+		if dm.Between(m.L2P[e.A], m.L2P[e.B]) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRoutable rejects programs whose logical coupling graph spans more
+// physical qubits than any connected component of the architecture can
+// hold: no placement could ever route them. (A disconnected architecture
+// is fine as long as one component fits the whole connected program.)
+func checkRoutable(p *profile.Profile, dm *Distances) error {
+	if dm.Connected() {
+		return nil
+	}
+	// Size of each physical component.
+	compOf := make([]int, dm.N())
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	nComp := 0
+	for q := 0; q < dm.N(); q++ {
+		if compOf[q] >= 0 {
+			continue
+		}
+		for r := 0; r < dm.N(); r++ {
+			if dm.Between(q, r) >= 0 {
+				compOf[r] = nComp
+			}
+		}
+		nComp++
+	}
+	sizes := make([]int, nComp)
+	for _, c := range compOf {
+		sizes[c]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	// Size of the largest connected logical component.
+	visited := make([]bool, p.Qubits)
+	for q := 0; q < p.Qubits; q++ {
+		if visited[q] {
+			continue
+		}
+		stack := []int{q}
+		visited[q] = true
+		size := 0
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, nb := range p.Neighbors(v) {
+				if !visited[nb] {
+					visited[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		if size > largest {
+			return fmt.Errorf("mapper: program couples %d qubits but the architecture's largest connected component has only %d", size, largest)
+		}
+	}
+	return nil
+}
+
+// reversed returns the gates of c in reverse order (structure only; used
+// for mapping refinement where gate semantics are irrelevant).
+func reversed(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name+"-reversed", c.Qubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		out.Gates = append(out.Gates, c.Gates[i])
+	}
+	return out
+}
+
+type routeResult struct {
+	out          *circuit.Circuit
+	finalMapping *Mapping
+	swaps        int
+}
+
+// route executes the SABRE routing loop with the given starting mapping,
+// mutating it in place and returning it as finalMapping.
+func route(c *circuit.Circuit, a *arch.Architecture, dm *Distances, m *Mapping, opt Options) routeResult {
+	out := circuit.New(c.Name+"@"+a.Name, a.NumQubits())
+	dag := circuit.NewDAG(c)
+	front := dag.NewFront()
+	edges := a.Edges()
+	decay := make([]float64, a.NumQubits())
+	resetDecay := func() {
+		for i := range decay {
+			decay[i] = 1
+		}
+	}
+	resetDecay()
+	swaps, sinceReset := 0, 0
+	// stall counts SWAPs inserted since the last gate execution. If the
+	// heuristic oscillates (possible on adversarial inputs), forceProgress
+	// routes one blocked gate deterministically along a shortest path,
+	// which guarantees termination.
+	stall := 0
+	maxStall := 4 * (dm.N() + 4)
+
+	for !front.Done() {
+		// Execute everything executable in the current front.
+		var exec []int
+		for _, gi := range front.Ready() {
+			g := c.Gates[gi]
+			if g.Kind != circuit.CX || dm.Between(m.L2P[g.Qubits[0]], m.L2P[g.Qubits[1]]) == 1 {
+				exec = append(exec, gi)
+			}
+		}
+		if len(exec) > 0 {
+			for _, gi := range exec {
+				emit(out, c.Gates[gi], m)
+			}
+			front.Resolve(exec...)
+			resetDecay()
+			sinceReset = 0
+			stall = 0
+			continue
+		}
+
+		// Blocked: every front gate is a CX on a non-coupled pair.
+		frontCX := frontTwoQubit(c, front.Ready())
+		if stall >= maxStall {
+			swaps += forceProgress(out, a, dm, m, frontCX[0])
+			stall = 0
+			continue
+		}
+		extended := extendedSet(c, dag, front, opt.ExtendedSize)
+		cands := candidateSwaps(edges, m, frontCX)
+		if len(cands) == 0 {
+			// No swap touches a front qubit: disconnected placement.
+			// This cannot happen on connected coupling graphs; fail loudly.
+			panic(fmt.Sprintf("mapper: no candidate swaps for %q on %q", c.Name, a.Name))
+		}
+		best, bestScore := cands[0], 0.0
+		for i, sw := range cands {
+			s := swapScore(sw, m, dm, frontCX, extended, decay, opt)
+			if i == 0 || s < bestScore {
+				best, bestScore = sw, s
+			}
+		}
+		m.Swap(best.A, best.B)
+		emitSwap(out, best.A, best.B)
+		swaps++
+		decay[best.A] += opt.DecayDelta
+		decay[best.B] += opt.DecayDelta
+		sinceReset++
+		stall++
+		if opt.DecayReset > 0 && sinceReset >= opt.DecayReset {
+			resetDecay()
+			sinceReset = 0
+		}
+	}
+	return routeResult{out: out, finalMapping: m, swaps: swaps}
+}
+
+// forceProgress moves the control qubit of gate g along a shortest path
+// toward its target until the pair is coupled, emitting the SWAPs, and
+// returns the number inserted. It is the deterministic termination
+// fallback for heuristic oscillation.
+func forceProgress(out *circuit.Circuit, a *arch.Architecture, dm *Distances, m *Mapping, g circuit.Gate) int {
+	adj := a.AdjList()
+	inserted := 0
+	for {
+		pc, pt := m.L2P[g.Qubits[0]], m.L2P[g.Qubits[1]]
+		d := dm.Between(pc, pt)
+		if d <= 1 {
+			return inserted
+		}
+		next := -1
+		for _, nb := range adj[pc] { // ascending ⇒ deterministic
+			if dm.Between(nb, pt) == d-1 {
+				next = nb
+				break
+			}
+		}
+		if next < 0 {
+			panic(fmt.Sprintf("mapper: no shortest-path step from %d to %d", pc, pt))
+		}
+		m.Swap(pc, next)
+		emitSwap(out, pc, next)
+		inserted++
+	}
+}
+
+// emit appends gate g rewritten onto physical qubits.
+func emit(out *circuit.Circuit, g circuit.Gate, m *Mapping) {
+	ng := g
+	ng.Qubits = make([]int, len(g.Qubits))
+	for i, q := range g.Qubits {
+		ng.Qubits[i] = m.L2P[q]
+	}
+	if g.Params != nil {
+		ng.Params = append([]float64(nil), g.Params...)
+	}
+	out.Append(ng)
+}
+
+// emitSwap appends a SWAP on physical qubits p1, p2 as its 3-CX expansion,
+// keeping the output in the hardware basis.
+func emitSwap(out *circuit.Circuit, p1, p2 int) {
+	out.CX(p1, p2).CX(p2, p1).CX(p1, p2)
+}
+
+// frontTwoQubit returns the CX gates of the current front.
+func frontTwoQubit(c *circuit.Circuit, ready []int) []circuit.Gate {
+	var out []circuit.Gate
+	for _, gi := range ready {
+		if c.Gates[gi].Kind == circuit.CX {
+			out = append(out, c.Gates[gi])
+		}
+	}
+	return out
+}
+
+// extendedSet collects up to size CX gates reachable from the front in the
+// DAG (breadth-first over successors), the look-ahead window of the SABRE
+// heuristic.
+func extendedSet(c *circuit.Circuit, dag *circuit.DAG, front *circuit.Front, size int) []circuit.Gate {
+	if size <= 0 {
+		return nil
+	}
+	var out []circuit.Gate
+	visited := map[int]bool{}
+	queue := append([]int(nil), front.Ready()...)
+	for _, gi := range queue {
+		visited[gi] = true
+	}
+	for len(queue) > 0 && len(out) < size {
+		gi := queue[0]
+		queue = queue[1:]
+		for _, s := range dag.Successors(gi) {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if c.Gates[s].Kind == circuit.CX {
+				out = append(out, c.Gates[s])
+				if len(out) >= size {
+					break
+				}
+			}
+			queue = append(queue, s)
+		}
+	}
+	return out
+}
+
+// swapCandidate is a physical SWAP on a coupling-graph edge.
+type swapCandidate struct{ A, B int }
+
+// candidateSwaps returns the coupling edges that touch at least one
+// physical qubit occupied by a logical qubit of a blocked front CX, in
+// deterministic edge order.
+func candidateSwaps(edges []arch.Edge, m *Mapping, frontCX []circuit.Gate) []swapCandidate {
+	active := map[int]bool{}
+	for _, g := range frontCX {
+		active[m.L2P[g.Qubits[0]]] = true
+		active[m.L2P[g.Qubits[1]]] = true
+	}
+	var out []swapCandidate
+	for _, e := range edges {
+		if active[e.A] || active[e.B] {
+			out = append(out, swapCandidate{e.A, e.B})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// swapScore evaluates the SABRE heuristic for applying sw to mapping m:
+//
+//	H = max(decay) · [ (1/|F|)·Σ_F dist' + W·(1/|E|)·Σ_E dist' ]
+//
+// where dist' is the post-swap coupling distance between the physical
+// qubits of each gate's logical pair.
+func swapScore(sw swapCandidate, m *Mapping, dm *Distances, frontCX, extended []circuit.Gate, decay []float64, opt Options) float64 {
+	phys := func(l int) int {
+		p := m.L2P[l]
+		switch p {
+		case sw.A:
+			return sw.B
+		case sw.B:
+			return sw.A
+		}
+		return p
+	}
+	sum := func(gs []circuit.Gate) float64 {
+		if len(gs) == 0 {
+			return 0
+		}
+		t := 0
+		for _, g := range gs {
+			t += dm.Between(phys(g.Qubits[0]), phys(g.Qubits[1]))
+		}
+		return float64(t) / float64(len(gs))
+	}
+	score := sum(frontCX) + opt.ExtendedWeight*sum(extended)
+	d := decay[sw.A]
+	if decay[sw.B] > d {
+		d = decay[sw.B]
+	}
+	return d * score
+}

@@ -1,0 +1,185 @@
+// Package profile implements the architecture-design-oriented program
+// profiler of Section 3: it reduces a quantum circuit to the two artefacts
+// the hardware design flow consumes, the coupling strength matrix and the
+// coupling degree list.
+//
+// Single-qubit gates, initialisation and measurement are ignored: they
+// happen locally on individual qubits and affect neither the mapping
+// overhead nor the frequency-collision yield (Section 3).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qproc/internal/circuit"
+)
+
+// Profile is the result of profiling one quantum program.
+type Profile struct {
+	// Qubits is the number of logical qubits in the program.
+	Qubits int
+	// Strength is the coupling strength matrix: Strength[i][j] is the
+	// number of two-qubit gates acting on the pair {i, j}. It is symmetric
+	// with a zero diagonal (Figure 4c).
+	Strength [][]int
+	// Degrees is the coupling degree list: qubits sorted by descending
+	// coupling degree (number of two-qubit gates touching the qubit),
+	// ties broken by ascending qubit id (Figure 4d).
+	Degrees []QubitDegree
+	// TotalCX is the total number of two-qubit gates in the program.
+	TotalCX int
+}
+
+// QubitDegree is one entry of the coupling degree list.
+type QubitDegree struct {
+	Qubit  int
+	Degree int
+}
+
+// New profiles the circuit. SWAP and CCX gates must already be decomposed
+// (circuit.Decompose); New returns an error otherwise, because counting a
+// SWAP as one two-qubit gate would mis-weight the coupling matrix.
+func New(c *circuit.Circuit) (*Profile, error) {
+	p := &Profile{Qubits: c.Qubits}
+	p.Strength = make([][]int, c.Qubits)
+	for i := range p.Strength {
+		p.Strength[i] = make([]int, c.Qubits)
+	}
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CX:
+			a, b := g.Qubits[0], g.Qubits[1]
+			p.Strength[a][b]++
+			p.Strength[b][a]++
+			p.TotalCX++
+		case circuit.SWAP, circuit.CCX:
+			return nil, fmt.Errorf("profile: gate %d (%v) not in the decomposed basis; call Decompose first", i, g)
+		}
+	}
+	p.Degrees = make([]QubitDegree, c.Qubits)
+	for q := 0; q < c.Qubits; q++ {
+		d := 0
+		for j := 0; j < c.Qubits; j++ {
+			d += p.Strength[q][j]
+		}
+		p.Degrees[q] = QubitDegree{Qubit: q, Degree: d}
+	}
+	sort.SliceStable(p.Degrees, func(i, j int) bool {
+		if p.Degrees[i].Degree != p.Degrees[j].Degree {
+			return p.Degrees[i].Degree > p.Degrees[j].Degree
+		}
+		return p.Degrees[i].Qubit < p.Degrees[j].Qubit
+	})
+	return p, nil
+}
+
+// MustNew is New for circuits known to be decomposed; it panics on error.
+func MustNew(c *circuit.Circuit) *Profile {
+	p, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// WithAux returns a copy of the profile extended by k zero-coupling
+// qubits (ids Qubits..Qubits+k-1). Auxiliary physical qubits (the
+// Section 6 design-space extension) carry no logical coupling, but the
+// bus-selection subroutine needs the profile and architecture qubit
+// counts to agree; the extension keeps the original entries untouched and
+// appends the aux qubits at the tail of the degree list.
+func (p *Profile) WithAux(k int) *Profile {
+	n := p.Qubits + k
+	out := &Profile{Qubits: n, TotalCX: p.TotalCX}
+	out.Strength = make([][]int, n)
+	for i := range out.Strength {
+		out.Strength[i] = make([]int, n)
+		if i < p.Qubits {
+			copy(out.Strength[i], p.Strength[i])
+		}
+	}
+	out.Degrees = append([]QubitDegree(nil), p.Degrees...)
+	for q := p.Qubits; q < n; q++ {
+		out.Degrees = append(out.Degrees, QubitDegree{Qubit: q})
+	}
+	return out
+}
+
+// Degree returns the coupling degree of qubit q.
+func (p *Profile) Degree(q int) int {
+	for _, d := range p.Degrees {
+		if d.Qubit == q {
+			return d.Degree
+		}
+	}
+	return 0
+}
+
+// Neighbors returns the logical-coupling-graph neighbours of q (qubits
+// sharing at least one two-qubit gate with q), ascending.
+func (p *Profile) Neighbors(q int) []int {
+	var out []int
+	for j, w := range p.Strength[q] {
+		if w > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Edges returns the logical coupling graph as a list of weighted edges
+// with A < B, in ascending (A, B) order.
+func (p *Profile) Edges() []Edge {
+	var out []Edge
+	for i := 0; i < p.Qubits; i++ {
+		for j := i + 1; j < p.Qubits; j++ {
+			if w := p.Strength[i][j]; w > 0 {
+				out = append(out, Edge{A: i, B: j, Weight: w})
+			}
+		}
+	}
+	return out
+}
+
+// Edge is a weighted logical coupling edge.
+type Edge struct {
+	A, B   int
+	Weight int
+}
+
+// MaxStrength returns the largest entry of the coupling strength matrix.
+func (p *Profile) MaxStrength() int {
+	max := 0
+	for i := range p.Strength {
+		for _, w := range p.Strength[i] {
+			if w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// String renders the strength matrix and degree list in the layout of
+// Figure 4(c-d), suitable for terminal inspection.
+func (p *Profile) String() string {
+	var b strings.Builder
+	width := len(fmt.Sprint(p.MaxStrength()))
+	if width < 2 {
+		width = 2
+	}
+	fmt.Fprintf(&b, "coupling strength matrix (%d qubits):\n", p.Qubits)
+	for i := 0; i < p.Qubits; i++ {
+		for j := 0; j < p.Qubits; j++ {
+			fmt.Fprintf(&b, "%*d ", width, p.Strength[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("coupling degree list (qubit: CNOT #):\n")
+	for _, d := range p.Degrees {
+		fmt.Fprintf(&b, "  q%-3d %d\n", d.Qubit, d.Degree)
+	}
+	return b.String()
+}

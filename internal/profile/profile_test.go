@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"qproc/internal/circuit"
+)
+
+// fig4Circuit reproduces the worked example of Figure 4(a).
+func fig4Circuit() *circuit.Circuit {
+	c := circuit.New("fig4", 5)
+	c.H(0)
+	c.CX(0, 4)
+	c.CX(0, 1)
+	c.CX(1, 4)
+	c.CX(2, 4)
+	c.CX(4, 0)
+	c.CX(3, 4)
+	c.MeasureAll()
+	return c
+}
+
+// TestFig4Example checks the profiler against the paper's worked example:
+// the coupling strength matrix of Figure 4(c) and the degree list of
+// Figure 4(d).
+func TestFig4Example(t *testing.T) {
+	p, err := New(fig4Circuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [5][5]int{
+		{0, 1, 0, 0, 2},
+		{1, 0, 0, 0, 1},
+		{0, 0, 0, 0, 1},
+		{0, 0, 0, 0, 1},
+		{2, 1, 1, 1, 0},
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if p.Strength[i][j] != want[i][j] {
+				t.Errorf("Strength[%d][%d] = %d, want %d", i, j, p.Strength[i][j], want[i][j])
+			}
+		}
+	}
+	wantDegrees := []QubitDegree{{4, 5}, {0, 3}, {1, 2}, {2, 1}, {3, 1}}
+	for i, w := range wantDegrees {
+		if p.Degrees[i] != w {
+			t.Errorf("Degrees[%d] = %+v, want %+v", i, p.Degrees[i], w)
+		}
+	}
+	if p.TotalCX != 6 {
+		t.Errorf("TotalCX = %d, want 6", p.TotalCX)
+	}
+}
+
+// TestMatrixInvariants property-checks random circuits: symmetry, zero
+// diagonal, degree = row sum, total = sum/2.
+func TestMatrixInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		c := circuit.New("rand", n)
+		for g := 0; g < rng.Intn(80); g++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				c.H(a)
+			} else {
+				c.CX(a, b)
+			}
+		}
+		p, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for i := 0; i < n; i++ {
+			if p.Strength[i][i] != 0 {
+				t.Fatalf("nonzero diagonal at %d", i)
+			}
+			row := 0
+			for j := 0; j < n; j++ {
+				if p.Strength[i][j] != p.Strength[j][i] {
+					t.Fatalf("asymmetric at (%d,%d)", i, j)
+				}
+				row += p.Strength[i][j]
+				sum += p.Strength[i][j]
+			}
+			if p.Degree(i) != row {
+				t.Fatalf("degree(%d) = %d, want row sum %d", i, p.Degree(i), row)
+			}
+		}
+		if sum != 2*p.TotalCX {
+			t.Fatalf("matrix sum %d != 2*TotalCX %d", sum, 2*p.TotalCX)
+		}
+		// Degree list is non-increasing with ascending-id tie-break.
+		for i := 1; i < len(p.Degrees); i++ {
+			a, b := p.Degrees[i-1], p.Degrees[i]
+			if a.Degree < b.Degree || (a.Degree == b.Degree && a.Qubit > b.Qubit) {
+				t.Fatalf("degree list out of order at %d: %+v then %+v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestRejectsUndecomposed(t *testing.T) {
+	c := circuit.New("raw", 3)
+	c.CCX(0, 1, 2)
+	if _, err := New(c); err == nil {
+		t.Fatal("CCX circuit accepted")
+	}
+	c2 := circuit.New("raw2", 2)
+	c2.Swap(0, 1)
+	if _, err := New(c2); err == nil {
+		t.Fatal("SWAP circuit accepted")
+	}
+}
+
+func TestEdgesAndNeighbors(t *testing.T) {
+	p, err := New(fig4Circuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := p.Edges()
+	if len(edges) != 5 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != (Edge{0, 1, 1}) || edges[1] != (Edge{0, 4, 2}) {
+		t.Fatalf("edge order: %v", edges)
+	}
+	nb := p.Neighbors(4)
+	if len(nb) != 4 {
+		t.Fatalf("Neighbors(4) = %v", nb)
+	}
+	if p.MaxStrength() != 2 {
+		t.Fatalf("MaxStrength = %d", p.MaxStrength())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := MustNew(fig4Circuit())
+	s := p.String()
+	if len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,150 @@
+package profile
+
+import (
+	"fmt"
+
+	"qproc/internal/circuit"
+)
+
+// Temporal profiling — the finer-grained analysis the paper sketches in
+// Section 6 ("the locations of two-qubit gates in a quantum program may
+// also be leveraged for finer-grained evaluation of the coupling strength
+// for different logical qubit pairs at different times"). The program's
+// two-qubit gates are split into consecutive windows by gate position and
+// each window is profiled separately, exposing phase behaviour (e.g. a
+// compute/uncompute structure whose early and late windows mirror each
+// other) that the aggregate matrix hides.
+
+// Temporal is the windowed profile of one program.
+type Temporal struct {
+	// Qubits is the logical qubit count.
+	Qubits int
+	// Windows holds one Profile per consecutive window of two-qubit
+	// gates; every window covers (almost) the same number of CX gates.
+	Windows []*Profile
+}
+
+// NewTemporal profiles the circuit into n consecutive windows. The
+// circuit must be decomposed; n must be positive. Windows are split by
+// two-qubit-gate count, so every window carries ⌈TotalCX/n⌉ or
+// ⌊TotalCX/n⌋ CX gates.
+func NewTemporal(c *circuit.Circuit, n int) (*Temporal, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: window count %d must be positive", n)
+	}
+	total, err := New(c)
+	if err != nil {
+		return nil, err
+	}
+	t := &Temporal{Qubits: c.Qubits}
+	cxIdx := c.TwoQubitGates()
+	for w := 0; w < n; w++ {
+		lo := len(cxIdx) * w / n
+		hi := len(cxIdx) * (w + 1) / n
+		p := &Profile{Qubits: c.Qubits}
+		p.Strength = make([][]int, c.Qubits)
+		for i := range p.Strength {
+			p.Strength[i] = make([]int, c.Qubits)
+		}
+		for _, gi := range cxIdx[lo:hi] {
+			g := c.Gates[gi]
+			a, b := g.Qubits[0], g.Qubits[1]
+			p.Strength[a][b]++
+			p.Strength[b][a]++
+			p.TotalCX++
+		}
+		p.Degrees = degreesOf(p)
+		t.Windows = append(t.Windows, p)
+	}
+	// Consistency: windows partition the aggregate.
+	sum := 0
+	for _, w := range t.Windows {
+		sum += w.TotalCX
+	}
+	if sum != total.TotalCX {
+		return nil, fmt.Errorf("profile: windows carry %d CX, aggregate %d", sum, total.TotalCX)
+	}
+	return t, nil
+}
+
+// degreesOf recomputes the sorted degree list of a profile whose
+// Strength matrix is already populated.
+func degreesOf(p *Profile) []QubitDegree {
+	out := make([]QubitDegree, p.Qubits)
+	for q := 0; q < p.Qubits; q++ {
+		d := 0
+		for j := 0; j < p.Qubits; j++ {
+			d += p.Strength[q][j]
+		}
+		out[q] = QubitDegree{Qubit: q, Degree: d}
+	}
+	// Insertion sort keeps the canonical (degree desc, id asc) order
+	// without pulling in the sort package for a second time here.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.Degree > b.Degree || (a.Degree == b.Degree && a.Qubit < b.Qubit) {
+				break
+			}
+			out[j-1], out[j] = b, a
+		}
+	}
+	return out
+}
+
+// Peak returns the element-wise maximum of the window matrices: the
+// worst-case instantaneous coupling demand per pair. Pairs that are hot
+// in *some* phase stand out even when the aggregate dilutes them.
+func (t *Temporal) Peak() [][]int {
+	out := make([][]int, t.Qubits)
+	for i := range out {
+		out[i] = make([]int, t.Qubits)
+	}
+	for _, w := range t.Windows {
+		for i := 0; i < t.Qubits; i++ {
+			for j := 0; j < t.Qubits; j++ {
+				if w.Strength[i][j] > out[i][j] {
+					out[i][j] = w.Strength[i][j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Drift quantifies how much the coupling pattern moves over time: the
+// mean, over consecutive window pairs, of the normalised L1 distance
+// between their strength matrices (0 = static pattern, →2 = completely
+// disjoint patterns). Programs with near-zero drift gain nothing from
+// temporal awareness; high-drift programs are the future-work target.
+func (t *Temporal) Drift() float64 {
+	if len(t.Windows) < 2 {
+		return 0
+	}
+	total := 0.0
+	pairs := 0
+	for w := 1; w < len(t.Windows); w++ {
+		a, b := t.Windows[w-1], t.Windows[w]
+		if a.TotalCX == 0 || b.TotalCX == 0 {
+			continue
+		}
+		d := 0.0
+		for i := 0; i < t.Qubits; i++ {
+			for j := i + 1; j < t.Qubits; j++ {
+				fa := float64(a.Strength[i][j]) / float64(a.TotalCX)
+				fb := float64(b.Strength[i][j]) / float64(b.TotalCX)
+				if fa > fb {
+					d += fa - fb
+				} else {
+					d += fb - fa
+				}
+			}
+		}
+		total += d
+		pairs++
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs)
+}

@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"qproc/internal/circuit"
+)
+
+// phaseCircuit couples (0,1) heavily in its first half and (2,3) in its
+// second half — the pattern temporal profiling exists to expose.
+func phaseCircuit() *circuit.Circuit {
+	c := circuit.New("phases", 4)
+	for i := 0; i < 10; i++ {
+		c.CX(0, 1)
+	}
+	for i := 0; i < 10; i++ {
+		c.CX(2, 3)
+	}
+	return c
+}
+
+func TestTemporalWindows(t *testing.T) {
+	tp, err := NewTemporal(phaseCircuit(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Windows) != 2 {
+		t.Fatalf("windows = %d", len(tp.Windows))
+	}
+	w0, w1 := tp.Windows[0], tp.Windows[1]
+	if w0.Strength[0][1] != 10 || w0.Strength[2][3] != 0 {
+		t.Fatalf("window 0: %v", w0.Strength)
+	}
+	if w1.Strength[0][1] != 0 || w1.Strength[2][3] != 10 {
+		t.Fatalf("window 1: %v", w1.Strength)
+	}
+	if w0.Degrees[0].Qubit > 1 {
+		t.Fatalf("window 0 degree head = %+v", w0.Degrees[0])
+	}
+}
+
+func TestTemporalPartitionsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		c := circuit.New("rand", n)
+		for g := 0; g < 10+rng.Intn(120); g++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.CX(a, b)
+			}
+		}
+		windows := 1 + rng.Intn(6)
+		tp, err := NewTemporal(c, windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0
+				for _, w := range tp.Windows {
+					sum += w.Strength[i][j]
+				}
+				if sum != agg.Strength[i][j] {
+					t.Fatalf("windows sum %d != aggregate %d at (%d,%d)", sum, agg.Strength[i][j], i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTemporalPeak(t *testing.T) {
+	tp, err := NewTemporal(phaseCircuit(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := tp.Peak()
+	if peak[0][1] != 10 || peak[2][3] != 10 {
+		t.Fatalf("peak = %v", peak)
+	}
+}
+
+func TestTemporalDrift(t *testing.T) {
+	// Phase circuit: completely disjoint halves -> drift 2.
+	tp, err := NewTemporal(phaseCircuit(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tp.Drift(); d < 1.99 || d > 2.01 {
+		t.Fatalf("disjoint drift = %v, want 2", d)
+	}
+	// Static pattern -> drift 0.
+	static := circuit.New("static", 2)
+	for i := 0; i < 20; i++ {
+		static.CX(0, 1)
+	}
+	tp, err = NewTemporal(static, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tp.Drift(); d != 0 {
+		t.Fatalf("static drift = %v, want 0", d)
+	}
+	// Single window -> drift 0 by definition.
+	tp, err = NewTemporal(phaseCircuit(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Drift() != 0 {
+		t.Fatal("single-window drift nonzero")
+	}
+}
+
+func TestTemporalErrors(t *testing.T) {
+	if _, err := NewTemporal(phaseCircuit(), 0); err == nil {
+		t.Fatal("zero windows accepted")
+	}
+	raw := circuit.New("raw", 3)
+	raw.CCX(0, 1, 2)
+	if _, err := NewTemporal(raw, 2); err == nil {
+		t.Fatal("undecomposed circuit accepted")
+	}
+}

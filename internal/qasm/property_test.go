@@ -1,0 +1,130 @@
+package qasm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qproc/internal/circuit"
+)
+
+// randomCircuit draws a structurally valid circuit from the full gate
+// vocabulary the writer supports.
+func randomCircuit(rng *rand.Rand) *circuit.Circuit {
+	n := 1 + rng.Intn(10)
+	c := circuit.New("prop", n)
+	oneQ := []string{"h", "x", "y", "z", "s", "sdg", "t", "tdg", "id"}
+	param := []string{"rz", "rx", "ry", "u1", "p"}
+	for g := 0; g < rng.Intn(60); g++ {
+		switch rng.Intn(7) {
+		case 0, 1:
+			c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: oneQ[rng.Intn(len(oneQ))], Qubits: []int{rng.Intn(n)}})
+		case 2:
+			c.Append(circuit.Gate{
+				Kind: circuit.OneQubit, Name: param[rng.Intn(len(param))],
+				Qubits: []int{rng.Intn(n)}, Params: []float64{rng.NormFloat64() * 4},
+			})
+		case 3:
+			if n >= 2 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					c.CX(a, b)
+				}
+			}
+		case 4:
+			if n >= 3 {
+				a, b, t := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+				if a != b && b != t && a != t {
+					c.CCX(a, b, t)
+				}
+			}
+		case 5:
+			if n >= 2 {
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					c.Swap(a, b)
+				}
+			}
+		case 6:
+			c.Append(circuit.NewMeasure(rng.Intn(n)))
+		}
+	}
+	return c
+}
+
+// TestPropertyRoundTrip: for random circuits, parse(write(c)) reproduces
+// every gate exactly (names, qubits) and parameters to float64 precision.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		c := randomCircuit(rand.New(rand.NewSource(seed)))
+		text, err := String(c)
+		if err != nil {
+			t.Logf("seed %d: write: %v", seed, err)
+			return false
+		}
+		back, err := ParseString(text)
+		if err != nil {
+			t.Logf("seed %d: parse: %v\n%s", seed, err, text)
+			return false
+		}
+		if back.Qubits != c.Qubits || len(back.Gates) != len(c.Gates) {
+			return false
+		}
+		for i := range c.Gates {
+			a, b := c.Gates[i], back.Gates[i]
+			if a.Kind != b.Kind || a.Name != b.Name || len(a.Qubits) != len(b.Qubits) || len(a.Params) != len(b.Params) {
+				return false
+			}
+			for j := range a.Qubits {
+				if a.Qubits[j] != b.Qubits[j] {
+					return false
+				}
+			}
+			for j := range a.Params {
+				if math.Abs(a.Params[j]-b.Params[j]) > 1e-12*math.Max(1, math.Abs(a.Params[j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics feeds the parser mutated program text; errors are
+// fine, panics are not.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base, err := String(randomCircuit(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		mutated := []byte(base)
+		for m := 0; m < 1+rng.Intn(8); m++ {
+			pos := rng.Intn(len(mutated))
+			switch rng.Intn(3) {
+			case 0:
+				mutated[pos] = byte(rng.Intn(128))
+			case 1:
+				mutated = append(mutated[:pos], mutated[pos+1:]...)
+			case 2:
+				mutated = append(mutated[:pos], append([]byte{byte(rng.Intn(128))}, mutated[pos:]...)...)
+			}
+			if len(mutated) == 0 {
+				break
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n%s", r, mutated)
+				}
+			}()
+			_, _ = ParseString(string(mutated))
+		}()
+	}
+}

@@ -1,0 +1,88 @@
+// Package qasm serialises circuits to and from a subset of OpenQASM 2.0,
+// the interchange format of the QISKit/RevLib benchmark ecosystems the
+// paper draws on. The subset covers one quantum register, one classical
+// register, the named single-qubit gates of the circuit model, cx, swap,
+// ccx, barrier and measure — everything the benchmark suite emits.
+package qasm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"qproc/internal/circuit"
+)
+
+// Write serialises the circuit as OpenQASM 2.0 using quantum register "q"
+// and classical register "c".
+func Write(w io.Writer, c *circuit.Circuit) error {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if c.Name != "" {
+		fmt.Fprintf(&b, "// %s\n", c.Name)
+	}
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.Qubits)
+	fmt.Fprintf(&b, "creg c[%d];\n", c.Qubits)
+	for i, g := range c.Gates {
+		if err := writeGate(&b, g); err != nil {
+			return fmt.Errorf("qasm: gate %d: %w", i, err)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String serialises the circuit to a QASM string.
+func String(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, c); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func writeGate(b *strings.Builder, g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.OneQubit:
+		if g.Name == "" {
+			return fmt.Errorf("one-qubit gate with empty name")
+		}
+		b.WriteString(g.Name)
+		if len(g.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range g.Params {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(b, "%.17g", p)
+			}
+			b.WriteByte(')')
+		}
+		fmt.Fprintf(b, " q[%d];\n", g.Qubits[0])
+	case circuit.CX:
+		fmt.Fprintf(b, "cx q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1])
+	case circuit.SWAP:
+		fmt.Fprintf(b, "swap q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1])
+	case circuit.CCX:
+		fmt.Fprintf(b, "ccx q[%d],q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1], g.Qubits[2])
+	case circuit.Measure:
+		fmt.Fprintf(b, "measure q[%d] -> c[%d];\n", g.Qubits[0], g.Qubits[0])
+	case circuit.Barrier:
+		if len(g.Qubits) == 0 {
+			b.WriteString("barrier q;\n")
+			return nil
+		}
+		b.WriteString("barrier ")
+		for i, q := range g.Qubits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "q[%d]", q)
+		}
+		b.WriteString(";\n")
+	default:
+		return fmt.Errorf("unsupported gate kind %d", g.Kind)
+	}
+	return nil
+}

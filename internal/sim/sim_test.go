@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qproc/internal/circuit"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		b := NewBits(16, uint64(v))
+		return b.Uint64() == uint64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassicalGates(t *testing.T) {
+	c := circuit.New("cls", 3)
+	c.X(0)         // 001
+	c.CX(0, 1)     // 011
+	c.CCX(0, 1, 2) // 111
+	c.Swap(0, 2)   // 111 (symmetric)
+	out, err := Classical(c, NewBits(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Uint64() != 7 {
+		t.Fatalf("out = %03b, want 111", out.Uint64())
+	}
+}
+
+func TestClassicalRejectsNonClassical(t *testing.T) {
+	c := circuit.New("q", 1)
+	c.H(0)
+	if _, err := Classical(c, NewBits(1, 0)); err == nil {
+		t.Fatal("Hadamard accepted by classical simulator")
+	}
+}
+
+func TestClassicalRegisterSizeCheck(t *testing.T) {
+	c := circuit.New("s", 2)
+	if _, err := Classical(c, NewBits(3, 0)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestStateVectorBellPair(t *testing.T) {
+	c := circuit.New("bell", 2)
+	c.H(0).CX(0, 1)
+	s, err := RunCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := 1 / math.Sqrt2
+	if cmplx.Abs(s.Amp[0]-complex(inv, 0)) > 1e-12 ||
+		cmplx.Abs(s.Amp[3]-complex(inv, 0)) > 1e-12 ||
+		cmplx.Abs(s.Amp[1]) > 1e-12 || cmplx.Abs(s.Amp[2]) > 1e-12 {
+		t.Fatalf("Bell state amplitudes: %v", s.Amp)
+	}
+}
+
+func TestStateVectorMatchesClassicalOnBasis(t *testing.T) {
+	// For classical circuits on basis states the two simulators agree.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		c := circuit.New("cls", n)
+		for g := 0; g < 10+rng.Intn(30); g++ {
+			a, b, d := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			switch {
+			case rng.Intn(4) == 0:
+				c.X(a)
+			case a != b && rng.Intn(3) > 0:
+				c.CX(a, b)
+			case a != b && b != d && a != d:
+				c.CCX(a, b, d)
+			}
+		}
+		x := uint64(rng.Intn(1 << uint(n)))
+		bits, err := Classical(c, NewBits(n, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewBasisState(n, x)
+		if err := s.Run(c); err != nil {
+			t.Fatal(err)
+		}
+		want := bits.Uint64()
+		if cmplx.Abs(s.Amp[want]-1) > 1e-9 {
+			t.Fatalf("trial %d: state vector amp[%b] = %v, want 1", trial, want, s.Amp[want])
+		}
+	}
+}
+
+// TestUnitarityPreservesNorm property-checks that random circuits keep
+// the state normalised.
+func TestUnitarityPreservesNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gates := []string{"h", "t", "tdg", "s", "sdg", "x", "y", "z"}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		c := circuit.New("u", n)
+		for g := 0; g < 40; g++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: gates[rng.Intn(len(gates))], Qubits: []int{rng.Intn(n)}})
+			case 1:
+				c.RZ(rng.Intn(n), rng.Float64()*6)
+			case 2:
+				c.RX(rng.Intn(n), rng.Float64()*6)
+			default:
+				if n > 1 {
+					a, b := rng.Intn(n), rng.Intn(n)
+					if a != b {
+						c.CX(a, b)
+					}
+				}
+			}
+		}
+		s, err := RunCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := 0.0
+		for _, a := range s.Amp {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("trial %d: norm = %v", trial, norm)
+		}
+	}
+}
+
+func TestInverseCircuitRestoresState(t *testing.T) {
+	// h, cx, s/sdg, t/tdg pairs compose to identity.
+	c := circuit.New("inv", 2)
+	c.H(0).T(0).CX(0, 1).RZ(1, 0.7)
+	inv := circuit.New("inv2", 2)
+	inv.RZ(1, -0.7).CX(0, 1).Tdg(0).H(0)
+	s := NewState(2)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(inv); err != nil {
+		t.Fatal(err)
+	}
+	if !s.EqualUpToPhase(NewState(2), 1e-9) {
+		t.Fatalf("inverse did not restore |00>: %v", s.Amp)
+	}
+}
+
+func TestPermuteQubits(t *testing.T) {
+	// |01> with qubit0=1; permuting 0<->1 gives |10>.
+	s := NewBasisState(2, 1)
+	p := s.PermuteQubits([]int{1, 0})
+	if cmplx.Abs(p.Amp[2]-1) > 1e-12 {
+		t.Fatalf("permuted amps: %v", p.Amp)
+	}
+	// Identity permutation is a no-op.
+	id := s.PermuteQubits([]int{0, 1})
+	if !id.EqualUpToPhase(s, 1e-12) {
+		t.Fatal("identity permutation changed the state")
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	a := NewBasisState(2, 0)
+	b := NewBasisState(2, 3)
+	if f := a.FidelityTo(b); f != 0 {
+		t.Fatalf("orthogonal fidelity = %v", f)
+	}
+	if f := a.FidelityTo(a); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self fidelity = %v", f)
+	}
+}
+
+func TestRunRejectsMeasure(t *testing.T) {
+	c := circuit.New("m", 1)
+	c.Append(circuit.NewMeasure(0))
+	if _, err := RunCircuit(c); err == nil {
+		t.Fatal("measurement accepted by state-vector simulator")
+	}
+}
+
+func TestRunRejectsUnknownGate(t *testing.T) {
+	c := circuit.New("bad", 1)
+	c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: "frobnicate", Qubits: []int{0}})
+	if _, err := RunCircuit(c); err == nil {
+		t.Fatal("unknown gate accepted")
+	}
+}
+
+func TestQFT3MatchesDFT(t *testing.T) {
+	// A hand-built 3-qubit QFT must produce DFT amplitudes on basis
+	// inputs: |x> -> (1/√8) Σ_y ω^{xy} |y> with qubit 0 the most
+	// significant output bit (standard little-endian QFT without final
+	// reversal gives bit-reversed order; build with explicit swaps).
+	qft := circuit.New("qft3", 3)
+	cp := func(c *circuit.Circuit, ctl, tgt int, theta float64) {
+		c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: "u1", Qubits: []int{ctl}, Params: []float64{theta / 2}})
+		c.CX(ctl, tgt)
+		c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: "u1", Qubits: []int{tgt}, Params: []float64{-theta / 2}})
+		c.CX(ctl, tgt)
+		c.Append(circuit.Gate{Kind: circuit.OneQubit, Name: "u1", Qubits: []int{tgt}, Params: []float64{theta / 2}})
+	}
+	qft.H(0)
+	cp(qft, 1, 0, math.Pi/2)
+	cp(qft, 2, 0, math.Pi/4)
+	qft.H(1)
+	cp(qft, 2, 1, math.Pi/2)
+	qft.H(2)
+	qft.Swap(0, 2)
+
+	// The textbook circuit treats qubit 0 as the most significant bit,
+	// while amplitude indices are little-endian, so both input and output
+	// indices appear bit-reversed relative to the DFT formula.
+	rev3 := func(v uint64) uint64 {
+		return (v&1)<<2 | (v & 2) | (v >> 2 & 1)
+	}
+	for x := uint64(0); x < 8; x++ {
+		s := NewBasisState(3, x)
+		if err := s.Run(qft); err != nil {
+			t.Fatal(err)
+		}
+		for y := uint64(0); y < 8; y++ {
+			angle := 2 * math.Pi * float64(rev3(x)*rev3(y)) / 8
+			want := cmplx.Exp(complex(0, angle)) / complex(math.Sqrt(8), 0)
+			if cmplx.Abs(s.Amp[y]-want) > 1e-9 {
+				t.Fatalf("x=%d y=%d: amp %v, want %v", x, y, s.Amp[y], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"qproc/internal/circuit"
+)
+
+// State is a dense state vector over n qubits; amplitude indexing follows
+// the little-endian convention used by Bits: basis state |x⟩ has index x
+// with qubit i at bit i.
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// NewState returns |0...0⟩ over n qubits. n is capped at 24 (128 MiB of
+// amplitudes) to catch accidental huge allocations in tests.
+func NewState(n int) *State {
+	if n < 0 || n > 24 {
+		panic(fmt.Sprintf("sim: state-vector size %d out of range [0,24]", n))
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<uint(n))}
+	s.Amp[0] = 1
+	return s
+}
+
+// NewBasisState returns |x⟩ over n qubits.
+func NewBasisState(n int, x uint64) *State {
+	s := NewState(n)
+	s.Amp[0] = 0
+	s.Amp[x] = 1
+	return s
+}
+
+// Matrix2 is a single-qubit unitary in row-major order.
+type Matrix2 [2][2]complex128
+
+// gateMatrix returns the matrix of a named single-qubit gate.
+func gateMatrix(name string, params []float64) (Matrix2, error) {
+	inv2 := complex(1/math.Sqrt2, 0)
+	switch name {
+	case "id":
+		return Matrix2{{1, 0}, {0, 1}}, nil
+	case "x":
+		return Matrix2{{0, 1}, {1, 0}}, nil
+	case "y":
+		return Matrix2{{0, -1i}, {1i, 0}}, nil
+	case "z":
+		return Matrix2{{1, 0}, {0, -1}}, nil
+	case "h":
+		return Matrix2{{inv2, inv2}, {inv2, -inv2}}, nil
+	case "s":
+		return Matrix2{{1, 0}, {0, 1i}}, nil
+	case "sdg":
+		return Matrix2{{1, 0}, {0, -1i}}, nil
+	case "t":
+		return Matrix2{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}}, nil
+	case "tdg":
+		return Matrix2{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}}, nil
+	case "rz":
+		if len(params) != 1 {
+			return Matrix2{}, fmt.Errorf("sim: rz needs 1 parameter")
+		}
+		half := params[0] / 2
+		return Matrix2{
+			{cmplx.Exp(complex(0, -half)), 0},
+			{0, cmplx.Exp(complex(0, half))},
+		}, nil
+	case "p", "u1":
+		if len(params) != 1 {
+			return Matrix2{}, fmt.Errorf("sim: %s needs 1 parameter", name)
+		}
+		return Matrix2{{1, 0}, {0, cmplx.Exp(complex(0, params[0]))}}, nil
+	case "rx":
+		if len(params) != 1 {
+			return Matrix2{}, fmt.Errorf("sim: rx needs 1 parameter")
+		}
+		c := complex(math.Cos(params[0]/2), 0)
+		s := complex(0, -math.Sin(params[0]/2))
+		return Matrix2{{c, s}, {s, c}}, nil
+	case "ry":
+		if len(params) != 1 {
+			return Matrix2{}, fmt.Errorf("sim: ry needs 1 parameter")
+		}
+		c := complex(math.Cos(params[0]/2), 0)
+		s := complex(math.Sin(params[0]/2), 0)
+		return Matrix2{{c, -s}, {s, c}}, nil
+	}
+	return Matrix2{}, fmt.Errorf("sim: unknown single-qubit gate %q", name)
+}
+
+// Apply1Q applies the matrix to qubit q.
+func (s *State) Apply1Q(q int, m Matrix2) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = m[0][0]*a0 + m[0][1]*a1
+		s.Amp[j] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// ApplyCX applies a CNOT with the given control and target.
+func (s *State) ApplyCX(control, target int) {
+	cb := uint64(1) << uint(control)
+	tb := uint64(1) << uint(target)
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// ApplySwap exchanges two qubits.
+func (s *State) ApplySwap(a, b int) {
+	ab := uint64(1) << uint(a)
+	bb := uint64(1) << uint(b)
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		if i&ab != 0 && i&bb == 0 {
+			j := i&^ab | bb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// ApplyCCX applies a Toffoli.
+func (s *State) ApplyCCX(c0, c1, t int) {
+	b0 := uint64(1) << uint(c0)
+	b1 := uint64(1) << uint(c1)
+	tb := uint64(1) << uint(t)
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		if i&b0 != 0 && i&b1 != 0 && i&tb == 0 {
+			j := i | tb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
+// Run applies every gate of the circuit to the state. Measurements are
+// rejected (the equivalence tests compare pure states); barriers are
+// no-ops.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.Qubits != s.N {
+		return fmt.Errorf("sim: circuit has %d qubits, state %d", c.Qubits, s.N)
+	}
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case circuit.OneQubit:
+			m, err := gateMatrix(g.Name, g.Params)
+			if err != nil {
+				return fmt.Errorf("gate %d: %w", i, err)
+			}
+			s.Apply1Q(g.Qubits[0], m)
+		case circuit.CX:
+			s.ApplyCX(g.Qubits[0], g.Qubits[1])
+		case circuit.SWAP:
+			s.ApplySwap(g.Qubits[0], g.Qubits[1])
+		case circuit.CCX:
+			s.ApplyCCX(g.Qubits[0], g.Qubits[1], g.Qubits[2])
+		case circuit.Barrier:
+			// no-op
+		case circuit.Measure:
+			return fmt.Errorf("sim: gate %d: state-vector simulation of measurements unsupported", i)
+		default:
+			return fmt.Errorf("sim: gate %d: unknown kind %d", i, g.Kind)
+		}
+	}
+	return nil
+}
+
+// RunCircuit simulates c from |0...0⟩.
+func RunCircuit(c *circuit.Circuit) (*State, error) {
+	s := NewState(c.Qubits)
+	if err := s.Run(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PermuteQubits returns the state with qubits relabelled: qubit i of the
+// input becomes qubit perm[i] of the output. It lets tests compare a
+// mapped physical state against the logical reference.
+func (s *State) PermuteQubits(perm []int) *State {
+	if len(perm) != s.N {
+		panic("sim: permutation length mismatch")
+	}
+	out := NewState(s.N)
+	out.Amp[0] = 0
+	for i := uint64(0); i < uint64(len(s.Amp)); i++ {
+		var j uint64
+		for q := 0; q < s.N; q++ {
+			if i>>uint(q)&1 == 1 {
+				j |= 1 << uint(perm[q])
+			}
+		}
+		out.Amp[j] = s.Amp[i]
+	}
+	return out
+}
+
+// FidelityTo returns |⟨s|t⟩|², 1 for identical states up to global phase.
+func (s *State) FidelityTo(t *State) float64 {
+	if s.N != t.N {
+		return 0
+	}
+	var dot complex128
+	for i := range s.Amp {
+		dot += cmplx.Conj(s.Amp[i]) * t.Amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// EqualUpToPhase reports whether the states match up to global phase
+// within tolerance eps on fidelity.
+func (s *State) EqualUpToPhase(t *State, eps float64) bool {
+	return math.Abs(1-s.FidelityTo(t)) < eps
+}

@@ -1,0 +1,170 @@
+// Package yield estimates the fabrication yield rate of a processor design
+// by Monte-Carlo simulation of IBM's yield model (Section 4.3.1): each
+// simulated fabrication adds Gaussian noise N(0, σ) to every qubit's
+// pre-fabrication frequency and succeeds iff no frequency-collision
+// condition of Figure 3 occurs anywhere on the chip. The yield rate is the
+// fraction of successful fabrications.
+//
+// All simulators are deterministic for a given seed; candidate comparisons
+// (frequency allocation) use common random numbers so that the winning
+// candidate is stable and the comparison is low-variance.
+package yield
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"qproc/internal/arch"
+	"qproc/internal/collision"
+)
+
+// DefaultSigma is the fabrication precision parameter σ in GHz: 30 MHz,
+// the paper's "realistic extrapolation of progress in hardware by IBM".
+const DefaultSigma = 0.030
+
+// DefaultTrials is the paper's Monte-Carlo trial count per architecture
+// (10× IBM's own experiments, §5.1).
+const DefaultTrials = 10000
+
+// Simulator runs yield Monte-Carlo with fixed parameters.
+type Simulator struct {
+	// Sigma is the Gaussian frequency-noise standard deviation, GHz.
+	Sigma float64
+	// Trials is the number of simulated fabrications.
+	Trials int
+	// Seed makes the simulation reproducible.
+	Seed int64
+	// Params are the collision-model constants.
+	Params collision.Params
+	// Parallel enables evaluation of trials across CPUs. The estimate is
+	// identical either way; parallelism only changes wall-clock time.
+	Parallel bool
+}
+
+// New returns a Simulator with the paper's evaluation configuration:
+// σ = 30 MHz, 10 000 trials, default collision constants.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		Sigma:    DefaultSigma,
+		Trials:   DefaultTrials,
+		Seed:     seed,
+		Params:   collision.DefaultParams(),
+		Parallel: true,
+	}
+}
+
+// Estimate returns the simulated yield rate of the architecture. It
+// panics if the architecture has no frequency assignment: estimating the
+// yield of an unfrequencied design is a flow-ordering bug.
+func (s *Simulator) Estimate(a *arch.Architecture) float64 {
+	if a.Freqs == nil {
+		panic(fmt.Sprintf("yield: architecture %q has no frequency assignment", a.Name))
+	}
+	return s.EstimateFreqs(a.AdjList(), a.Freqs)
+}
+
+// EstimateFreqs returns the simulated yield rate of the frequency
+// assignment freqs over the coupling graph adj.
+func (s *Simulator) EstimateFreqs(adj [][]int, freqs []float64) float64 {
+	noise := s.GenNoise(len(freqs))
+	return s.EstimateWithNoise(adj, freqs, noise)
+}
+
+// GenNoise draws the per-trial, per-qubit frequency noise matrix
+// (Trials × n) from the simulator's seed. Reusing one noise matrix across
+// several candidate frequency assignments implements common random
+// numbers.
+func (s *Simulator) GenNoise(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(s.Seed))
+	noise := make([][]float64, s.Trials)
+	flat := make([]float64, s.Trials*n)
+	for t := range noise {
+		row := flat[t*n : (t+1)*n]
+		for q := range row {
+			row[q] = rng.NormFloat64() * s.Sigma
+		}
+		noise[t] = row
+	}
+	return noise
+}
+
+// EstimateWithNoise returns the yield of freqs over adj under the given
+// pre-drawn noise matrix (rows = trials). The gate orientation is
+// compiled once from the design frequencies — the direction of every
+// cross-resonance gate is a design-time choice and does not move with
+// fabrication noise. Rows shorter than freqs are a programming error and
+// panic via index.
+func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise [][]float64) float64 {
+	if len(noise) == 0 {
+		return 0
+	}
+	n := len(freqs)
+	checker := collision.NewChecker(adj, freqs, s.Params)
+	countChunk := func(rows [][]float64) int {
+		post := make([]float64, n)
+		ok := 0
+		for _, row := range rows {
+			for q := 0; q < n; q++ {
+				post[q] = freqs[q] + row[q]
+			}
+			if !checker.Collides(post) {
+				ok++
+			}
+		}
+		return ok
+	}
+	if !s.Parallel || len(noise) < 256 {
+		return float64(countChunk(noise)) / float64(len(noise))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(noise) {
+		workers = len(noise)
+	}
+	chunk := (len(noise) + workers - 1) / workers
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(noise) {
+			hi = len(noise)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			counts[w] = countChunk(noise[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(len(noise))
+}
+
+// Subgraph extracts the induced coupling subgraph on the qubit set keep
+// (arbitrary order, no duplicates) from adj, returning the re-indexed
+// adjacency lists and, for convenience, the mapping from new index to old
+// qubit id (= keep itself). Frequency allocation uses it to simulate a
+// qubit's local region only.
+func Subgraph(adj [][]int, keep []int) [][]int {
+	index := make(map[int]int, len(keep))
+	for i, q := range keep {
+		index[q] = i
+	}
+	out := make([][]int, len(keep))
+	for i, q := range keep {
+		for _, nb := range adj[q] {
+			if j, ok := index[nb]; ok {
+				out[i] = append(out[i], j)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package qproc is the public API of the application-specific
+// superconducting quantum processor architecture design flow of Li, Ding
+// and Xie (ASPLOS 2020): given a quantum program it profiles the program's
+// two-qubit-gate structure and generates a series of processor
+// architectures — qubit layout on a 2D lattice, 2-/4-qubit resonator
+// buses, per-qubit frequencies — that trade fabrication yield against
+// performance far better than general-purpose designs.
+//
+// # Quick start
+//
+//	c := qproc.Benchmark("UCCSD_ansatz_8")      // or build/parse your own
+//	flow := qproc.NewFlow(1)                    // deterministic seed
+//	designs, err := flow.Series(c, -1)          // one design per 4-qubit-bus count
+//	sim := qproc.NewYieldSimulator(1)
+//	for _, d := range designs {
+//	    res, _ := qproc.MapCircuit(c, d.Arch)
+//	    fmt.Println(d.Arch, res.GateCount, sim.Estimate(d.Arch))
+//	}
+//
+// The subpackages under internal implement the individual systems
+// (profiler, layout/bus/frequency subroutines, collision model, yield
+// Monte-Carlo, SABRE mapper, benchmark generators); this package
+// re-exports the surface a downstream user needs.
+package qproc
+
+import (
+	"io"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/core"
+	"qproc/internal/freq"
+	"qproc/internal/gen"
+	"qproc/internal/lattice"
+	"qproc/internal/mapper"
+	"qproc/internal/profile"
+	"qproc/internal/qasm"
+	"qproc/internal/yield"
+)
+
+// Core circuit and profiling types.
+type (
+	// Circuit is a quantum program over logical qubits.
+	Circuit = circuit.Circuit
+	// Gate is one operation of a Circuit.
+	Gate = circuit.Gate
+	// Profile is the program profile: coupling strength matrix and
+	// coupling degree list.
+	Profile = profile.Profile
+)
+
+// Architecture and design-flow types.
+type (
+	// Architecture is a processor design: placed qubits, buses,
+	// frequencies.
+	Architecture = arch.Architecture
+	// Coord is a 2D lattice node.
+	Coord = lattice.Coord
+	// Flow is the end-to-end design flow with its tuning parameters.
+	Flow = core.Flow
+	// Design is one generated architecture with provenance.
+	Design = core.Design
+	// Config names one of the paper's five experiment configurations.
+	Config = core.Config
+	// YieldSimulator estimates fabrication yield by Monte-Carlo.
+	YieldSimulator = yield.Simulator
+	// MapResult is the outcome of routing a circuit onto an
+	// architecture.
+	MapResult = mapper.Result
+	// MapperOptions tunes the SABRE router.
+	MapperOptions = mapper.Options
+	// FrequencyAllocator runs Algorithm 3 standalone.
+	FrequencyAllocator = freq.Allocator
+	// BenchmarkSpec describes one generated evaluation benchmark.
+	BenchmarkSpec = gen.Benchmark
+)
+
+// NewCircuit returns an empty circuit over n logical qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// ProfileCircuit profiles a program in the decomposed {1q, CX} basis.
+func ProfileCircuit(c *Circuit) (*Profile, error) { return profile.New(c) }
+
+// TemporalProfile is the windowed (time-sliced) program profile — the
+// Section 6 finer-grained profiling extension.
+type TemporalProfile = profile.Temporal
+
+// ProfileTemporal profiles a program into n consecutive two-qubit-gate
+// windows, exposing phase behaviour the aggregate matrix hides.
+func ProfileTemporal(c *Circuit, n int) (*TemporalProfile, error) {
+	return profile.NewTemporal(c, n)
+}
+
+// NewFlow returns the design flow with default parameters and the given
+// deterministic seed.
+func NewFlow(seed int64) *Flow { return core.NewFlow(seed) }
+
+// NewYieldSimulator returns a yield Monte-Carlo simulator with the
+// paper's evaluation parameters (σ = 30 MHz, 10 000 trials).
+func NewYieldSimulator(seed int64) *YieldSimulator { return yield.New(seed) }
+
+// NewFrequencyAllocator returns an Algorithm 3 frequency allocator.
+func NewFrequencyAllocator(seed int64) *FrequencyAllocator { return freq.NewAllocator(seed) }
+
+// MapCircuit routes a decomposed circuit onto an architecture with the
+// default SABRE parameters, returning the physical circuit and the
+// post-mapping gate count (the paper's performance metric).
+func MapCircuit(c *Circuit, a *Architecture) (*MapResult, error) {
+	return mapper.Map(c, a, mapper.DefaultOptions())
+}
+
+// MapCircuitOpts is MapCircuit with explicit router options.
+func MapCircuitOpts(c *Circuit, a *Architecture, opt MapperOptions) (*MapResult, error) {
+	return mapper.Map(c, a, opt)
+}
+
+// DefaultMapperOptions returns the default SABRE parameters.
+func DefaultMapperOptions() MapperOptions { return mapper.DefaultOptions() }
+
+// Benchmarks lists the paper's twelve evaluation programs.
+func Benchmarks() []BenchmarkSpec { return gen.Suite() }
+
+// Benchmark builds the named evaluation program in the decomposed basis.
+// It panics on unknown names; use LookupBenchmark to probe.
+func Benchmark(name string) *Circuit {
+	b, err := gen.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b.Build()
+}
+
+// LookupBenchmark returns the named benchmark spec.
+func LookupBenchmark(name string) (BenchmarkSpec, error) { return gen.Get(name) }
+
+// Baseline identifies one of IBM's four general-purpose designs.
+type Baseline = arch.Baseline
+
+// IBM baseline identifiers (Figure 9 designs (1)-(4)).
+const (
+	IBM16Q2Bus = arch.IBM16Q2Bus
+	IBM16Q4Bus = arch.IBM16Q4Bus
+	IBM20Q2Bus = arch.IBM20Q2Bus
+	IBM20Q4Bus = arch.IBM20Q4Bus
+)
+
+// NewBaseline constructs one of IBM's four general-purpose designs,
+// frequencies included.
+func NewBaseline(b Baseline) *Architecture { return arch.NewBaseline(b) }
+
+// Baselines lists the four IBM designs in Figure 9 order.
+func Baselines() []Baseline { return arch.Baselines() }
+
+// NewArchitecture places one qubit per coordinate and joins adjacent
+// qubits with 2-qubit buses.
+func NewArchitecture(name string, coords []Coord) (*Architecture, error) {
+	return arch.New(name, coords)
+}
+
+// ParseQASM reads an OpenQASM 2.0 program (see internal/qasm for the
+// supported subset).
+func ParseQASM(r io.Reader) (*Circuit, error) { return qasm.Parse(r) }
+
+// WriteQASM serialises a circuit as OpenQASM 2.0.
+func WriteQASM(w io.Writer, c *Circuit) error { return qasm.Write(w, c) }
+
+// Experiment configurations (Section 5.2).
+const (
+	ConfigIBM           = core.ConfigIBM
+	ConfigEffFull       = core.ConfigEffFull
+	ConfigEff5Freq      = core.ConfigEff5Freq
+	ConfigEffRdBus      = core.ConfigEffRdBus
+	ConfigEffLayoutOnly = core.ConfigEffLayoutOnly
+)

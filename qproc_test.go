@@ -1,0 +1,133 @@
+package qproc_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qproc"
+)
+
+// TestQuickstartFlow exercises the documented public-API path end to end:
+// benchmark → profile → design series → mapping → yield.
+func TestQuickstartFlow(t *testing.T) {
+	c := qproc.Benchmark("sym6_145")
+	p, err := qproc.ProfileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Qubits != 7 || p.TotalCX == 0 {
+		t.Fatalf("profile: %d qubits, %d CX", p.Qubits, p.TotalCX)
+	}
+
+	flow := qproc.NewFlow(1)
+	flow.FreqLocalTrials = 200
+	designs, err := flow.Series(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 2 {
+		t.Fatalf("series length %d", len(designs))
+	}
+
+	sim := qproc.NewYieldSimulator(1)
+	sim.Trials = 1000
+	for _, d := range designs {
+		res, err := qproc.MapCircuit(c, d.Arch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GateCount < c.GateCount() {
+			t.Fatalf("mapped gate count %d below original %d", res.GateCount, c.GateCount())
+		}
+		y := sim.Estimate(d.Arch)
+		if y <= 0 || y > 1 {
+			t.Fatalf("yield %v out of range", y)
+		}
+	}
+}
+
+func TestBaselinesExported(t *testing.T) {
+	wantQubits := []int{16, 16, 20, 20}
+	baselines := []struct {
+		a      *qproc.Architecture
+		qubits int
+	}{
+		{qproc.NewBaseline(qproc.IBM16Q2Bus), wantQubits[0]},
+		{qproc.NewBaseline(qproc.IBM16Q4Bus), wantQubits[1]},
+		{qproc.NewBaseline(qproc.IBM20Q2Bus), wantQubits[2]},
+		{qproc.NewBaseline(qproc.IBM20Q4Bus), wantQubits[3]},
+	}
+	for i, b := range baselines {
+		if b.a.NumQubits() != b.qubits {
+			t.Errorf("baseline %d: %d qubits, want %d", i+1, b.a.NumQubits(), b.qubits)
+		}
+		if err := b.a.Validate(); err != nil {
+			t.Errorf("baseline %d invalid: %v", i+1, err)
+		}
+	}
+}
+
+func TestQASMRoundTripViaFacade(t *testing.T) {
+	c := qproc.Benchmark("dc1_220")
+	var buf bytes.Buffer
+	if err := qproc.WriteQASM(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := qproc.ParseQASM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Qubits != c.Qubits || len(back.Gates) != len(c.Gates) {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d",
+			back.Qubits, len(back.Gates), c.Qubits, len(c.Gates))
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if got := len(qproc.Benchmarks()); got != 12 {
+		t.Fatalf("suite size %d", got)
+	}
+	if _, err := qproc.LookupBenchmark("qft_16"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qproc.LookupBenchmark("bogus"); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Benchmark should panic on unknown name")
+		}
+	}()
+	qproc.Benchmark("bogus")
+}
+
+func TestBuildCustomCircuit(t *testing.T) {
+	c := qproc.NewCircuit("custom", 4)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()
+	flow := qproc.NewFlow(7)
+	flow.FreqLocalTrials = 150
+	designs, err := flow.Series(c, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("no designs")
+	}
+	arch := designs[0].Arch
+	if arch.NumQubits() != 4 {
+		t.Fatalf("physical qubits = %d", arch.NumQubits())
+	}
+	if !strings.Contains(arch.Name, "custom") {
+		t.Errorf("design name %q", arch.Name)
+	}
+}
+
+func TestFrequencyAllocatorExported(t *testing.T) {
+	a := qproc.NewBaseline(qproc.IBM16Q2Bus)
+	al := qproc.NewFrequencyAllocator(1)
+	freqs := al.Allocate(a)
+	if len(freqs) != 16 {
+		t.Fatalf("allocated %d frequencies", len(freqs))
+	}
+}
