@@ -184,6 +184,49 @@ func BenchmarkSummaryFreq(b *testing.B) {
 	})
 }
 
+// BenchmarkRunAll measures the design-space engine end to end: the
+// whole twelve-benchmark suite at QuickOptions-scale budgets, serial vs
+// design-level parallel execution of the identical deterministic
+// workload (the two modes produce bit-identical results; compare ns/op
+// for the fan-out win, and see BenchmarkEstimateCached/-Uncached in
+// internal/yield for the noise-cache effect in isolation).
+func BenchmarkRunAll(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"serial", false}, {"parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := benchOptions()
+			opt.Parallel = mode.parallel
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner(opt)
+				if _, err := r.RunAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweep measures the sweep engine on a 2-σ × 2-aux slice of one
+// benchmark.
+func BenchmarkSweep(b *testing.B) {
+	spec := experiments.SweepSpec{
+		Benchmarks: []string{"sym6_145"},
+		Configs:    []core.Config{core.ConfigIBM, core.ConfigEffFull},
+		AuxCounts:  []int{0, 1},
+		Sigmas:     []float64{0.02, 0.04},
+	}
+	opt := benchOptions()
+	opt.Parallel = true
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(opt)
+		if _, err := r.Sweep(spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- ablation and micro benches -------------------------------------
 
 // BenchmarkAblationFreqScoring compares the two Algorithm 3 scoring

@@ -10,14 +10,22 @@
 //	experiments -summary overall|layout|bus|freq
 //	experiments -all              # everything (the paper-fidelity run)
 //	experiments -quick ...        # reduced Monte-Carlo budgets
+//	experiments -sweep [-sweep-bench a,b] [-aux 0,1] [-sigmas 0.02,0.03] \
+//	            [-configs eff-full,ibm] [-out sweep.json]
+//
+// The sweep fans out over (benchmark × config × aux-count × σ), prints
+// per-cell progress to stderr and exports the full point set as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
 )
@@ -30,6 +38,14 @@ func main() {
 		all     = flag.Bool("all", false, "regenerate everything")
 		quick   = flag.Bool("quick", false, "reduced Monte-Carlo budgets (fast smoke run)")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
+		workers = flag.Int("workers", 0, "bound on concurrent evaluations per fan-out level (0 = GOMAXPROCS)")
+		serial  = flag.Bool("serial", false, "disable all parallelism")
+		sweep   = flag.Bool("sweep", false, "run a design-space sweep")
+		sweepB  = flag.String("sweep-bench", "", "comma-separated benchmarks for -sweep (default all)")
+		auxFlag = flag.String("aux", "", "comma-separated auxiliary qubit counts for -sweep (default 0)")
+		sigmas  = flag.String("sigmas", "", "comma-separated fabrication σ values in GHz for -sweep (default 0.030)")
+		configs = flag.String("configs", "", "comma-separated configurations for -sweep (default all five)")
+		out     = flag.String("out", "", "write -sweep JSON to this file (default stdout)")
 	)
 	flag.Parse()
 
@@ -38,9 +54,15 @@ func main() {
 		opt = experiments.QuickOptions()
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	if *serial {
+		opt.Parallel = false
+	}
 	r := experiments.NewRunner(opt)
 
 	switch {
+	case *sweep:
+		runSweep(r, *sweepB, *auxFlag, *sigmas, *configs, *out)
 	case *fig == 4:
 		s, err := experiments.Fig4()
 		check(err)
@@ -104,6 +126,59 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSweep parses the sweep axes, runs the design-space sweep with
+// progress on stderr and writes the JSON result.
+func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out string) {
+	spec := experiments.SweepSpec{Benchmarks: splitList(benches)}
+	for _, s := range splitList(aux) {
+		v, err := strconv.Atoi(s)
+		check(err)
+		spec.AuxCounts = append(spec.AuxCounts, v)
+	}
+	for _, s := range splitList(sigmas) {
+		v, err := strconv.ParseFloat(s, 64)
+		check(err)
+		spec.Sigmas = append(spec.Sigmas, v)
+	}
+	for _, s := range splitList(configs) {
+		spec.Configs = append(spec.Configs, core.Config(s))
+	}
+
+	start := time.Now()
+	res, err := r.Sweep(spec, func(p experiments.SweepProgress) {
+		status := "ok"
+		if p.Err != nil {
+			status = "FAIL: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s, %s)\n",
+			p.Done, p.Total, p.Cell, status, time.Since(start).Round(time.Millisecond))
+	})
+	check(err)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		check(err)
+		defer f.Close()
+		w = f
+	}
+	check(res.WriteJSON(w))
+	hits, misses := r.NoiseCacheStats()
+	fmt.Fprintf(os.Stderr, "%d points, %s (noise cache: %d hits, %d misses)\n",
+		len(res.Points), time.Since(start).Round(time.Millisecond), hits, misses)
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func check(err error) {

@@ -6,12 +6,15 @@
 //	qyield -baseline 1..4          # one of the IBM reference designs
 //	qyield -arch design.json       # a design produced by qdesign
 //	qyield -arch design.json -sigma 0.06 -trials 100000
+//	qyield -baseline 2 -sigmas 0.01,0.02,0.03,0.06   # σ sensitivity table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"qproc/internal/arch"
 	"qproc/internal/collision"
@@ -23,6 +26,7 @@ func main() {
 		baseline = flag.Int("baseline", 0, "IBM baseline number (1-4)")
 		file     = flag.String("arch", "", "architecture JSON file")
 		sigma    = flag.Float64("sigma", yield.DefaultSigma, "fabrication noise σ in GHz")
+		sigmas   = flag.String("sigmas", "", "comma-separated σ values: print a sensitivity table")
 		trials   = flag.Int("trials", yield.DefaultTrials, "Monte-Carlo trials")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 	)
@@ -51,8 +55,30 @@ func main() {
 	}
 
 	sim := yield.New(*seed)
-	sim.Sigma = *sigma
 	sim.Trials = *trials
+
+	if *sigmas != "" {
+		fmt.Printf("%s\n", a)
+		fmt.Printf("%d trials per σ\n", *trials)
+		fmt.Println("sigma(MHz)  yield      E[collisions]")
+		for _, s := range strings.Split(*sigmas, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				fatal(err)
+			}
+			sim.Sigma = v
+			y := sim.Estimate(a)
+			e := collision.ExpectedCollisions(a.AdjList(), a.Freqs, v, collision.DefaultParams())
+			fmt.Printf("%-11.0f %-10.4g %.2f\n", v*1000, y, e)
+		}
+		return
+	}
+
+	sim.Sigma = *sigma
 	y := sim.Estimate(a)
 	e := collision.ExpectedCollisions(a.AdjList(), a.Freqs, *sigma, collision.DefaultParams())
 	fmt.Printf("%s\n", a)

@@ -1,0 +1,3 @@
+module qproc
+
+go 1.21

@@ -138,6 +138,38 @@ func (f *Flow) SeriesWithAux(c *circuit.Circuit, maxBuses, aux int) ([]*Design, 
 	return f.series(c, maxBuses, ConfigEffFull, aux)
 }
 
+// SeriesConfig generates the design series of any configuration through
+// one entry point, the dispatch the design-space sweep engine fans out
+// over. samples is only consulted by ConfigEffRdBus; aux auxiliary
+// qubits are supported by the series configurations (eff-full,
+// eff-5-freq) and by ConfigIBM/eff-rd-bus/eff-layout-only only at
+// aux = 0, since the baselines are fixed chips and the ablations are
+// defined on the bare layout.
+func (f *Flow) SeriesConfig(c *circuit.Circuit, cfg Config, maxBuses, aux, samples int) ([]*Design, error) {
+	if aux < 0 {
+		return nil, fmt.Errorf("core: negative aux qubit count %d", aux)
+	}
+	if aux > 0 {
+		switch cfg {
+		case ConfigEffFull, ConfigEff5Freq:
+		default:
+			return nil, fmt.Errorf("core: configuration %s does not support auxiliary qubits", cfg)
+		}
+	}
+	switch cfg {
+	case ConfigIBM:
+		return f.Baselines(c), nil
+	case ConfigEffFull, ConfigEff5Freq:
+		return f.series(c, maxBuses, cfg, aux)
+	case ConfigEffRdBus:
+		return f.SeriesRandomBus(c, maxBuses, samples)
+	case ConfigEffLayoutOnly:
+		return f.LayoutOnly(c)
+	default:
+		return nil, fmt.Errorf("core: unknown configuration %q", cfg)
+	}
+}
+
 func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]*Design, error) {
 	p, err := f.Profile(c)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qproc/internal/arch"
 	"qproc/internal/circuit"
@@ -36,8 +37,24 @@ type Options struct {
 	MaxBuses int
 	// Mapper holds the SABRE parameters.
 	Mapper mapper.Options
-	// Parallel runs benchmarks concurrently.
+	// Parallel enables every level of fan-out: benchmarks in RunAll,
+	// designs inside RunCircuit, groups inside Sweep, and trials inside
+	// the yield simulator. Results are bit-identical with Parallel off;
+	// only wall-clock time changes.
 	Parallel bool
+	// Workers bounds the number of concurrent evaluations at each
+	// fan-out level independently (so nested levels multiply: RunAll
+	// over benchmarks × RunCircuit over designs); 0 means GOMAXPROCS
+	// per level. The Go scheduler time-slices the excess.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions reproduces the paper's evaluation configuration.
@@ -66,18 +83,18 @@ func QuickOptions() Options {
 // Point is one data point of Figure 10: one architecture evaluated for
 // one benchmark.
 type Point struct {
-	Benchmark   string
-	Config      core.Config
-	Label       string // "(1)".."(4)" for baselines, "k=N" for series
-	Qubits      int    // physical qubits of the architecture
-	Connections int    // coupled pairs
-	Buses       int    // multi-qubit buses
-	GateCount   int    // post-mapping total gate count
-	Swaps       int    // SWAPs the mapper inserted
-	Yield       float64
+	Benchmark   string      `json:"benchmark"`
+	Config      core.Config `json:"config"`
+	Label       string      `json:"label"`       // "(1)".."(4)" for baselines, "k=N" for series
+	Qubits      int         `json:"qubits"`      // physical qubits of the architecture
+	Connections int         `json:"connections"` // coupled pairs
+	Buses       int         `json:"buses"`       // multi-qubit buses
+	GateCount   int         `json:"gate_count"`  // post-mapping total gate count
+	Swaps       int         `json:"swaps"`       // SWAPs the mapper inserted
+	Yield       float64     `json:"yield"`
 	// NormPerf is the paper's X axis: gate count of the ibm (1) baseline
 	// divided by this design's gate count (normalised reciprocal).
-	NormPerf float64
+	NormPerf float64 `json:"norm_perf"`
 }
 
 // BenchmarkResult carries every point of one Figure 10 subplot.
@@ -98,16 +115,27 @@ func (r *BenchmarkResult) ByConfig(cfg core.Config) []Point {
 	return out
 }
 
-// Runner executes the evaluation.
+// Runner executes the evaluation. All entry points share one noise
+// cache, so every design with the same qubit count (and σ) is simulated
+// under the same fabrications — the common-random-numbers discipline —
+// and the Trials × n Gaussian matrix is drawn once per qubit count
+// instead of once per design. A Runner is safe for concurrent use.
 type Runner struct {
-	opt Options
+	opt   Options
+	cache *yield.NoiseCache
 }
 
 // NewRunner returns a Runner with the given options.
-func NewRunner(opt Options) *Runner { return &Runner{opt: opt} }
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt, cache: yield.NewNoiseCache()}
+}
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opt }
+
+// NoiseCacheStats exposes the shared noise cache's hit/miss counters
+// (for reporting and tests).
+func (r *Runner) NoiseCacheStats() (hits, misses uint64) { return r.cache.Stats() }
 
 func (r *Runner) flow() *core.Flow {
 	f := core.NewFlow(r.opt.Seed)
@@ -118,7 +146,43 @@ func (r *Runner) flow() *core.Flow {
 func (r *Runner) simulator() *yield.Simulator {
 	s := yield.New(r.opt.Seed + 7919)
 	s.Trials = r.opt.YieldTrials
+	s.Cache = r.cache
+	s.Parallel = r.opt.Parallel
+	s.Workers = r.opt.Workers
 	return s
+}
+
+// forEach runs fn(0..n-1), fanning out over a bounded worker pool when
+// the options ask for parallelism. Every index runs exactly once; fn
+// must write its result by index so that the outcome is independent of
+// scheduling.
+func (r *Runner) forEach(n int, fn func(int)) {
+	workers := r.opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if !r.opt.Parallel || workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // RunBenchmark evaluates all five configurations for the named benchmark
@@ -132,64 +196,78 @@ func (r *Runner) RunBenchmark(name string) (*BenchmarkResult, error) {
 }
 
 // RunCircuit evaluates all five configurations for an arbitrary program
-// in the decomposed basis.
+// in the decomposed basis. Design generation fans out per configuration
+// and design evaluation (SABRE mapping + Monte-Carlo yield) fans out per
+// design over a bounded worker pool, so a single benchmark saturates all
+// cores; the result is bit-identical to a sequential run.
 func (r *Runner) RunCircuit(c *circuit.Circuit) (*BenchmarkResult, error) {
 	flow := r.flow()
 	sim := r.simulator()
 	res := &BenchmarkResult{Name: c.Name, Qubits: c.Qubits}
 
-	// ibm baselines first: baseline (1) defines the normalisation.
+	// ibm baselines: baseline (1) defines the normalisation.
 	baselines := flow.Baselines(c)
 	if len(baselines) == 0 {
 		return nil, fmt.Errorf("experiments: %s needs %d qubits, exceeding every baseline", c.Name, c.Qubits)
 	}
-	var baseGates int
-	for i, d := range baselines {
-		pt, err := r.evaluate(c, d, sim)
-		if err != nil {
-			return nil, err
-		}
-		pt.Label = fmt.Sprintf("(%d)", i+1)
-		if i == 0 {
-			baseGates = pt.GateCount
-		}
-		res.Points = append(res.Points, pt)
-	}
 
+	// Generate the four series. Each generator is deterministic and
+	// independent (seeded from the flow alone), so they run concurrently.
 	type seriesRun struct {
+		cfg     core.Config
 		designs []*core.Design
 		err     error
 	}
-	runs := map[core.Config]seriesRun{}
-	full, err := flow.Series(c, r.opt.MaxBuses)
-	runs[core.ConfigEffFull] = seriesRun{full, err}
-	if err == nil {
-		d5, e5 := flow.SeriesFiveFreq(c, r.opt.MaxBuses)
-		runs[core.ConfigEff5Freq] = seriesRun{d5, e5}
-		rd, erd := flow.SeriesRandomBus(c, r.opt.MaxBuses, r.opt.RandomBusSamples)
-		runs[core.ConfigEffRdBus] = seriesRun{rd, erd}
-		lo, elo := flow.LayoutOnly(c)
-		runs[core.ConfigEffLayoutOnly] = seriesRun{lo, elo}
+	runs := []*seriesRun{
+		{cfg: core.ConfigEffFull},
+		{cfg: core.ConfigEffRdBus},
+		{cfg: core.ConfigEff5Freq},
+		{cfg: core.ConfigEffLayoutOnly},
 	}
-	for _, cfg := range []core.Config{core.ConfigEffFull, core.ConfigEffRdBus, core.ConfigEff5Freq, core.ConfigEffLayoutOnly} {
-		run := runs[cfg]
+	r.forEach(len(runs), func(i int) {
+		run := runs[i]
+		run.designs, run.err = flow.SeriesConfig(c, run.cfg, r.opt.MaxBuses, 0, r.opt.RandomBusSamples)
+	})
+	for _, run := range runs {
 		if run.err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", c.Name, cfg, run.err)
+			return nil, fmt.Errorf("experiments: %s/%s: %w", c.Name, run.cfg, run.err)
 		}
+	}
+
+	// Flatten baselines + series into one job list in output order, then
+	// evaluate every design over the worker pool. Points land by index,
+	// so the slice layout is scheduling-independent.
+	type job struct {
+		design *core.Design
+		label  string
+	}
+	var jobs []job
+	for i, d := range baselines {
+		jobs = append(jobs, job{d, fmt.Sprintf("(%d)", i+1)})
+	}
+	for _, run := range runs {
 		for _, d := range run.designs {
-			pt, err := r.evaluate(c, d, sim)
-			if err != nil {
-				return nil, err
-			}
-			pt.Label = fmt.Sprintf("k=%d", d.Buses)
-			res.Points = append(res.Points, pt)
+			jobs = append(jobs, job{d, fmt.Sprintf("k=%d", d.Buses)})
+		}
+	}
+	points := make([]Point, len(jobs))
+	errs := make([]error, len(jobs))
+	r.forEach(len(jobs), func(i int) {
+		points[i], errs[i] = r.evaluate(c, jobs[i].design, sim)
+		points[i].Label = jobs[i].label
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 
 	// Normalise performance to baseline (1).
-	for i := range res.Points {
-		res.Points[i].NormPerf = float64(baseGates) / float64(res.Points[i].GateCount)
+	baseGates := points[0].GateCount
+	for i := range points {
+		points[i].NormPerf = float64(baseGates) / float64(points[i].GateCount)
 	}
+	res.Points = points
 	return res, nil
 }
 
@@ -217,24 +295,9 @@ func (r *Runner) RunAll() ([]*BenchmarkResult, error) {
 	names := gen.Names()
 	results := make([]*BenchmarkResult, len(names))
 	errs := make([]error, len(names))
-	if !r.opt.Parallel {
-		for i, n := range names {
-			results[i], errs[i] = r.RunBenchmark(n)
-		}
-	} else {
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		var wg sync.WaitGroup
-		for i, n := range names {
-			wg.Add(1)
-			go func(i int, n string) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i], errs[i] = r.RunBenchmark(n)
-			}(i, n)
-		}
-		wg.Wait()
-	}
+	r.forEach(len(names), func(i int) {
+		results[i], errs[i] = r.RunBenchmark(names[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", names[i], err)

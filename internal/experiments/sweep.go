@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"qproc/internal/core"
+	"qproc/internal/gen"
+	"qproc/internal/mapper"
+	"qproc/internal/yield"
+)
+
+// SweepSpec describes a design-space sweep: the Cartesian product of
+// benchmark × configuration × auxiliary-qubit count × fabrication σ.
+// Empty fields take the paper's defaults (all twelve benchmarks, all
+// five configurations, aux = 0, σ = 30 MHz).
+type SweepSpec struct {
+	Benchmarks []string      `json:"benchmarks"`
+	Configs    []core.Config `json:"configs"`
+	AuxCounts  []int         `json:"aux_counts"`
+	Sigmas     []float64     `json:"sigmas"`
+}
+
+// withDefaults fills the empty axes.
+func (s SweepSpec) withDefaults() SweepSpec {
+	if len(s.Benchmarks) == 0 {
+		s.Benchmarks = gen.Names()
+	}
+	if len(s.Configs) == 0 {
+		s.Configs = core.Configs()
+	}
+	if len(s.AuxCounts) == 0 {
+		s.AuxCounts = []int{0}
+	}
+	if len(s.Sigmas) == 0 {
+		s.Sigmas = []float64{yield.DefaultSigma}
+	}
+	return s
+}
+
+// SweepCell identifies one unit of sweep work: every requested
+// configuration of one benchmark under one (aux, σ) setting.
+type SweepCell struct {
+	Benchmark string  `json:"benchmark"`
+	Aux       int     `json:"aux"`
+	Sigma     float64 `json:"sigma"`
+}
+
+func (c SweepCell) String() string {
+	return fmt.Sprintf("%s aux=%d sigma=%.0fMHz", c.Benchmark, c.Aux, c.Sigma*1000)
+}
+
+// SweepPoint is one evaluated design of the sweep: the Figure 10 point
+// plus the sweep coordinates that produced it.
+type SweepPoint struct {
+	Point
+	AuxQubits int     `json:"aux_qubits"`
+	Sigma     float64 `json:"sigma"`
+}
+
+// SweepProgress is delivered to the progress callback once per finished
+// cell. Callbacks may arrive from multiple goroutines concurrently when
+// the runner is parallel.
+type SweepProgress struct {
+	Done  int // cells finished so far, including this one
+	Total int // total cells in the sweep
+	Cell  SweepCell
+	Err   error // the cell's error, if it failed
+}
+
+// SweepResult is the JSON-exportable outcome of a sweep.
+type SweepResult struct {
+	Spec    SweepSpec    `json:"spec"`
+	Options Options      `json:"options"`
+	Points  []SweepPoint `json:"points"`
+}
+
+// WriteJSON streams the result as indented JSON.
+func (sr *SweepResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sr)
+}
+
+// ReadSweepJSON is the inverse of WriteJSON.
+func ReadSweepJSON(r io.Reader) (*SweepResult, error) {
+	var sr SweepResult
+	if err := json.NewDecoder(r).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("experiments: reading sweep: %w", err)
+	}
+	return &sr, nil
+}
+
+// ByCell returns the points of one (benchmark, aux, σ) cell, in
+// configuration/series order.
+func (sr *SweepResult) ByCell(cell SweepCell) []SweepPoint {
+	var out []SweepPoint
+	for _, p := range sr.Points {
+		if p.Benchmark == cell.Benchmark && p.AuxQubits == cell.Aux && p.Sigma == cell.Sigma {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sweep evaluates the full design space the spec spans. Design
+// generation and SABRE mapping depend only on (benchmark, aux), not on
+// σ, so the engine groups the work accordingly: each (benchmark, aux)
+// group generates and maps its designs once and then scores every σ
+// against the cached noise matrices. Groups fan out over the runner's
+// worker pool. Configurations that do not support auxiliary qubits
+// (ibm, eff-rd-bus, eff-layout-only) are evaluated at aux = 0 only and
+// silently skipped in aux > 0 cells. Performance is normalised per
+// benchmark against IBM baseline (1), so points are comparable across
+// the whole sweep. The optional progress callback fires once per
+// finished (benchmark, aux, σ) cell; results are deterministic for a
+// given seed and identical to a serial run.
+func (r *Runner) Sweep(spec SweepSpec, progress func(SweepProgress)) (*SweepResult, error) {
+	spec = spec.withDefaults()
+	for _, name := range spec.Benchmarks {
+		if _, err := gen.Get(name); err != nil {
+			return nil, fmt.Errorf("experiments: sweep: %w", err)
+		}
+	}
+
+	type group struct {
+		benchmark string
+		aux       int
+	}
+	var groups []group
+	for _, b := range spec.Benchmarks {
+		for _, aux := range spec.AuxCounts {
+			groups = append(groups, group{b, aux})
+		}
+	}
+
+	total := len(groups) * len(spec.Sigmas)
+	perGroup := make([][]SweepPoint, len(groups))
+	errs := make([]error, len(groups))
+	var done atomic.Int64
+	r.forEach(len(groups), func(i int) {
+		g := groups[i]
+		report := func(sigma float64, err error) {
+			if progress != nil {
+				progress(SweepProgress{
+					Done:  int(done.Add(1)),
+					Total: total,
+					Cell:  SweepCell{Benchmark: g.benchmark, Aux: g.aux, Sigma: sigma},
+					Err:   err,
+				})
+			}
+		}
+		perGroup[i], errs[i] = r.runGroup(g.benchmark, g.aux, spec, report)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep cell %s aux=%d: %w", groups[i].benchmark, groups[i].aux, err)
+		}
+	}
+
+	res := &SweepResult{Spec: spec, Options: r.opt}
+	for _, pts := range perGroup {
+		res.Points = append(res.Points, pts...)
+	}
+	return res, nil
+}
+
+// runGroup evaluates one (benchmark, aux) group across every requested
+// configuration and σ. report is called once per σ, mirroring the cell
+// granularity of the progress callback; on a generation or mapping
+// error every σ cell of the group is reported failed.
+func (r *Runner) runGroup(bench string, aux int, spec SweepSpec, report func(float64, error)) ([]SweepPoint, error) {
+	fail := func(err error) ([]SweepPoint, error) {
+		for _, sigma := range spec.Sigmas {
+			report(sigma, err)
+		}
+		return nil, err
+	}
+	b, err := gen.Get(bench)
+	if err != nil {
+		return fail(err)
+	}
+	c := b.Build()
+	flow := r.flow()
+
+	// Generate and map every design once: neither step depends on σ.
+	type mapped struct {
+		cfg          core.Config
+		design       *core.Design
+		label        string
+		gates, swaps int
+	}
+	var designs []mapped
+	for _, cfg := range spec.Configs {
+		if aux > 0 {
+			switch cfg {
+			case core.ConfigEffFull, core.ConfigEff5Freq:
+			default:
+				continue // fixed chips / bare-layout ablations: aux = 0 only
+			}
+		}
+		ds, err := flow.SeriesConfig(c, cfg, r.opt.MaxBuses, aux, r.opt.RandomBusSamples)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", cfg, err))
+		}
+		for i, d := range ds {
+			label := fmt.Sprintf("k=%d", d.Buses)
+			if cfg == core.ConfigIBM {
+				label = fmt.Sprintf("(%d)", i+1)
+			}
+			designs = append(designs, mapped{cfg: cfg, design: d, label: label})
+		}
+	}
+	mapErrs := make([]error, len(designs))
+	r.forEach(len(designs), func(i int) {
+		mres, err := mapper.Map(c, designs[i].design.Arch, r.opt.Mapper)
+		if err != nil {
+			mapErrs[i] = fmt.Errorf("mapping %s onto %s: %w", c.Name, designs[i].design.Arch.Name, err)
+			return
+		}
+		designs[i].gates, designs[i].swaps = mres.GateCount, mres.Swaps
+	})
+	for _, err := range mapErrs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Baseline (1) anchors NormPerf. Reuse its mapping when the ibm
+	// configuration is part of the sweep; map it separately otherwise.
+	baseGates := 0
+	for _, m := range designs {
+		if m.cfg == core.ConfigIBM {
+			baseGates = m.gates
+			break
+		}
+	}
+	if baseGates == 0 {
+		baselines := flow.Baselines(c)
+		if len(baselines) == 0 {
+			return fail(fmt.Errorf("%s needs %d qubits, exceeding every baseline", c.Name, c.Qubits))
+		}
+		mres, err := mapper.Map(c, baselines[0].Arch, r.opt.Mapper)
+		if err != nil {
+			return fail(fmt.Errorf("mapping %s onto %s: %w", c.Name, baselines[0].Arch.Name, err))
+		}
+		baseGates = mres.GateCount
+	}
+
+	// Score every σ; only the Monte-Carlo yield depends on it.
+	var out []SweepPoint
+	for _, sigma := range spec.Sigmas {
+		sim := r.simulator()
+		sim.Sigma = sigma
+		for _, m := range designs {
+			out = append(out, SweepPoint{
+				Point: Point{
+					Benchmark:   c.Name,
+					Config:      m.cfg,
+					Label:       m.label,
+					Qubits:      m.design.Arch.NumQubits(),
+					Connections: m.design.Arch.NumConnections(),
+					Buses:       m.design.Buses,
+					GateCount:   m.gates,
+					Swaps:       m.swaps,
+					Yield:       sim.Estimate(m.design.Arch),
+					NormPerf:    float64(baseGates) / float64(m.gates),
+				},
+				AuxQubits: aux,
+				Sigma:     sigma,
+			})
+		}
+		report(sigma, nil)
+	}
+	return out, nil
+}

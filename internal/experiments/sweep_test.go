@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"qproc/internal/core"
+)
+
+// sweepSpec returns a small two-axis sweep over one benchmark.
+func sweepSpec() SweepSpec {
+	return SweepSpec{
+		Benchmarks: []string{"sym6_145"},
+		Configs:    []core.Config{core.ConfigIBM, core.ConfigEffFull},
+		AuxCounts:  []int{0, 1},
+		Sigmas:     []float64{0.02, 0.04},
+	}
+}
+
+func TestSweepStructure(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	var mu sync.Mutex
+	var calls []SweepProgress
+	res, err := r.Sweep(sweepSpec(), func(p SweepProgress) {
+		mu.Lock()
+		calls = append(calls, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 benchmark × 2 aux × 2 σ = 4 cells, each reported once.
+	if len(calls) != 4 {
+		t.Fatalf("progress calls = %d, want 4", len(calls))
+	}
+	seenDone := map[int]bool{}
+	for _, p := range calls {
+		if p.Total != 4 || p.Err != nil {
+			t.Errorf("progress %+v", p)
+		}
+		seenDone[p.Done] = true
+	}
+	for d := 1; d <= 4; d++ {
+		if !seenDone[d] {
+			t.Errorf("no progress call reported Done=%d", d)
+		}
+	}
+
+	// Every aux=0 cell carries both configurations; aux=1 cells drop the
+	// fixed-chip ibm baselines and keep eff-full.
+	for _, sigma := range []float64{0.02, 0.04} {
+		c0 := res.ByCell(SweepCell{Benchmark: "sym6_145", Aux: 0, Sigma: sigma})
+		c1 := res.ByCell(SweepCell{Benchmark: "sym6_145", Aux: 1, Sigma: sigma})
+		if len(c0) == 0 || len(c1) == 0 {
+			t.Fatalf("empty cell at sigma=%v", sigma)
+		}
+		var ibm0, full0, ibm1 int
+		for _, p := range c0 {
+			switch p.Config {
+			case core.ConfigIBM:
+				ibm0++
+			case core.ConfigEffFull:
+				full0++
+			}
+		}
+		for _, p := range c1 {
+			if p.Config == core.ConfigIBM {
+				ibm1++
+			}
+			if p.AuxQubits != 1 {
+				t.Errorf("aux=1 point has AuxQubits=%d", p.AuxQubits)
+			}
+		}
+		if ibm0 != 4 || full0 == 0 {
+			t.Errorf("sigma=%v aux=0: %d ibm, %d eff-full points", sigma, ibm0, full0)
+		}
+		if ibm1 != 0 {
+			t.Errorf("sigma=%v aux=1: ibm points should be skipped, got %d", sigma, ibm1)
+		}
+	}
+
+	// Lower fabrication noise cannot hurt yield (same designs, same
+	// seed): compare matched labels across the two σ values.
+	low := res.ByCell(SweepCell{Benchmark: "sym6_145", Aux: 0, Sigma: 0.02})
+	high := res.ByCell(SweepCell{Benchmark: "sym6_145", Aux: 0, Sigma: 0.04})
+	if len(low) != len(high) {
+		t.Fatalf("σ cells differ in size: %d vs %d", len(low), len(high))
+	}
+	for i := range low {
+		if low[i].Label != high[i].Label || low[i].Config != high[i].Config {
+			t.Fatalf("cell ordering diverges at %d: %+v vs %+v", i, low[i], high[i])
+		}
+		if low[i].Yield < high[i].Yield-0.1 {
+			t.Errorf("%s %s: yield at σ=20MHz (%v) far below σ=40MHz (%v)",
+				low[i].Config, low[i].Label, low[i].Yield, high[i].Yield)
+		}
+	}
+}
+
+// TestSweepDeterministicAndParallel: the sweep is bit-identical between
+// serial and parallel execution for the same seed.
+func TestSweepDeterministicAndParallel(t *testing.T) {
+	serial := tinyOptions()
+	serial.Parallel = false
+	parallel := tinyOptions()
+	parallel.Parallel = true
+	parallel.Workers = 4
+
+	a, err := NewRunner(serial).Sweep(sweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(parallel).Sweep(sweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs:\nserial   %+v\nparallel %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	spec := sweepSpec()
+	spec.AuxCounts = []int{0}
+	spec.Sigmas = []float64{0.03}
+	res, err := r.Sweep(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSweepJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(res.Points) {
+		t.Fatalf("round trip lost points: %d vs %d", len(back.Points), len(res.Points))
+	}
+	for i := range res.Points {
+		if back.Points[i] != res.Points[i] {
+			t.Fatalf("point %d changed in round trip:\n%+v\n%+v", i, res.Points[i], back.Points[i])
+		}
+	}
+	if back.Options.Seed != r.Options().Seed {
+		t.Errorf("options lost: %+v", back.Options)
+	}
+}
+
+func TestSweepRejectsUnknownBenchmark(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	if _, err := r.Sweep(SweepSpec{Benchmarks: []string{"no_such"}}, nil); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSweepDefaultsFillEveryAxis(t *testing.T) {
+	s := SweepSpec{}.withDefaults()
+	if len(s.Benchmarks) == 0 || len(s.Configs) != 5 || len(s.AuxCounts) != 1 || len(s.Sigmas) != 1 {
+		t.Fatalf("defaults: %+v", s)
+	}
+}

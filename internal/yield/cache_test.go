@@ -1,0 +1,149 @@
+package yield
+
+import (
+	"sync"
+	"testing"
+
+	"qproc/internal/arch"
+)
+
+// TestCacheBitIdentical is the common-random-numbers contract: attaching
+// a cache must not change a single bit of any estimate, across qubit
+// counts, σ values and trial budgets.
+func TestCacheBitIdentical(t *testing.T) {
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	freqs := []float64{5.05, 5.15, 5.25, 5.07}
+	for _, sigma := range []float64{0.01, DefaultSigma, 0.06} {
+		for _, trials := range []int{100, 1000} {
+			plain := New(11)
+			plain.Sigma, plain.Trials = sigma, trials
+			cached := New(11)
+			cached.Sigma, cached.Trials = sigma, trials
+			cached.Cache = NewNoiseCache()
+			want := plain.EstimateFreqs(adj, freqs)
+			for rep := 0; rep < 3; rep++ {
+				if got := cached.EstimateFreqs(adj, freqs); got != want {
+					t.Fatalf("sigma=%v trials=%d rep %d: cached %v != uncached %v",
+						sigma, trials, rep, got, want)
+				}
+			}
+			if hits, misses := cached.Cache.Stats(); misses != 1 || hits != 2 {
+				t.Fatalf("sigma=%v trials=%d: stats hits=%d misses=%d, want 2/1",
+					sigma, trials, hits, misses)
+			}
+		}
+	}
+}
+
+// TestCacheKeyedByParameters checks that changing any key component
+// (σ, trials, seed, n) produces a fresh matrix rather than a stale hit.
+func TestCacheKeyedByParameters(t *testing.T) {
+	cache := NewNoiseCache()
+	base := New(3)
+	base.Trials = 50
+	base.Cache = cache
+
+	m1 := base.noise(4)
+	variants := []func(*Simulator){
+		func(s *Simulator) { s.Sigma = 0.06 },
+		func(s *Simulator) { s.Trials = 60 },
+		func(s *Simulator) { s.Seed = 4 },
+	}
+	for i, mutate := range variants {
+		s := New(3)
+		s.Trials = 50
+		s.Cache = cache
+		mutate(s)
+		m := s.noise(4)
+		if &m[0][0] == &m1[0][0] {
+			t.Errorf("variant %d shares the base matrix", i)
+		}
+		if got := s.GenNoise(4); got[0][0] != m[0][0] {
+			t.Errorf("variant %d: cached matrix differs from GenNoise", i)
+		}
+	}
+	if cache.Len() != 4 {
+		t.Errorf("cache holds %d matrices, want 4", cache.Len())
+	}
+	// Different n under the same parameters is also a distinct matrix.
+	if m := base.noise(5); len(m[0]) != 5 {
+		t.Errorf("n=5 matrix has %d columns", len(m[0]))
+	}
+}
+
+// TestCacheConcurrent hammers one key from many goroutines: exactly one
+// generation, everyone sees the same matrix (run with -race).
+func TestCacheConcurrent(t *testing.T) {
+	cache := NewNoiseCache()
+	s := New(21)
+	s.Trials = 500
+	s.Cache = cache
+	const goroutines = 16
+	mats := make([][][]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mats[g] = s.noise(8)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if &mats[g][0][0] != &mats[0][0][0] {
+			t.Fatalf("goroutine %d received a different matrix", g)
+		}
+	}
+	if _, misses := cache.Stats(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	cache := NewNoiseCache()
+	s := New(1)
+	s.Trials = 10
+	s.Cache = cache
+	s.noise(3)
+	if cache.Len() != 1 {
+		t.Fatalf("len = %d", cache.Len())
+	}
+	cache.Purge()
+	if cache.Len() != 0 {
+		t.Fatalf("len after purge = %d", cache.Len())
+	}
+	// Regenerated content is identical (pure function of the key).
+	if got, want := s.noise(3)[0][0], s.GenNoise(3)[0][0]; got != want {
+		t.Fatalf("regenerated %v != %v", got, want)
+	}
+}
+
+// BenchmarkEstimateUncached / BenchmarkEstimateCached demonstrate the
+// allocations the cache saves: uncached, every Estimate re-draws the
+// Trials × n Gaussian matrix; cached, the steady state allocates
+// nothing for noise. Compare with -benchmem.
+func BenchmarkEstimateUncached(b *testing.B) {
+	a := arch.NewBaseline(arch.IBM20Q4Bus)
+	s := New(1)
+	s.Trials = 2000
+	s.Parallel = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate(a)
+	}
+}
+
+func BenchmarkEstimateCached(b *testing.B) {
+	a := arch.NewBaseline(arch.IBM20Q4Bus)
+	s := New(1)
+	s.Trials = 2000
+	s.Parallel = false
+	s.Cache = NewNoiseCache()
+	s.Estimate(a) // warm the single entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate(a)
+	}
+}

@@ -41,6 +41,14 @@ type Simulator struct {
 	// Parallel enables evaluation of trials across CPUs. The estimate is
 	// identical either way; parallelism only changes wall-clock time.
 	Parallel bool
+	// Workers bounds the trial-level fan-out when Parallel is on;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, memoises noise matrices across estimates so
+	// that every design with the same qubit count is scored under the
+	// same simulated fabrications without regenerating them. Estimates
+	// are bit-identical with and without a cache.
+	Cache *NoiseCache
 }
 
 // New returns a Simulator with the paper's evaluation configuration:
@@ -68,8 +76,16 @@ func (s *Simulator) Estimate(a *arch.Architecture) float64 {
 // EstimateFreqs returns the simulated yield rate of the frequency
 // assignment freqs over the coupling graph adj.
 func (s *Simulator) EstimateFreqs(adj [][]int, freqs []float64) float64 {
-	noise := s.GenNoise(len(freqs))
-	return s.EstimateWithNoise(adj, freqs, noise)
+	return s.EstimateWithNoise(adj, freqs, s.noise(len(freqs)))
+}
+
+// noise returns the trial matrix for n qubits, consulting the cache when
+// one is attached.
+func (s *Simulator) noise(n int) [][]float64 {
+	if s.Cache != nil {
+		return s.Cache.Noise(s, n)
+	}
+	return s.GenNoise(n)
 }
 
 // GenNoise draws the per-trial, per-qubit frequency noise matrix
@@ -118,7 +134,10 @@ func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise [][]fl
 	if !s.Parallel || len(noise) < 256 {
 		return float64(countChunk(noise)) / float64(len(noise))
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(noise) {
 		workers = len(noise)
 	}
