@@ -22,6 +22,7 @@ import (
 	"qproc/internal/gen"
 	"qproc/internal/mapper"
 	"qproc/internal/profile"
+	"qproc/internal/search"
 	"qproc/internal/yield"
 )
 
@@ -227,7 +228,61 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSearch measures the guided design-space search (the sweep
+// engine's successor): annealing and beam on one benchmark with a capped
+// Monte-Carlo budget, reporting the best yield found and the full
+// evaluations spent (the currency the surrogate saves).
+func BenchmarkSearch(b *testing.B) {
+	for _, strategy := range search.Strategies() {
+		b.Run(string(strategy), func(b *testing.B) {
+			opt := benchOptions()
+			opt.Parallel = true
+			var out *experiments.SearchOutcome
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner(opt)
+				var err error
+				out, err = r.Search(experiments.SearchSpec{
+					Benchmark: "sym6_145",
+					Strategy:  strategy,
+					AuxCounts: []int{0, 1},
+					Steps:     60,
+					MaxEvals:  10,
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(out.Best.Yield, "yield")
+			b.ReportMetric(float64(out.Evals), "evals")
+		})
+	}
+}
+
 // --- ablation and micro benches -------------------------------------
+
+// BenchmarkIncrementalScore compares the incremental analytic surrogate
+// against one-shot recomputation for a single-qubit frequency move — the
+// inner loop of the guided search.
+func BenchmarkIncrementalScore(b *testing.B) {
+	a := arch.NewBaseline(arch.IBM20Q4Bus)
+	al := freq.NewAllocator(1)
+	fs := al.Allocate(a)
+	adj := a.AdjList()
+	params := collision.DefaultParams()
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs[3] = 5.00 + float64(i%35)*0.01
+			collision.ExpectedCollisions(adj, fs, yield.DefaultSigma, params)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		inc := collision.NewIncremental(adj, fs, yield.DefaultSigma, params)
+		for i := 0; i < b.N; i++ {
+			inc.Set1(3, 5.00+float64(i%35)*0.01)
+			inc.Score()
+		}
+	})
+}
 
 // BenchmarkAblationFreqScoring compares the two Algorithm 3 scoring
 // modes (analytic expected-collision vs the paper's Monte-Carlo local

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output to JSON and gates
+// benchmark regressions, the two building blocks of the CI bench job.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' | benchjson -commit $SHA -out BENCH_$SHA.json
+//	benchjson -old bench_main.txt -new bench_head.txt \
+//	          -gate BenchmarkSweep,BenchmarkEstimateCached -threshold 15
+//
+// In gate mode the exit status is 1 when any gated benchmark's ns/op
+// geomean regressed by more than -threshold percent against the baseline
+// (or is missing from either run).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qproc/internal/benchparse"
+	"qproc/internal/cliutil"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output to convert (default stdin)")
+		out       = flag.String("out", "", "JSON destination (default stdout)")
+		commit    = flag.String("commit", "", "commit SHA to stamp into the JSON")
+		oldFile   = flag.String("old", "", "baseline bench output (gate mode)")
+		newFile   = flag.String("new", "", "candidate bench output (gate mode)")
+		gate      = flag.String("gate", "", "comma-separated benchmark names to gate")
+		threshold = flag.Float64("threshold", 15, "regression threshold in percent")
+	)
+	flag.Parse()
+
+	if err := cliutil.PositiveFloat("threshold", *threshold); err != nil {
+		fatal(err)
+	}
+	if (*oldFile == "") != (*newFile == "") {
+		fatal(fmt.Errorf("gate mode needs both -old and -new"))
+	}
+	if *oldFile != "" {
+		runGate(*oldFile, *newFile, *gate, *threshold)
+		return
+	}
+	runConvert(*in, *out, *commit)
+}
+
+// runConvert parses one bench output and emits it as JSON.
+func runConvert(in, out, commit string) {
+	res, err := benchparse.Parse(openOrStdin(in))
+	if err != nil {
+		fatal(err)
+	}
+	res.Commit = commit
+	encode := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	// Close/flush failures surface: a truncated artifact must fail the job.
+	if err := cliutil.WriteOutput(out, os.Stdout, encode); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark runs (%d distinct)\n", len(res.Runs), len(res.Names()))
+}
+
+// runGate compares two bench outputs and fails on regressions.
+func runGate(oldFile, newFile, gate string, threshold float64) {
+	names := cliutil.SplitList(gate)
+	if len(names) == 0 {
+		fatal(fmt.Errorf("gate mode needs -gate with at least one benchmark name"))
+	}
+	parse := func(path string) *benchparse.Result {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := benchparse.Parse(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		return res
+	}
+	deltas, regressions, err := benchparse.Compare(parse(oldFile), parse(newFile), names, threshold)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range deltas {
+		fmt.Printf("%-40s %14.0f -> %14.0f ns/op  %+6.1f%%\n", d.Name, d.Old, d.New, d.Pct)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", len(regressions), threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("no regression beyond %.0f%%\n", threshold)
+}
+
+func openOrStdin(path string) io.Reader {
+	if path == "" {
+		return os.Stdin
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -12,28 +12,34 @@
 //	experiments -quick ...        # reduced Monte-Carlo budgets
 //	experiments -sweep [-sweep-bench a,b] [-aux 0,1] [-sigmas 0.02,0.03] \
 //	            [-configs eff-full,ibm] [-out sweep.json]
+//	experiments -search anneal|beam -bench sym6_145 [-aux 0,1] \
+//	            [-max-evals 10] [-steps 400] [-beam-width 8] [-depth 12] \
+//	            [-perf-weight 0.5] [-out search.json]
 //
 // The sweep fans out over (benchmark × config × aux-count × σ), prints
 // per-cell progress to stderr and exports the full point set as JSON.
+// The search replaces exhaustive enumeration with guided optimisation
+// (simulated annealing or beam search) over the same design space,
+// reporting the best design found and the Monte-Carlo evaluations spent.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
+	"qproc/internal/cliutil"
 	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
+	"qproc/internal/search"
 )
 
 func main() {
 	var (
 		fig     = flag.Int("fig", 0, "figure to regenerate (4, 5, 9, 10)")
-		bench   = flag.String("bench", "", "restrict -fig 10 to one benchmark")
+		bench   = flag.String("bench", "", "benchmark for -fig 10 (restricts the run) and -search (required)")
 		summary = flag.String("summary", "", "summary table: overall, layout, bus, freq")
 		all     = flag.Bool("all", false, "regenerate everything")
 		quick   = flag.Bool("quick", false, "reduced Monte-Carlo budgets (fast smoke run)")
@@ -42,12 +48,36 @@ func main() {
 		serial  = flag.Bool("serial", false, "disable all parallelism")
 		sweep   = flag.Bool("sweep", false, "run a design-space sweep")
 		sweepB  = flag.String("sweep-bench", "", "comma-separated benchmarks for -sweep (default all)")
-		auxFlag = flag.String("aux", "", "comma-separated auxiliary qubit counts for -sweep (default 0)")
+		auxFlag = flag.String("aux", "", "comma-separated auxiliary qubit counts for -sweep/-search (default 0)")
 		sigmas  = flag.String("sigmas", "", "comma-separated fabrication σ values in GHz for -sweep (default 0.030)")
 		configs = flag.String("configs", "", "comma-separated configurations for -sweep (default all five)")
-		out     = flag.String("out", "", "write -sweep JSON to this file (default stdout)")
+		out     = flag.String("out", "", "write -sweep/-search JSON to this file (default stdout)")
+
+		searchMode = flag.String("search", "", "run a guided design-space search: anneal or beam")
+		maxEvals   = flag.Int("max-evals", 0, "cap on full Monte-Carlo evaluations for -search (0 = unlimited)")
+		steps      = flag.Int("steps", 0, "annealing steps for -search anneal (0 = default)")
+		proposals  = flag.Int("proposals", 0, "proposals per annealing step (0 = default)")
+		beamWidth  = flag.Int("beam-width", 0, "frontier size for -search beam (0 = default)")
+		depth      = flag.Int("depth", 0, "maximum depth for -search beam (0 = default)")
+		perfWeight = flag.Float64("perf-weight", 0, "blend mapped performance into the -search objective (0 = yield only)")
 	)
 	flag.Parse()
+
+	if err := cliutil.NonNegative("workers", *workers); err != nil {
+		check(err)
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"max-evals", *maxEvals}, {"steps", *steps}, {"proposals", *proposals},
+		{"beam-width", *beamWidth}, {"depth", *depth},
+	} {
+		if err := cliutil.NonNegative(f.name, f.v); err != nil {
+			check(err)
+		}
+	}
+	check(cliutil.NonNegativeFloat("perf-weight", *perfWeight))
 
 	opt := experiments.DefaultOptions()
 	if *quick {
@@ -61,6 +91,18 @@ func main() {
 	r := experiments.NewRunner(opt)
 
 	switch {
+	case *searchMode != "":
+		// Sweep-only axes must not be silently ignored in search mode.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "configs", "sweep-bench", "fig", "summary", "all":
+				check(fmt.Errorf("-%s does not apply to -search mode", f.Name))
+			}
+		})
+		runSearch(r, *searchMode, *bench, *auxFlag, *sigmas, *out, searchKnobs{
+			maxEvals: *maxEvals, steps: *steps, proposals: *proposals,
+			beamWidth: *beamWidth, depth: *depth, perfWeight: *perfWeight,
+		})
 	case *sweep:
 		runSweep(r, *sweepB, *auxFlag, *sigmas, *configs, *out)
 	case *fig == 4:
@@ -131,18 +173,14 @@ func main() {
 // runSweep parses the sweep axes, runs the design-space sweep with
 // progress on stderr and writes the JSON result.
 func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out string) {
-	spec := experiments.SweepSpec{Benchmarks: splitList(benches)}
-	for _, s := range splitList(aux) {
-		v, err := strconv.Atoi(s)
-		check(err)
-		spec.AuxCounts = append(spec.AuxCounts, v)
-	}
-	for _, s := range splitList(sigmas) {
-		v, err := strconv.ParseFloat(s, 64)
-		check(err)
-		spec.Sigmas = append(spec.Sigmas, v)
-	}
-	for _, s := range splitList(configs) {
+	spec := experiments.SweepSpec{Benchmarks: cliutil.SplitList(benches)}
+	auxCounts, err := cliutil.ParseInts("aux", aux, 0)
+	check(err)
+	spec.AuxCounts = auxCounts
+	sigmaVals, err := cliutil.ParseSigmas("sigmas", sigmas)
+	check(err)
+	spec.Sigmas = sigmaVals
+	for _, s := range cliutil.SplitList(configs) {
 		spec.Configs = append(spec.Configs, core.Config(s))
 	}
 
@@ -157,28 +195,62 @@ func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out string) 
 	})
 	check(err)
 
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		check(err)
-		defer f.Close()
-		w = f
-	}
-	check(res.WriteJSON(w))
+	check(cliutil.WriteOutput(out, os.Stdout, res.WriteJSON))
 	hits, misses := r.NoiseCacheStats()
 	fmt.Fprintf(os.Stderr, "%d points, %s (noise cache: %d hits, %d misses)\n",
 		len(res.Points), time.Since(start).Round(time.Millisecond), hits, misses)
 }
 
-// splitList splits a comma-separated flag value, dropping empty items.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
+// searchKnobs carries the optional -search tuning flags.
+type searchKnobs struct {
+	maxEvals, steps, proposals, beamWidth, depth int
+	perfWeight                                   float64
+}
+
+// runSearch validates the search axes, runs the guided search with
+// per-step progress on stderr, and writes the JSON outcome.
+func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out string, k searchKnobs) {
+	if bench == "" {
+		check(fmt.Errorf("-search needs -bench (one of %v)", gen.Names()))
 	}
-	return out
+	st, err := search.ParseStrategy(strategy)
+	check(err)
+	auxCounts, err := cliutil.ParseInts("aux", aux, 0)
+	check(err)
+	sigmaVals, err := cliutil.ParseSigmas("sigmas", sigmas)
+	check(err)
+	if len(sigmaVals) > 1 {
+		check(fmt.Errorf("-search optimises for a single σ, got %d values", len(sigmaVals)))
+	}
+	spec := experiments.SearchSpec{
+		Benchmark:  bench,
+		Strategy:   st,
+		AuxCounts:  auxCounts,
+		MaxEvals:   k.maxEvals,
+		Steps:      k.steps,
+		Proposals:  k.proposals,
+		BeamWidth:  k.beamWidth,
+		Depth:      k.depth,
+		PerfWeight: k.perfWeight,
+	}
+	if len(sigmaVals) == 1 {
+		spec.Sigma = sigmaVals[0]
+	}
+
+	start := time.Now()
+	res, err := r.Search(spec, func(p experiments.SearchProgress) {
+		fmt.Fprintf(os.Stderr, "[%d/%d] best yield %.4f (E=%.3f, %d evals, %s)\n",
+			p.Step, p.Total, p.BestYield, p.BestExpected, p.Evals,
+			time.Since(start).Round(time.Millisecond))
+	})
+	check(err)
+
+	check(cliutil.WriteOutput(out, os.Stdout, res.WriteJSON))
+	hits, misses := r.NoiseCacheStats()
+	fmt.Fprintf(os.Stderr,
+		"%s: yield %.4f, perf %.3f, %d buses, aux %d — %d evals, %d proposals, %s (noise cache: %d hits, %d misses)\n",
+		res.Best.Benchmark, res.Best.Yield, res.Best.NormPerf, res.Best.Buses, res.Best.AuxQubits,
+		res.Evals, res.Proposals, time.Since(start).Round(time.Millisecond), hits, misses)
 }
 
 func check(err error) {

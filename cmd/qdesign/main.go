@@ -1,11 +1,14 @@
 // Command qdesign runs the application-specific architecture design flow
-// (Section 4) on a program and emits the generated designs.
+// (Section 4) on a program and emits the generated designs, or runs the
+// guided design-space search over (buses × aux layout × frequencies).
 //
 // Usage:
 //
 //	qdesign -name misex1_241                   # full series, rendered
 //	qdesign -name misex1_241 -buses 2 -json d.json
 //	qdesign -qasm prog.qasm -config eff-5-freq
+//	qdesign -name sym6_145 -search anneal -max-evals 10
+//	qdesign -name sym6_145 -search beam -aux 1  # aux variants 0..1
 package main
 
 import (
@@ -14,10 +17,12 @@ import (
 	"os"
 
 	"qproc/internal/circuit"
+	"qproc/internal/cliutil"
 	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
 	"qproc/internal/qasm"
+	"qproc/internal/search"
 	"qproc/internal/yield"
 )
 
@@ -28,19 +33,50 @@ func main() {
 		buses  = flag.Int("buses", -1, "emit only the design with this 4-qubit-bus count (-1: whole series)")
 		maxB   = flag.Int("max-buses", -1, "cap the series length (-1: no cap)")
 		config = flag.String("config", "eff-full", "configuration: eff-full, eff-5-freq, eff-layout-only")
-		aux    = flag.Int("aux", 0, "auxiliary physical qubits to add (Section 6 extension; eff-full only)")
+		aux    = flag.Int("aux", 0, "auxiliary physical qubits (series: exact count; -search: explores 0..aux)")
 		seed   = flag.Int64("seed", 1, "deterministic seed")
 		trials = flag.Int("freq-trials", 2000, "Monte-Carlo budget per frequency candidate (MC mode)")
 		jsonTo = flag.String("json", "", "write the selected design as JSON")
 		quiet  = flag.Bool("q", false, "suppress the rendered lattice")
+
+		searchMode = flag.String("search", "", "guided design-space search: anneal or beam")
+		maxEvals   = flag.Int("max-evals", 0, "cap on full Monte-Carlo evaluations for -search (0 = unlimited)")
+		steps      = flag.Int("steps", 0, "annealing steps for -search anneal (0 = default)")
+		beamWidth  = flag.Int("beam-width", 0, "frontier size for -search beam (0 = default)")
+		depth      = flag.Int("depth", 0, "maximum depth for -search beam (0 = default)")
 	)
 	flag.Parse()
+
+	fatalIf(cliutil.AtLeast("buses", *buses, -1))
+	fatalIf(cliutil.AtLeast("max-buses", *maxB, -1))
+	fatalIf(cliutil.NonNegative("aux", *aux))
+	fatalIf(cliutil.Positive("freq-trials", *trials))
+	fatalIf(cliutil.NonNegative("max-evals", *maxEvals))
+	fatalIf(cliutil.NonNegative("steps", *steps))
+	fatalIf(cliutil.NonNegative("beam-width", *beamWidth))
+	fatalIf(cliutil.NonNegative("depth", *depth))
 
 	c, err := load(*name, *file)
 	if err != nil {
 		fatal(err)
 	}
 	c = c.Decompose()
+
+	if *searchMode != "" {
+		// Series-only knobs must not be silently ignored in search mode.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "config", "freq-trials", "buses":
+				fatal(fmt.Errorf("-%s does not apply to -search mode (the search picks its own bus counts and uses analytic frequency scoring)", f.Name))
+			}
+		})
+		runSearch(c, searchArgs{
+			mode: *searchMode, seed: *seed, maxAux: *aux, maxBuses: *maxB,
+			maxEvals: *maxEvals, steps: *steps, beamWidth: *beamWidth, depth: *depth,
+			jsonTo: *jsonTo, quiet: *quiet,
+		})
+		return
+	}
 
 	flow := core.NewFlow(*seed)
 	flow.FreqLocalTrials = *trials
@@ -54,7 +90,7 @@ func main() {
 	case core.ConfigEffLayoutOnly:
 		designs, err = flow.LayoutOnly(c)
 	default:
-		err = fmt.Errorf("unknown -config %q", *config)
+		err = fmt.Errorf("unknown -config %q (have eff-full, eff-5-freq, eff-layout-only)", *config)
 	}
 	if err != nil {
 		fatal(err)
@@ -70,20 +106,76 @@ func main() {
 			fmt.Print(experiments.RenderDesign(d.Arch))
 		}
 		if *jsonTo != "" {
-			f, err := os.Create(*jsonTo)
-			if err != nil {
-				fatal(err)
-			}
-			if err := d.Arch.WriteJSON(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *jsonTo)
+			writeJSON(*jsonTo, d)
 			return
 		}
 	}
+}
+
+// searchArgs carries the -search mode flags.
+type searchArgs struct {
+	mode                              string
+	seed                              int64
+	maxAux, maxBuses                  int
+	maxEvals, steps, beamWidth, depth int
+	jsonTo                            string
+	quiet                             bool
+}
+
+// runSearch drives the guided search and emits the winning design in the
+// same shape as a series run.
+func runSearch(c *circuit.Circuit, args searchArgs) {
+	strategy, err := search.ParseStrategy(args.mode)
+	if err != nil {
+		fatal(err)
+	}
+	opt := search.DefaultOptions()
+	opt.Strategy = strategy
+	opt.Seed = args.seed
+	opt.MaxBuses = args.maxBuses
+	opt.MaxEvals = args.maxEvals
+	if args.steps > 0 {
+		opt.Steps = args.steps
+	}
+	if args.beamWidth > 0 {
+		opt.BeamWidth = args.beamWidth
+	}
+	if args.depth > 0 {
+		opt.Depth = args.depth
+	}
+	for a := 1; a <= args.maxAux; a++ {
+		opt.AuxCounts = append(opt.AuxCounts, a)
+	}
+	res, err := search.Run(c, opt, yield.NewNoiseCache(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	d := res.Best
+	fmt.Printf("%s: yield %.4g (E[collisions] %.3f, %d evals, %d proposals)\n",
+		d.Arch, res.Yield, res.Expected, res.Evals, res.Proposals)
+	fmt.Printf("performance: %d gates (%d swaps), %.3f vs IBM baseline (1)\n",
+		res.GateCount, res.Swaps, res.NormPerf)
+	if !args.quiet {
+		fmt.Print(experiments.RenderDesign(d.Arch))
+	}
+	if args.jsonTo != "" {
+		writeJSON(args.jsonTo, d)
+	}
+}
+
+// writeJSON exports one design's architecture.
+func writeJSON(path string, d *core.Design) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := d.Arch.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func load(name, file string) (*circuit.Circuit, error) {
@@ -108,6 +200,12 @@ func load(name, file string) (*circuit.Circuit, error) {
 		return c, nil
 	}
 	return nil, fmt.Errorf("need -name or -qasm")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

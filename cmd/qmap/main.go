@@ -88,6 +88,9 @@ func loadCircuit(name, file string) (*circuit.Circuit, error) {
 }
 
 func loadArch(baseline int, file string) (*arch.Architecture, error) {
+	if baseline < 0 || baseline > 4 {
+		return nil, fmt.Errorf("-baseline must be 1..4 (0 = use -arch), got %d", baseline)
+	}
 	switch {
 	case baseline >= 1 && baseline <= 4:
 		return arch.NewBaseline(arch.Baseline(baseline)), nil

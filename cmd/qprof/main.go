@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"qproc/internal/circuit"
+	"qproc/internal/cliutil"
 	"qproc/internal/gen"
 	"qproc/internal/profile"
 	"qproc/internal/qasm"
@@ -26,6 +27,11 @@ func main() {
 		windows = flag.Int("windows", 0, "also print an n-window temporal profile (§6 extension)")
 	)
 	flag.Parse()
+
+	if err := cliutil.NonNegative("windows", *windows); err != nil {
+		fmt.Fprintln(os.Stderr, "qprof:", err)
+		os.Exit(1)
+	}
 
 	c, err := load(*name, *file)
 	if err != nil {

@@ -13,10 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"qproc/internal/arch"
+	"qproc/internal/cliutil"
 	"qproc/internal/collision"
 	"qproc/internal/yield"
 )
@@ -31,6 +30,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 	)
 	flag.Parse()
+
+	fatalIf(cliutil.Positive("trials", *trials))
+	fatalIf(cliutil.Sigma("sigma", *sigma))
+	sigmaVals, err := cliutil.ParseSigmas("sigmas", *sigmas)
+	fatalIf(err)
 
 	var a *arch.Architecture
 	switch {
@@ -57,19 +61,11 @@ func main() {
 	sim := yield.New(*seed)
 	sim.Trials = *trials
 
-	if *sigmas != "" {
+	if len(sigmaVals) > 0 {
 		fmt.Printf("%s\n", a)
 		fmt.Printf("%d trials per σ\n", *trials)
 		fmt.Println("sigma(MHz)  yield      E[collisions]")
-		for _, s := range strings.Split(*sigmas, ",") {
-			s = strings.TrimSpace(s)
-			if s == "" {
-				continue
-			}
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				fatal(err)
-			}
+		for _, v := range sigmaVals {
 			sim.Sigma = v
 			y := sim.Estimate(a)
 			e := collision.ExpectedCollisions(a.AdjList(), a.Freqs, v, collision.DefaultParams())
@@ -84,6 +80,12 @@ func main() {
 	fmt.Printf("%s\n", a)
 	fmt.Printf("sigma %.0f MHz, %d trials\n", *sigma*1000, *trials)
 	fmt.Printf("yield: %.4g (expected collision instances: %.2f)\n", y, e)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,172 @@
+// Package benchparse reads `go test -bench` output into a structured,
+// JSON-serialisable form and compares two runs for regressions. The CI
+// bench job uses it to publish a BENCH_<sha>.json artifact per commit and
+// to gate pull requests on hot-path benchmark regressions against the
+// main-branch baseline (alongside benchstat's human-readable report).
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line.
+type Run struct {
+	// Name is the benchmark name with the trailing -GOMAXPROCS suffix
+	// stripped (sub-benchmark paths kept).
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int `json:"iterations"`
+	// Values maps unit -> value for every reported metric (ns/op, B/op,
+	// allocs/op, custom b.ReportMetric units).
+	Values map[string]float64 `json:"values"`
+}
+
+// Result is a parsed benchmark output file.
+type Result struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Commit is filled by the caller (CI passes the git SHA).
+	Commit string `json:"commit,omitempty"`
+	Runs   []Run  `json:"runs"`
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (test chatter,
+// PASS/ok, b.Log output) are ignored; malformed benchmark lines are an
+// error.
+func Parse(r io.Reader) (*Result, error) {
+	res := &Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			res.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			res.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			res.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N v1 u1 [v2 u2 ...]". go test also emits
+		// the bare benchmark name on its own line when the benchmark logs
+		// output — that (and any other short line) is chatter, not an
+		// error, or a single stray b.Log would break the CI artifact step.
+		if len(fields) < 4 {
+			continue
+		}
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchparse: malformed benchmark line %q", line)
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("benchparse: bad iteration count in %q: %w", line, err)
+		}
+		run := Run{Name: normalizeName(fields[0]), Iterations: iters, Values: map[string]float64{}}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value in %q: %w", line, err)
+			}
+			run.Values[fields[i+1]] = v
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: %w", err)
+	}
+	return res, nil
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix so runs compare
+// across machines with different core counts.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// GeoMean aggregates the unit metric over every run of name (a -count N
+// invocation yields N lines); false when the benchmark or unit is absent.
+func (r *Result) GeoMean(name, unit string) (float64, bool) {
+	logSum, n := 0.0, 0
+	for _, run := range r.Runs {
+		if run.Name != name {
+			continue
+		}
+		v, ok := run.Values[unit]
+		if !ok || v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return math.Exp(logSum / float64(n)), true
+}
+
+// Names returns the distinct benchmark names, sorted.
+func (r *Result) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, run := range r.Runs {
+		if !seen[run.Name] {
+			seen[run.Name] = true
+			out = append(out, run.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delta is one gated benchmark's old/new comparison.
+type Delta struct {
+	Name string `json:"name"`
+	// Old and New are the two runs' geomean ns/op.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Pct is the relative change in percent (positive = slower).
+	Pct float64 `json:"pct"`
+}
+
+// Compare gates new against old on the named benchmarks' ns/op geomeans.
+// It returns every delta plus the subset exceeding thresholdPct. A gated
+// benchmark missing from either side is an error — a silently vanished
+// benchmark must fail the gate, not pass it.
+func Compare(old, new *Result, names []string, thresholdPct float64) (deltas []Delta, regressions []Delta, err error) {
+	for _, name := range names {
+		ov, ok := old.GeoMean(name, "ns/op")
+		if !ok {
+			return nil, nil, fmt.Errorf("benchparse: %s missing from the baseline run", name)
+		}
+		nv, ok := new.GeoMean(name, "ns/op")
+		if !ok {
+			return nil, nil, fmt.Errorf("benchparse: %s missing from the new run", name)
+		}
+		d := Delta{Name: name, Old: ov, New: nv, Pct: (nv/ov - 1) * 100}
+		deltas = append(deltas, d)
+		if d.Pct > thresholdPct {
+			regressions = append(regressions, d)
+		}
+	}
+	return deltas, regressions, nil
+}

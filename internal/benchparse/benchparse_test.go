@@ -1,0 +1,115 @@
+package benchparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: qproc
+BenchmarkSweep-8   	       2	 500000000 ns/op	  1024 B/op	      10 allocs/op
+BenchmarkSweep-8   	       2	 520000000 ns/op	  1024 B/op	      10 allocs/op
+BenchmarkFig10/sym6_145-8 	       1	 100000000 ns/op	        0.3550 yield(k=0)
+--- BENCH: BenchmarkSweep-8
+    bench_test.go:10: some log line
+PASS
+ok  	qproc	12.3s
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goos != "linux" || res.Goarch != "amd64" || res.Pkg != "qproc" {
+		t.Fatalf("header = %q/%q/%q", res.Goos, res.Goarch, res.Pkg)
+	}
+	if len(res.Runs) != 3 {
+		t.Fatalf("parsed %d runs, want 3", len(res.Runs))
+	}
+	if res.Runs[0].Name != "BenchmarkSweep" {
+		t.Errorf("procs suffix not stripped: %q", res.Runs[0].Name)
+	}
+	if res.Runs[2].Name != "BenchmarkFig10/sym6_145" {
+		t.Errorf("sub-benchmark name mangled: %q", res.Runs[2].Name)
+	}
+	if got := res.Runs[2].Values["yield(k=0)"]; got != 0.3550 {
+		t.Errorf("custom metric = %g", got)
+	}
+	if got := res.Runs[0].Values["allocs/op"]; got != 10 {
+		t.Errorf("allocs/op = %g", got)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 1 abc ns/op",
+		"BenchmarkX-8 1 12 ns/op extra",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	// Short lines are benchmark-name chatter go test emits around logged
+	// output — skipped, never fatal.
+	for _, chatter := range []string{"BenchmarkX-8", "BenchmarkX-8 1", "BenchmarkX-8 1 12"} {
+		res, err := Parse(strings.NewReader(chatter))
+		if err != nil {
+			t.Errorf("%q rejected: %v", chatter, err)
+		} else if len(res.Runs) != 0 {
+			t.Errorf("%q parsed as a run", chatter)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	res, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res.GeoMean("BenchmarkSweep", "ns/op")
+	if !ok {
+		t.Fatal("BenchmarkSweep missing")
+	}
+	want := math.Sqrt(500000000.0 * 520000000.0)
+	if math.Abs(got-want) > 1 {
+		t.Errorf("geomean = %g, want %g", got, want)
+	}
+	if _, ok := res.GeoMean("BenchmarkMissing", "ns/op"); ok {
+		t.Error("missing benchmark reported present")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldRes, _ := Parse(strings.NewReader("BenchmarkSweep-8 1 100 ns/op\nBenchmarkEstimateCached-8 1 200 ns/op\n"))
+	newRes, _ := Parse(strings.NewReader("BenchmarkSweep-8 1 110 ns/op\nBenchmarkEstimateCached-8 1 240 ns/op\n"))
+	deltas, regs, err := Compare(oldRes, newRes, []string{"BenchmarkSweep", "BenchmarkEstimateCached"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas", len(deltas))
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkEstimateCached" {
+		t.Fatalf("regressions = %+v, want only BenchmarkEstimateCached (+20%%)", regs)
+	}
+	if math.Abs(regs[0].Pct-20) > 1e-9 {
+		t.Errorf("pct = %g, want 20", regs[0].Pct)
+	}
+
+	// A gated benchmark missing from either side must error, not pass.
+	if _, _, err := Compare(oldRes, newRes, []string{"BenchmarkGone"}, 15); err == nil {
+		t.Error("missing gated benchmark accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	res, _ := Parse(strings.NewReader(sample))
+	names := res.Names()
+	if len(names) != 2 || names[0] != "BenchmarkFig10/sym6_145" || names[1] != "BenchmarkSweep" {
+		t.Errorf("Names = %v", names)
+	}
+}

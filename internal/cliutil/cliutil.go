@@ -1,0 +1,134 @@
+// Package cliutil validates and parses command-line flag values shared
+// by the cmd/ binaries, turning silent misbehaviour (a zero-trial
+// Monte-Carlo run, a negative worker pool, a half-numeric σ list) into
+// actionable errors before any work starts.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Positive rejects non-positive values of an integer flag.
+func Positive(flagName string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be a positive integer, got %d", flagName, v)
+	}
+	return nil
+}
+
+// NonNegative rejects negative values of an integer flag.
+func NonNegative(flagName string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must be >= 0, got %d", flagName, v)
+	}
+	return nil
+}
+
+// AtLeast rejects values below min, for flags where a sentinel (usually
+// -1, "no limit") is the floor.
+func AtLeast(flagName string, v, min int) error {
+	if v < min {
+		return fmt.Errorf("-%s must be >= %d, got %d", flagName, min, v)
+	}
+	return nil
+}
+
+// PositiveFloat rejects non-positive values of a float flag.
+func PositiveFloat(flagName string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive, got %g", flagName, v)
+	}
+	return nil
+}
+
+// NonNegativeFloat rejects negative values of a float flag.
+func NonNegativeFloat(flagName string, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must be >= 0, got %g", flagName, v)
+	}
+	return nil
+}
+
+// Sigma validates a single fabrication σ flag value (GHz) with the same
+// plausibility rules as ParseSigmas.
+func Sigma(flagName string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s: σ must be positive, got %g", flagName, v)
+	}
+	if v >= 1 {
+		return fmt.Errorf("-%s: σ = %g GHz is implausibly large — did you mean %g?", flagName, v, v/1000)
+	}
+	return nil
+}
+
+// WriteOutput streams write to the named file, or to fallback when path
+// is empty, surfacing Create/Close errors so a truncated output cannot
+// pass silently.
+func WriteOutput(path string, fallback io.Writer, write func(io.Writer) error) error {
+	if path == "" {
+		return write(fallback)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SplitList splits a comma-separated flag value, trimming space and
+// dropping empty items; an empty input yields nil.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParseInts parses a comma-separated list of integers, naming the flag
+// and the offending item on failure. Each value must be >= min.
+func ParseInts(flagName, s string, min int) ([]int, error) {
+	var out []int
+	for _, item := range SplitList(s) {
+		v, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not an integer (want e.g. \"0,1,2\")", flagName, item)
+		}
+		if v < min {
+			return nil, fmt.Errorf("-%s: %d is below the minimum %d", flagName, v, min)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseSigmas parses a comma-separated list of fabrication σ values in
+// GHz. Values must be positive; values of 1 GHz or more are rejected as
+// almost certainly a MHz/GHz mix-up.
+func ParseSigmas(flagName, s string) ([]float64, error) {
+	var out []float64
+	for _, item := range SplitList(s) {
+		v, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %q is not a number (want σ in GHz, e.g. \"0.02,0.03\")", flagName, item)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("-%s: σ must be positive, got %g", flagName, v)
+		}
+		if v >= 1 {
+			return nil, fmt.Errorf("-%s: σ = %g GHz is implausibly large — did you mean %g?", flagName, v, v/1000)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

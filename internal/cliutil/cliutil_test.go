@@ -1,0 +1,81 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositive(t *testing.T) {
+	if err := Positive("workers", 1); err != nil {
+		t.Errorf("1 rejected: %v", err)
+	}
+	for _, v := range []int{0, -3} {
+		err := Positive("workers", v)
+		if err == nil {
+			t.Errorf("%d accepted", v)
+		} else if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("error does not name the flag: %v", err)
+		}
+	}
+}
+
+func TestNonNegativeAndAtLeast(t *testing.T) {
+	if err := NonNegative("aux", 0); err != nil {
+		t.Errorf("0 rejected: %v", err)
+	}
+	if err := NonNegative("aux", -1); err == nil {
+		t.Error("-1 accepted")
+	}
+	if err := AtLeast("max-buses", -1, -1); err != nil {
+		t.Errorf("sentinel -1 rejected: %v", err)
+	}
+	if err := AtLeast("max-buses", -2, -1); err == nil {
+		t.Error("-2 accepted")
+	}
+}
+
+func TestPositiveFloat(t *testing.T) {
+	if err := PositiveFloat("sigma", 0.03); err != nil {
+		t.Errorf("0.03 rejected: %v", err)
+	}
+	if err := PositiveFloat("sigma", 0); err == nil {
+		t.Error("0 accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList(" a, ,b ,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("SplitList = %v", got)
+	}
+	if got := SplitList(""); got != nil {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("aux", "0, 2,5", 0)
+	if err != nil || len(got) != 3 || got[2] != 5 {
+		t.Errorf("ParseInts = %v, %v", got, err)
+	}
+	if _, err := ParseInts("aux", "1,x", 0); err == nil || !strings.Contains(err.Error(), `"x"`) {
+		t.Errorf("malformed item error = %v", err)
+	}
+	if _, err := ParseInts("aux", "-1", 0); err == nil {
+		t.Error("below-minimum accepted")
+	}
+}
+
+func TestParseSigmas(t *testing.T) {
+	got, err := ParseSigmas("sigmas", "0.02,0.03")
+	if err != nil || len(got) != 2 || got[1] != 0.03 {
+		t.Errorf("ParseSigmas = %v, %v", got, err)
+	}
+	for _, bad := range []string{"abc", "0", "-0.01", "30"} {
+		if _, err := ParseSigmas("sigmas", bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if _, err := ParseSigmas("sigmas", "30"); err == nil || !strings.Contains(err.Error(), "0.03") {
+		t.Errorf("MHz mix-up hint missing: %v", err)
+	}
+}

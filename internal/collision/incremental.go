@@ -1,0 +1,171 @@
+package collision
+
+// Incremental maintains the analytic expected-collision count of one
+// coupling graph under a mutable frequency assignment, re-scoring only the
+// terms a frequency change can affect. The guided design-space search
+// proposes thousands of single-qubit (or small-region) frequency moves per
+// run; recomputing every closed-form marginal each time would make the
+// surrogate as expensive as the Monte-Carlo estimate it replaces.
+//
+// Terms are grouped per undirected coupling edge into a bundle: the pair
+// conditions 1-4 of the edge in its current orientation (control = higher
+// design frequency, ties to the lower index — the same rule NewChecker
+// compiles) plus the spectator conditions 5-7 of every (control, spectator,
+// target) triple the edge generates. A bundle's score depends only on the
+// frequencies of the edge's endpoints and their neighbours, so each qubit
+// carries a precomputed list of dependent bundles and an update touches
+// just those. Orientation flips caused by an update are handled naturally:
+// affected bundles are re-scored from scratch, re-deriving their control.
+//
+// The total is summed over bundles in edge-index order on every Score
+// call, so it is a pure function of the current frequencies — no
+// accumulated floating-point drift, and bit-identical across any update
+// history that ends in the same assignment.
+type Incremental struct {
+	params Params
+	sigma  float64
+	adj    [][]int
+	freqs  []float64
+	// edges lists the undirected coupling edges (a < b); edgeE holds the
+	// current bundle score per edge.
+	edges [][2]int
+	edgeE []float64
+	// deps[q] lists the edge bundles whose score depends on freqs[q].
+	deps [][]int
+	// mark/stamp deduplicate bundle re-scores within one update.
+	mark     []int
+	stamp    int
+	rescored uint64
+}
+
+// NewIncremental compiles the incremental scorer for the coupling graph
+// adj under the initial design frequencies freqs (copied, not retained).
+func NewIncremental(adj [][]int, freqs []float64, sigma float64, p Params) *Incremental {
+	inc := &Incremental{
+		params: p,
+		sigma:  sigma,
+		adj:    adj,
+		freqs:  append([]float64(nil), freqs...),
+		deps:   make([][]int, len(adj)),
+	}
+	for a, nbrs := range adj {
+		for _, b := range nbrs {
+			if b <= a {
+				continue
+			}
+			e := len(inc.edges)
+			inc.edges = append(inc.edges, [2]int{a, b})
+			// Dependents: the endpoints and every neighbour of either
+			// endpoint (spectators come from the control's adjacency, and
+			// either endpoint can be the control).
+			seen := map[int]bool{a: true, b: true}
+			inc.deps[a] = append(inc.deps[a], e)
+			inc.deps[b] = append(inc.deps[b], e)
+			for _, end := range [2]int{a, b} {
+				for _, nb := range adj[end] {
+					if !seen[nb] {
+						seen[nb] = true
+						inc.deps[nb] = append(inc.deps[nb], e)
+					}
+				}
+			}
+		}
+	}
+	inc.edgeE = make([]float64, len(inc.edges))
+	inc.mark = make([]int, len(inc.edges))
+	for e := range inc.edges {
+		inc.edgeE[e] = inc.scoreBundle(e)
+	}
+	return inc
+}
+
+// scoreBundle computes the bundle score of edge e from the current
+// frequencies: pair conditions in the current orientation plus every
+// spectator triple around the control.
+func (inc *Incremental) scoreBundle(e int) float64 {
+	a, b := inc.edges[e][0], inc.edges[e][1]
+	ctl, tgt := a, b
+	if inc.freqs[b] > inc.freqs[a] {
+		ctl, tgt = b, a
+	}
+	s := inc.params.PairProb(inc.freqs[ctl], inc.freqs[tgt], inc.sigma)
+	for _, i := range inc.adj[ctl] {
+		if i != tgt {
+			s += inc.params.SpectatorProb(inc.freqs[ctl], inc.freqs[i], inc.freqs[tgt], inc.sigma)
+		}
+	}
+	inc.rescored++
+	return s
+}
+
+// Score returns the expected collision count of the current assignment,
+// summing bundles in fixed edge order.
+func (inc *Incremental) Score() float64 {
+	total := 0.0
+	for _, e := range inc.edgeE {
+		total += e
+	}
+	return total
+}
+
+// Freq returns the current design frequency of qubit q.
+func (inc *Incremental) Freq(q int) float64 { return inc.freqs[q] }
+
+// Adj returns the adjacency lists the scorer was compiled for. Callers
+// must not mutate them.
+func (inc *Incremental) Adj() [][]int { return inc.adj }
+
+// Freqs returns a copy of the current assignment.
+func (inc *Incremental) Freqs() []float64 {
+	return append([]float64(nil), inc.freqs...)
+}
+
+// Set updates the frequencies of the given qubits (vals aligned with
+// qubits) and re-scores every dependent bundle exactly once.
+func (inc *Incremental) Set(qubits []int, vals []float64) {
+	for i, q := range qubits {
+		inc.freqs[q] = vals[i]
+	}
+	inc.stamp++
+	for _, q := range qubits {
+		for _, e := range inc.deps[q] {
+			if inc.mark[e] != inc.stamp {
+				inc.mark[e] = inc.stamp
+				inc.edgeE[e] = inc.scoreBundle(e)
+			}
+		}
+	}
+}
+
+// Set1 is Set for a single qubit.
+func (inc *Incremental) Set1(q int, f float64) {
+	inc.Set([]int{q}, []float64{f})
+}
+
+// Preview1 returns the Score the assignment would have with qubit q moved
+// to f, leaving the scorer unchanged.
+func (inc *Incremental) Preview1(q int, f float64) float64 {
+	old := inc.freqs[q]
+	inc.Set1(q, f)
+	s := inc.Score()
+	inc.Set1(q, old)
+	return s
+}
+
+// Clone returns an independent copy sharing the (immutable) adjacency and
+// dependency structure.
+func (inc *Incremental) Clone() *Incremental {
+	c := *inc
+	c.freqs = append([]float64(nil), inc.freqs...)
+	c.edgeE = append([]float64(nil), inc.edgeE...)
+	c.mark = make([]int, len(inc.edges))
+	c.stamp = 0
+	return &c
+}
+
+// Rescored reports how many bundle scorings the instance has performed
+// (including the initial compile), for tests and diagnostics.
+func (inc *Incremental) Rescored() uint64 { return inc.rescored }
+
+// NumBundles returns the number of edge bundles compiled.
+func (inc *Incremental) NumBundles() int { return len(inc.edges) }

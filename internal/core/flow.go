@@ -46,6 +46,10 @@ const (
 	// ConfigEffLayoutOnly runs layout only: 2-qubit buses or maximal
 	// 4-qubit buses, 5-frequency scheme.
 	ConfigEffLayoutOnly Config = "eff-layout-only"
+	// ConfigSearch labels designs produced by the guided design-space
+	// search (internal/search). It is not one of the paper's five sweep
+	// configurations and is therefore not returned by Configs().
+	ConfigSearch Config = "search"
 )
 
 // Configs lists the five configurations in the paper's order.
@@ -170,10 +174,18 @@ func (f *Flow) SeriesConfig(c *circuit.Circuit, cfg Config, maxBuses, aux, sampl
 	}
 }
 
-func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]*Design, error) {
+// BaseLayout builds the profile and the bus-free base architecture
+// (2-qubit buses only, no frequencies) for the program extended with aux
+// auxiliary qubits. It is the pre-bus-selection state shared by the series
+// generators and the starting point the guided design-space search
+// mutates.
+func (f *Flow) BaseLayout(c *circuit.Circuit, aux int) (*arch.Architecture, *profile.Profile, error) {
+	if aux < 0 {
+		return nil, nil, fmt.Errorf("core: negative aux qubit count %d", aux)
+	}
 	p, err := f.Profile(c)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	coords := layout.Place(p)
 	if aux > 0 {
@@ -183,7 +195,15 @@ func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]
 	}
 	base, err := arch.New("", layout.Normalize(coords))
 	if err != nil {
-		return nil, fmt.Errorf("core: layout: %w", err)
+		return nil, nil, fmt.Errorf("core: layout: %w", err)
+	}
+	return base, p, nil
+}
+
+func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]*Design, error) {
+	base, p, err := f.BaseLayout(c, aux)
+	if err != nil {
+		return nil, err
 	}
 	// Select on a scratch copy to learn the square order.
 	scratch := base.Clone()

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"qproc/internal/gen"
+	"qproc/internal/search"
+	"qproc/internal/yield"
+)
+
+// SearchSpec describes a guided design-space search over one benchmark:
+// the strategy, the layout variants, and the budget knobs. Zero fields
+// take defaults matching the sweep engine's conventions.
+type SearchSpec struct {
+	Benchmark string          `json:"benchmark"`
+	Strategy  search.Strategy `json:"strategy"`
+	AuxCounts []int           `json:"aux_counts"`
+	Sigma     float64         `json:"sigma"`
+	// MaxBuses caps the 4-qubit bus squares per design: nil inherits the
+	// runner's option, negative means no cap, and 0 is a real cap
+	// (forbid multi-qubit buses).
+	MaxBuses *int `json:"max_buses,omitempty"`
+	// MaxEvals caps the full Monte-Carlo evaluations; <= 0 means
+	// unlimited.
+	MaxEvals int `json:"max_evals"`
+	// Steps/Proposals configure annealing; BeamWidth/Depth configure beam
+	// search. Zero takes the search package defaults.
+	Steps     int `json:"steps"`
+	Proposals int `json:"proposals"`
+	BeamWidth int `json:"beam_width"`
+	Depth     int `json:"depth"`
+	// PerfWeight blends mapped performance into the objective
+	// (yield · normPerf^PerfWeight); zero optimises yield alone.
+	PerfWeight float64 `json:"perf_weight"`
+}
+
+// withDefaults fills the empty axes; MaxBuses keeps the runner's cap.
+func (s SearchSpec) withDefaults(opt Options) (SearchSpec, search.Options) {
+	so := search.DefaultOptions()
+	so.Seed = opt.Seed
+	so.Trials = opt.YieldTrials
+	so.Mapper = opt.Mapper
+	so.Parallel = opt.Parallel
+	so.Workers = opt.Workers
+	if s.Strategy == "" {
+		s.Strategy = search.Anneal
+	}
+	so.Strategy = s.Strategy
+	if len(s.AuxCounts) == 0 {
+		s.AuxCounts = []int{0}
+	}
+	so.AuxCounts = s.AuxCounts
+	if s.Sigma == 0 {
+		s.Sigma = yield.DefaultSigma
+	}
+	so.Sigma = s.Sigma
+	if s.MaxBuses == nil {
+		v := opt.MaxBuses
+		s.MaxBuses = &v
+	}
+	so.MaxBuses = *s.MaxBuses
+	so.MaxEvals = s.MaxEvals
+	if s.Steps > 0 {
+		so.Steps = s.Steps
+	}
+	if s.Proposals > 0 {
+		so.Proposals = s.Proposals
+	}
+	if s.BeamWidth > 0 {
+		so.BeamWidth = s.BeamWidth
+	}
+	if s.Depth > 0 {
+		so.Depth = s.Depth
+	}
+	so.PerfWeight = s.PerfWeight
+	return s, so
+}
+
+// SearchProgress mirrors search.Progress for the runner's callback
+// convention.
+type SearchProgress struct {
+	Step, Total  int
+	Evals        int
+	BestYield    float64
+	BestExpected float64
+}
+
+// SearchOutcome is the JSON-exportable result of a guided search: the
+// winning design rendered as a sweep point (so search results compose
+// with sweep tooling), plus the search diagnostics.
+type SearchOutcome struct {
+	Spec    SearchSpec `json:"spec"`
+	Options Options    `json:"options"`
+	// Best is the winning design in sweep-point form: Config "search",
+	// Label "k=<buses>", NormPerf anchored to IBM baseline (1).
+	Best SweepPoint `json:"best"`
+	// Expected is the winner's analytic expected collision count.
+	Expected float64 `json:"expected"`
+	// Objective is the scalar the search maximised.
+	Objective float64 `json:"objective"`
+	// Evals is the number of full Monte-Carlo design evaluations spent;
+	// Proposals the number of surrogate-scored candidate states.
+	Evals     int                 `json:"evals"`
+	Proposals int                 `json:"proposals"`
+	Trace     []search.TracePoint `json:"trace"`
+
+	// Result keeps the full search result (with the architecture) for
+	// programmatic callers; not serialised.
+	Result *search.Result `json:"-"`
+}
+
+// WriteJSON streams the outcome as indented JSON.
+func (so *SearchOutcome) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(so)
+}
+
+// ReadSearchJSON is the inverse of WriteJSON.
+func ReadSearchJSON(r io.Reader) (*SearchOutcome, error) {
+	var so SearchOutcome
+	if err := json.NewDecoder(r).Decode(&so); err != nil {
+		return nil, fmt.Errorf("experiments: reading search outcome: %w", err)
+	}
+	return &so, nil
+}
+
+// Search runs the guided design-space search on one benchmark, sharing
+// the runner's noise cache (so its Monte-Carlo evaluations reuse the
+// exact common-random-numbers matrices a sweep with the same options
+// uses) and the runner's parallelism settings. The optional progress
+// callback fires once per annealing step or beam depth. Results are
+// deterministic for a given seed; parallel and serial runs are
+// bit-identical.
+func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*SearchOutcome, error) {
+	b, err := gen.Get(spec.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: search: %w", err)
+	}
+	c := b.Build()
+	spec, so := spec.withDefaults(r.opt)
+
+	var cb func(search.Progress)
+	if progress != nil {
+		cb = func(p search.Progress) {
+			progress(SearchProgress(p))
+		}
+	}
+	res, err := search.Run(c, so, r.cache, cb)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: search %s: %w", spec.Benchmark, err)
+	}
+
+	return &SearchOutcome{
+		Spec:    spec,
+		Options: r.opt,
+		Best: SweepPoint{
+			Point: Point{
+				Benchmark:   c.Name,
+				Config:      res.Best.Config,
+				Label:       fmt.Sprintf("k=%d", res.Best.Buses),
+				Qubits:      res.Best.Arch.NumQubits(),
+				Connections: res.Best.Arch.NumConnections(),
+				Buses:       res.Best.Buses,
+				GateCount:   res.GateCount,
+				Swaps:       res.Swaps,
+				Yield:       res.Yield,
+				NormPerf:    res.NormPerf,
+			},
+			AuxQubits: res.Best.AuxQubits,
+			Sigma:     spec.Sigma,
+		},
+		Expected:  res.Expected,
+		Objective: res.Objective,
+		Evals:     res.Evals,
+		Proposals: res.Proposals,
+		Trace:     res.Trace,
+		Result:    res,
+	}, nil
+}

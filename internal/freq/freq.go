@@ -265,18 +265,15 @@ func bfsOrder(adj [][]int, start int) []int {
 }
 
 // localRegion returns qi plus every already-assigned qubit within
-// coupling distance 2 of qi — exactly the qubits that can participate in
-// a collision condition with qi (conditions 1-4 need distance 1,
-// conditions 5-7 a common neighbour, i.e. distance ≤ 2). Sorted ascending
-// with qi included.
+// coupling distance 2 of qi. A nil assigned slice means "all assigned".
 func localRegion(adj [][]int, qi int, assigned []bool) []int {
 	in := map[int]bool{qi: true}
 	for _, n1 := range adj[qi] {
-		if assigned[n1] {
+		if assigned == nil || assigned[n1] {
 			in[n1] = true
 		}
 		for _, n2 := range adj[n1] {
-			if n2 != qi && assigned[n2] {
+			if n2 != qi && (assigned == nil || assigned[n2]) {
 				in[n2] = true
 			}
 		}
@@ -287,4 +284,14 @@ func localRegion(adj [][]int, qi int, assigned []bool) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// Region returns qi plus every qubit within coupling distance 2 of qi —
+// exactly the qubits that can participate in a collision condition with
+// qi (conditions 1-4 need distance 1, conditions 5-7 a common neighbour,
+// i.e. distance ≤ 2). Sorted ascending with qi included. The guided
+// design-space search uses it to bound which frequencies a local move may
+// perturb.
+func Region(adj [][]int, qi int) []int {
+	return localRegion(adj, qi, nil)
 }

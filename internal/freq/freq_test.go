@@ -120,6 +120,100 @@ func TestSweepNeverHurts(t *testing.T) {
 	}
 }
 
+// busyGrid builds a 3×4 grid layout carrying two 4-qubit buses — a
+// generated-flow-shaped topology (multi-bus K4 cliques plus 2-qubit
+// buses) without importing the flow itself.
+func busyGrid(t *testing.T) *arch.Architecture {
+	t.Helper()
+	var coords []lattice.Coord
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			coords = append(coords, lattice.Coord{X: x, Y: y})
+		}
+	}
+	a := arch.MustNew("busy-grid", coords)
+	for _, sq := range []lattice.Square{
+		{Origin: lattice.Coord{X: 0, Y: 0}},
+		{Origin: lattice.Coord{X: 2, Y: 1}},
+	} {
+		if err := a.ApplyMultiBus(sq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+// TestRefinementMonotonePerSweep pins the coordinate-descent contract of
+// the refinement pass on every IBM baseline and a bus-carrying generated
+// topology: each additional sweep may only lower (never raise) the
+// global expected collision count, i.e. it never lowers analytic yield.
+func TestRefinementMonotonePerSweep(t *testing.T) {
+	p := collision.DefaultParams()
+	archs := []*arch.Architecture{
+		arch.NewBaseline(arch.IBM16Q2Bus),
+		arch.NewBaseline(arch.IBM16Q4Bus),
+		arch.NewBaseline(arch.IBM20Q2Bus),
+		arch.NewBaseline(arch.IBM20Q4Bus),
+		busyGrid(t),
+	}
+	for _, a := range archs {
+		adj := a.AdjList()
+		prev := math.Inf(1)
+		for sweeps := 0; sweeps <= 3; sweeps++ {
+			al := NewAllocator(1)
+			al.Sweeps = sweeps
+			e := collision.ExpectedCollisions(adj, al.Allocate(a), al.Sigma, p)
+			if e > prev+1e-9 {
+				t.Errorf("%s: sweep %d raised expected collisions %.6f -> %.6f", a.Name, sweeps, prev, e)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestRefinementDeterministicWithSweeps extends the determinism guard to
+// Sweeps > 0 on a bus-carrying topology: identical allocators must agree
+// bit for bit, and repeated allocation from one allocator must be stable.
+func TestRefinementDeterministicWithSweeps(t *testing.T) {
+	a := busyGrid(t)
+	for sweeps := 1; sweeps <= 2; sweeps++ {
+		al1 := NewAllocator(99)
+		al1.Sweeps = sweeps
+		al2 := NewAllocator(99)
+		al2.Sweeps = sweeps
+		f1, f2, f3 := al1.Allocate(a), al2.Allocate(a), al1.Allocate(a)
+		for q := range f1 {
+			if f1[q] != f2[q] || f1[q] != f3[q] {
+				t.Fatalf("sweeps=%d: allocation not deterministic at qubit %d: %g/%g/%g",
+					sweeps, q, f1[q], f2[q], f3[q])
+			}
+		}
+	}
+}
+
+// TestRegionMatchesLocalRegion pins the exported Region helper to the
+// all-assigned local region the allocator uses internally.
+func TestRegionMatchesLocalRegion(t *testing.T) {
+	a := busyGrid(t)
+	adj := a.AdjList()
+	assigned := make([]bool, a.NumQubits())
+	for q := range assigned {
+		assigned[q] = true
+	}
+	for q := 0; q < a.NumQubits(); q++ {
+		want := localRegion(adj, q, assigned)
+		got := Region(adj, q)
+		if len(got) != len(want) {
+			t.Fatalf("q%d: Region = %v, localRegion = %v", q, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("q%d: Region = %v, localRegion = %v", q, got, want)
+			}
+		}
+	}
+}
+
 func TestDeterministic(t *testing.T) {
 	a := arch.NewBaseline(arch.IBM16Q4Bus)
 	al1 := NewAllocator(123)

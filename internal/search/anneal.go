@@ -1,0 +1,160 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+)
+
+// runAnneal is batch-proposal simulated annealing. Each step draws
+// Proposals neighbour moves from the serial RNG, constructs and scores
+// the candidate states concurrently (pure functions into index slots),
+// then applies one Metropolis accept/reject to the best candidate by
+// analytic score. States whose analytic score beats everything evaluated
+// so far are promoted to a full Monte-Carlo evaluation. Every random draw
+// happens on the serial control path, so parallel and serial runs are
+// bit-identical.
+func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
+	opt := p.opt
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	seeds, err := p.seedStates()
+	if err != nil {
+		return nil, nil, err
+	}
+	cur := seeds[0] // aux = AuxCounts[0], Algorithm 3 frequencies
+	var best *evaluated
+	var trace []TracePoint
+	bestExpected := math.Inf(1)
+	promote := func(step int, st *State) error {
+		if st.Expected >= bestExpected {
+			return nil
+		}
+		bestExpected = st.Expected
+		e, ok, err := ev.evaluate(st)
+		if err != nil || !ok {
+			return err
+		}
+		if better(e, best) {
+			best = e
+			trace = append(trace, TracePoint{Step: step, Evals: ev.evals, Yield: e.yield, Expected: st.Expected})
+		}
+		return nil
+	}
+	if err := promote(0, cur); err != nil {
+		return nil, nil, err
+	}
+
+	for step := 0; step < opt.Steps; step++ {
+		// Draw the whole batch serially, then build concurrently.
+		moves := make([]move, opt.Proposals)
+		for i := range moves {
+			moves[i] = p.randomMove(rng, cur)
+		}
+		states := make([]*State, opt.Proposals)
+		origin := cur
+		opt.forEach(opt.Proposals, func(i int) {
+			st, err := p.apply(origin, moves[i])
+			if err == nil {
+				states[i] = st
+			}
+		})
+		p.proposals += len(moves)
+
+		// Pick the best candidate: lowest analytic score, key tie-break.
+		var cand *State
+		for _, st := range states {
+			if st == nil || st.key == cur.key {
+				continue
+			}
+			if cand == nil || st.Expected < cand.Expected ||
+				(st.Expected == cand.Expected && st.key < cand.key) {
+				cand = st
+			}
+		}
+
+		// Exactly one uniform per step keeps the RNG stream aligned
+		// whether or not a candidate materialised.
+		u := rng.Float64()
+		if cand != nil {
+			dE := cand.Expected - cur.Expected
+			if dE <= 0 || u < math.Exp(-dE/tempAt(opt, step, opt.Steps)) {
+				cur = cand
+				if err := promote(step+1, cur); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if progress != nil {
+			// Both numbers describe the evaluated incumbent (as in beam);
+			// bestExpected is only the internal promotion threshold.
+			pr := Progress{Step: step + 1, Total: opt.Steps, Evals: ev.evals}
+			if best != nil {
+				pr.BestYield = best.yield
+				pr.BestExpected = best.state.Expected
+			}
+			progress(pr)
+		}
+	}
+	return best, trace, nil
+}
+
+// randomMove draws one neighbour move of st from the serial RNG. Falls
+// back to a frequency re-seed when the drawn kind has no legal target.
+func (p *Problem) randomMove(rng *rand.Rand, st *State) move {
+	kind := rng.Intn(10)
+	switch {
+	case kind < 3: // add a bus square
+		if cands := p.addCandidates(st); len(cands) > 0 {
+			return move{kind: moveAddBus, sq: cands[rng.Intn(len(cands))]}
+		}
+	case kind < 5: // remove a bus square
+		if len(st.Squares) > 0 {
+			return move{kind: moveRemoveBus, old: st.Squares[rng.Intn(len(st.Squares))]}
+		}
+	case kind < 6: // shift: move a bus to a different square
+		if m, ok := p.randomShift(rng, st); ok {
+			return m
+		}
+	case kind < 7: // jump to another aux layout variant
+		if len(p.auxCounts) > 1 {
+			target := p.auxCounts[rng.Intn(len(p.auxCounts))]
+			five := rng.Intn(2) == 1
+			if target != st.Aux {
+				return move{kind: moveAuxJump, aux: target, five: five}
+			}
+		}
+	}
+	cands := freqCandidates
+	return move{
+		kind:  moveReseed,
+		qubit: rng.Intn(st.Arch.NumQubits()),
+		freq:  cands[rng.Intn(len(cands))],
+	}
+}
+
+// randomShift draws a shift move: a random selected square is removed and
+// a random square eligible in its absence is added.
+func (p *Problem) randomShift(rng *rand.Rand, st *State) (move, bool) {
+	if len(st.Squares) == 0 {
+		return move{}, false
+	}
+	victim := st.Squares[rng.Intn(len(st.Squares))]
+	rest := removeSquare(st.Squares, victim)
+	// Re-derive eligibility without the victim on a scratch architecture.
+	scratch := p.bases[st.Aux].arch.Clone()
+	for _, sq := range rest {
+		if err := scratch.ApplyMultiBus(sq); err != nil {
+			return move{}, false // unreachable: subset of a valid set
+		}
+	}
+	var eligible []move
+	for _, sq := range p.bases[st.Aux].squares {
+		if sq != victim && scratch.CanApplyMultiBus(sq) {
+			eligible = append(eligible, move{kind: moveShiftBus, old: victim, sq: sq})
+		}
+	}
+	if len(eligible) == 0 {
+		return move{}, false
+	}
+	return eligible[rng.Intn(len(eligible))], true
+}

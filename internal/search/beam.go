@@ -1,0 +1,153 @@
+package search
+
+import "sort"
+
+// runBeam is deterministic beam search: the frontier starts from the
+// seed states (every aux variant × {Algorithm 3, 5-frequency} on the
+// bus-free layout) and at each depth every frontier state expands its
+// full deterministic move set — one add per eligible square, one remove
+// per selected square, and the per-qubit coordinate-descent frequency
+// moves. Candidates are built and scored concurrently into index slots,
+// deduplicated by canonical key, merged with the frontier, and the best
+// BeamWidth by (analytic score, key) survive. Newly surfaced frontier
+// members receive full Monte-Carlo evaluations in frontier order while
+// the budget lasts. No RNG anywhere, so parallel == serial trivially.
+func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
+	opt := p.opt
+	seeds, err := p.seedStates()
+	if err != nil {
+		return nil, nil, err
+	}
+	frontier := append([]*State(nil), seeds...)
+	sortStates(frontier)
+	if len(frontier) > opt.BeamWidth {
+		frontier = frontier[:opt.BeamWidth]
+	}
+
+	var best *evaluated
+	var trace []TracePoint
+	inFrontier := map[string]bool{}
+	evalFrontier := func(depth int) error {
+		for _, st := range frontier {
+			e, ok, err := ev.evaluate(st)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil // budget exhausted
+			}
+			if better(e, best) {
+				best = e
+				trace = append(trace, TracePoint{Step: depth, Evals: ev.evals, Yield: e.yield, Expected: st.Expected})
+			}
+		}
+		return nil
+	}
+	for _, st := range frontier {
+		inFrontier[st.key] = true
+	}
+	if err := evalFrontier(0); err != nil {
+		return nil, nil, err
+	}
+
+	for depth := 1; depth <= opt.Depth; depth++ {
+		// Stage 1: every frontier member derives its move list. Each
+		// member is handled by exactly one worker (bestReseeds probes the
+		// member's own incremental scorer).
+		moveLists := make([][]move, len(frontier))
+		opt.forEach(len(frontier), func(i int) {
+			st := frontier[i]
+			var ms []move
+			for _, sq := range p.addCandidates(st) {
+				ms = append(ms, move{kind: moveAddBus, sq: sq})
+			}
+			for _, sq := range st.Squares {
+				ms = append(ms, move{kind: moveRemoveBus, old: sq})
+			}
+			ms = append(ms, p.bestReseeds(st)...)
+			moveLists[i] = ms
+		})
+
+		// Stage 2: flatten in frontier order and build concurrently.
+		type job struct {
+			origin *State
+			m      move
+		}
+		var jobs []job
+		for i, ms := range moveLists {
+			for _, m := range ms {
+				jobs = append(jobs, job{frontier[i], m})
+			}
+		}
+		states := make([]*State, len(jobs))
+		opt.forEach(len(jobs), func(i int) {
+			st, err := p.apply(jobs[i].origin, jobs[i].m)
+			if err == nil {
+				states[i] = st
+			}
+		})
+		p.proposals += len(jobs)
+
+		// Merge: dedup by key in deterministic job order, then keep the
+		// best BeamWidth of frontier ∪ candidates.
+		pool := append([]*State(nil), frontier...)
+		seen := map[string]bool{}
+		for k := range inFrontier {
+			seen[k] = true
+		}
+		grew := false
+		for _, st := range states {
+			if st == nil || seen[st.key] {
+				continue
+			}
+			seen[st.key] = true
+			pool = append(pool, st)
+		}
+		sortStates(pool)
+		if len(pool) > opt.BeamWidth {
+			pool = pool[:opt.BeamWidth]
+		}
+		inFrontier = map[string]bool{}
+		for _, st := range pool {
+			if !containsKey(frontier, st.key) {
+				grew = true
+			}
+			inFrontier[st.key] = true
+		}
+		frontier = pool
+		if err := evalFrontier(depth); err != nil {
+			return nil, nil, err
+		}
+		if progress != nil {
+			pr := Progress{Step: depth, Total: opt.Depth, Evals: ev.evals}
+			if best != nil {
+				pr.BestYield = best.yield
+				pr.BestExpected = best.state.Expected
+			}
+			progress(pr)
+		}
+		if !grew || !ev.budget() {
+			break // frontier converged, or nothing left to spend
+		}
+	}
+	return best, trace, nil
+}
+
+// sortStates orders by (analytic score ascending, key) — a total order.
+func sortStates(sts []*State) {
+	sort.Slice(sts, func(i, j int) bool {
+		if sts[i].Expected != sts[j].Expected {
+			return sts[i].Expected < sts[j].Expected
+		}
+		return sts[i].key < sts[j].key
+	})
+}
+
+func containsKey(sts []*State, key string) bool {
+	for _, st := range sts {
+		if st.key == key {
+			return true
+		}
+	}
+	return false
+}

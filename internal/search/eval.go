@@ -1,0 +1,116 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"qproc/internal/core"
+	"qproc/internal/mapper"
+	"qproc/internal/yield"
+)
+
+// evaluated pairs a state with its full Monte-Carlo evaluation.
+type evaluated struct {
+	state     *State
+	yield     float64
+	objective float64
+	// gates/swaps are filled only when PerfWeight > 0 (the mapper ran).
+	gates, swaps int
+	normPerf     float64
+}
+
+// evaluator owns the expensive scoring tier: Monte-Carlo yield under the
+// common-random-numbers noise cache, plus SABRE mapping when performance
+// participates in the objective. All methods run on the serial control
+// path of a strategy; the Monte-Carlo trials themselves fan out inside
+// the simulator.
+type evaluator struct {
+	p   *Problem
+	sim *yield.Simulator
+	// baseGates anchors NormPerf: gates of the program on IBM baseline
+	// (1). Computed lazily, only when the mapper is needed.
+	baseGates int
+	evals     int
+	seen      map[string]*evaluated
+}
+
+func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
+	// Seed offset mirrors experiments.Runner.simulator, so a search
+	// sharing a runner's cache scores designs under the exact noise
+	// matrices the exhaustive sweep used.
+	sim := yield.New(p.opt.Seed + 7919)
+	sim.Sigma = p.opt.Sigma
+	sim.Trials = p.opt.Trials
+	sim.Params = p.opt.Params
+	sim.Parallel = p.opt.Parallel
+	sim.Workers = p.opt.Workers
+	sim.Cache = cache
+	return &evaluator{p: p, sim: sim, seen: map[string]*evaluated{}}, nil
+}
+
+// budget reports whether another full evaluation is allowed.
+func (ev *evaluator) budget() bool {
+	return ev.p.opt.MaxEvals <= 0 || ev.evals < ev.p.opt.MaxEvals
+}
+
+// evaluate runs the full scoring tier on st, memoised by state key. The
+// bool is false when the evaluation budget is exhausted (and the state
+// was not seen before).
+func (ev *evaluator) evaluate(st *State) (*evaluated, bool, error) {
+	if e, ok := ev.seen[st.key]; ok {
+		return e, true, nil
+	}
+	if !ev.budget() {
+		return nil, false, nil
+	}
+	ev.evals++
+	e := &evaluated{state: st, yield: ev.sim.Estimate(st.Arch)}
+	e.objective = e.yield
+	if ev.p.opt.PerfWeight > 0 {
+		gates, swaps, normPerf, err := ev.performance(st)
+		if err != nil {
+			return nil, false, err
+		}
+		e.gates, e.swaps, e.normPerf = gates, swaps, normPerf
+		e.objective = e.yield * math.Pow(normPerf, ev.p.opt.PerfWeight)
+	}
+	ev.seen[st.key] = e
+	return e, true, nil
+}
+
+// better ranks two evaluations: higher objective wins, ties break to the
+// lower analytic score, then to the canonical key (total order, so the
+// incumbent is schedule-independent).
+func better(a, b *evaluated) bool {
+	if b == nil {
+		return true
+	}
+	if a.objective != b.objective {
+		return a.objective > b.objective
+	}
+	if a.state.Expected != b.state.Expected {
+		return a.state.Expected < b.state.Expected
+	}
+	return a.state.key < b.state.key
+}
+
+// performance maps the program onto st and returns the paper's metrics.
+func (ev *evaluator) performance(st *State) (gates, swaps int, normPerf float64, err error) {
+	if ev.baseGates == 0 {
+		baselines := core.NewFlow(ev.p.opt.Seed).Baselines(ev.p.circ)
+		if len(baselines) == 0 {
+			return 0, 0, 0, fmt.Errorf("search: %s needs %d qubits, exceeding every baseline",
+				ev.p.circ.Name, ev.p.circ.Qubits)
+		}
+		mres, err := mapper.Map(ev.p.circ, baselines[0].Arch, ev.p.opt.Mapper)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("search: mapping baseline: %w", err)
+		}
+		ev.baseGates = mres.GateCount
+	}
+	mres, err := mapper.Map(ev.p.circ, st.Arch, ev.p.opt.Mapper)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("search: mapping %s onto %s: %w", ev.p.circ.Name, st.Arch.Name, err)
+	}
+	return mres.GateCount, mres.Swaps, float64(ev.baseGates) / float64(mres.GateCount), nil
+}

@@ -1,0 +1,376 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qproc/internal/arch"
+	"qproc/internal/circuit"
+	"qproc/internal/collision"
+	"qproc/internal/core"
+	"qproc/internal/freq"
+	"qproc/internal/lattice"
+)
+
+// freqCandidates is the shared (immutable) candidate frequency grid.
+var freqCandidates = freq.Candidates()
+
+// baseLayout is one auxiliary-qubit variant of the program's layout: the
+// bus-free architecture, the candidate bus squares, and the two frequency
+// seeds a search may start a state from.
+type baseLayout struct {
+	aux  int
+	arch *arch.Architecture
+	// squares lists every lattice square with >= 3 occupied corners, in
+	// canonical order — the universe bus moves draw from.
+	squares []lattice.Square
+	// seedAlloc is the Algorithm 3 assignment on the bus-free layout
+	// (identical to the k=0 eff-full design of the exhaustive series);
+	// seedFive is IBM's regular 5-frequency scheme.
+	seedAlloc, seedFive []float64
+}
+
+// Problem is the immutable description of one search instance.
+type Problem struct {
+	opt  Options
+	circ *circuit.Circuit
+	// auxCounts is opt.AuxCounts deduplicated, original order kept.
+	auxCounts []int
+	bases     map[int]*baseLayout
+	// proposals counts every candidate state constructed (and therefore
+	// scored by the analytic surrogate). Mutated only on the serial
+	// control path.
+	proposals int
+}
+
+// newProblem builds the per-aux base layouts and frequency seeds.
+func newProblem(c *circuit.Circuit, opt Options) (*Problem, error) {
+	p := &Problem{opt: opt, circ: c, bases: map[int]*baseLayout{}}
+	flow := core.NewFlow(opt.Seed)
+	for _, aux := range opt.AuxCounts {
+		if _, dup := p.bases[aux]; dup {
+			continue
+		}
+		base, _, err := flow.BaseLayout(c, aux)
+		if err != nil {
+			return nil, fmt.Errorf("search: aux=%d: %w", aux, err)
+		}
+		// The allocator mirrors the design flow's configuration
+		// (freq.NewAllocator defaults), so the aux-k=0 seed state is the
+		// same design the exhaustive series evaluates at k=0.
+		al := freq.NewAllocator(opt.Seed)
+		al.Params = opt.Params
+		p.bases[aux] = &baseLayout{
+			aux:       aux,
+			arch:      base,
+			squares:   base.Occupied().Squares(3),
+			seedAlloc: al.Allocate(base),
+			seedFive:  arch.FiveFreqScheme(base),
+		}
+		p.auxCounts = append(p.auxCounts, aux)
+	}
+	return p, nil
+}
+
+// State is one point of the design space: an aux layout variant, a set of
+// 4-qubit bus squares, and a frequency assignment. States are immutable
+// once returned by newState/apply.
+type State struct {
+	Aux int
+	// Squares is canonically sorted; the prohibited condition makes
+	// application order irrelevant.
+	Squares []lattice.Square
+	Arch    *arch.Architecture
+	// Expected is the analytic expected collision count at the search σ —
+	// the surrogate score every proposal is ranked by.
+	Expected float64
+
+	inc *collision.Incremental
+	key string
+}
+
+// Freqs returns the state's frequency assignment.
+func (st *State) Freqs() []float64 { return st.inc.Freqs() }
+
+// Key is the canonical identity of the state: aux variant, bus squares
+// and grid frequencies. Used for deduplication and deterministic
+// tie-breaking.
+func (st *State) Key() string { return st.key }
+
+func sortSquares(sqs []lattice.Square) {
+	sort.Slice(sqs, func(i, j int) bool { return sqs[i].Origin.Less(sqs[j].Origin) })
+}
+
+// newState assembles and scores a state. squares and freqs are retained
+// (callers pass fresh copies); squares are re-sorted in place. It fails
+// when the square set violates eligibility or the prohibited condition.
+func (p *Problem) newState(aux int, squares []lattice.Square, freqs []float64) (*State, error) {
+	base, ok := p.bases[aux]
+	if !ok {
+		return nil, fmt.Errorf("search: aux=%d is not a configured layout variant", aux)
+	}
+	if p.opt.MaxBuses >= 0 && len(squares) > p.opt.MaxBuses {
+		return nil, fmt.Errorf("search: %d bus squares exceed MaxBuses=%d", len(squares), p.opt.MaxBuses)
+	}
+	sortSquares(squares)
+	a := base.arch.Clone()
+	for _, sq := range squares {
+		if err := a.ApplyMultiBus(sq); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
+		}
+	}
+	if err := a.SetFrequencies(freqs); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	inc := collision.NewIncremental(a.AdjList(), freqs, p.opt.Sigma, p.opt.Params)
+	st := &State{
+		Aux:      aux,
+		Squares:  squares,
+		Arch:     a,
+		Expected: inc.Score(),
+		inc:      inc,
+	}
+	st.key = stateKey(aux, squares, freqs)
+	return st, nil
+}
+
+func stateKey(aux int, squares []lattice.Square, freqs []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aux=%d|", aux)
+	for _, sq := range squares {
+		fmt.Fprintf(&b, "%d,%d;", sq.Origin.X, sq.Origin.Y)
+	}
+	b.WriteByte('|')
+	for _, f := range freqs {
+		// Full precision: the 5-frequency seed values sit off the 0.01
+		// candidate grid, and two distinct designs must never share a key
+		// (the evaluator memoises Monte-Carlo results by key).
+		b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// seedStates returns the deduplicated initial states: for every aux
+// variant, the Algorithm 3 assignment and the 5-frequency scheme on the
+// bus-free layout.
+func (p *Problem) seedStates() ([]*State, error) {
+	var out []*State
+	seen := map[string]bool{}
+	for _, aux := range p.auxCounts {
+		base := p.bases[aux]
+		for _, freqs := range [][]float64{base.seedAlloc, base.seedFive} {
+			st, err := p.newState(aux, nil, append([]float64(nil), freqs...))
+			if err != nil {
+				return nil, err
+			}
+			if !seen[st.key] {
+				seen[st.key] = true
+				out = append(out, st)
+				p.proposals++
+			}
+		}
+	}
+	return out, nil
+}
+
+// repair runs one incremental coordinate-descent pass over the given
+// qubits (ascending, deduplicated by the caller): each is moved to the
+// candidate frequency minimising the analytic score, consulting only the
+// collision terms the move can touch. This is the "incremental yield
+// re-estimation" of a local perturbation — no Monte-Carlo runs here.
+func repair(inc *collision.Incremental, qubits []int) {
+	for _, q := range qubits {
+		if f, _, improved := bestFreqFor(inc, q); improved {
+			inc.Set1(q, f)
+		}
+	}
+}
+
+// bestFreqFor runs one coordinate-descent step for qubit q: the candidate
+// frequency minimising the incremental analytic score. The incumbent wins
+// ties; improved reports whether a strictly better candidate exists.
+func bestFreqFor(inc *collision.Incremental, q int) (best float64, bestE float64, improved bool) {
+	cur := inc.Freq(q)
+	best, bestE = cur, inc.Score()
+	for _, f := range freqCandidates {
+		if f == cur {
+			continue
+		}
+		if e := inc.Preview1(q, f); e < bestE {
+			best, bestE = f, e
+		}
+	}
+	return best, bestE, best != cur
+}
+
+// repairState re-scores st after repairing the regions around the seed
+// qubits (their coupling distance <= 2 neighbourhoods), excluding the
+// qubits in keep (whose frequencies a move just pinned).
+func (st *State) repairState(seeds []int, keep map[int]bool) {
+	adj := st.inc.Adj()
+	region := map[int]bool{}
+	for _, q := range seeds {
+		for _, r := range freq.Region(adj, q) {
+			if !keep[r] {
+				region[r] = true
+			}
+		}
+	}
+	qs := make([]int, 0, len(region))
+	for q := range region {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	repair(st.inc, qs)
+	fr := st.inc.Freqs()
+	if err := st.Arch.SetFrequencies(fr); err != nil {
+		panic(err) // unreachable: length preserved
+	}
+	st.Expected = st.inc.Score()
+	st.key = stateKey(st.Aux, st.Squares, fr)
+}
+
+// cornerQubits returns the qubit ids on the corners of sq in st's layout.
+func (p *Problem) cornerQubits(aux int, sq lattice.Square) []int {
+	var out []int
+	for _, c := range sq.Corners() {
+		if q, ok := p.bases[aux].arch.QubitAt(c); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// moveKind enumerates the neighbour move types.
+type moveKind uint8
+
+const (
+	moveAddBus moveKind = iota
+	moveRemoveBus
+	moveShiftBus
+	moveAuxJump
+	moveReseed
+)
+
+// move is one neighbour move relative to an origin state. Moves are plain
+// data so they can be drawn serially and applied concurrently.
+type move struct {
+	kind moveKind
+	// sq is the square to add (moveAddBus, moveShiftBus).
+	sq lattice.Square
+	// old is the square to remove (moveRemoveBus, moveShiftBus).
+	old lattice.Square
+	// aux and five select the seed state of an aux jump.
+	aux  int
+	five bool
+	// qubit and freq describe a frequency re-seed.
+	qubit int
+	freq  float64
+}
+
+// apply constructs the neighbour state m produces from st. A nil state
+// with nil error means the move degenerated to a no-op.
+func (p *Problem) apply(st *State, m move) (*State, error) {
+	switch m.kind {
+	case moveAddBus:
+		squares := append(append([]lattice.Square(nil), st.Squares...), m.sq)
+		next, err := p.newState(st.Aux, squares, st.Freqs())
+		if err != nil {
+			return nil, err
+		}
+		next.repairState(p.cornerQubits(st.Aux, m.sq), nil)
+		return next, nil
+	case moveRemoveBus:
+		squares := removeSquare(st.Squares, m.old)
+		if len(squares) == len(st.Squares) {
+			return nil, fmt.Errorf("search: square %v not selected", m.old)
+		}
+		next, err := p.newState(st.Aux, squares, st.Freqs())
+		if err != nil {
+			return nil, err
+		}
+		next.repairState(p.cornerQubits(st.Aux, m.old), nil)
+		return next, nil
+	case moveShiftBus:
+		squares := removeSquare(st.Squares, m.old)
+		if len(squares) == len(st.Squares) {
+			return nil, fmt.Errorf("search: square %v not selected", m.old)
+		}
+		squares = append(squares, m.sq)
+		next, err := p.newState(st.Aux, squares, st.Freqs())
+		if err != nil {
+			return nil, err
+		}
+		seeds := append(p.cornerQubits(st.Aux, m.old), p.cornerQubits(st.Aux, m.sq)...)
+		next.repairState(seeds, nil)
+		return next, nil
+	case moveAuxJump:
+		base, ok := p.bases[m.aux]
+		if !ok {
+			return nil, fmt.Errorf("search: aux=%d is not a configured layout variant", m.aux)
+		}
+		freqs := base.seedAlloc
+		if m.five {
+			freqs = base.seedFive
+		}
+		return p.newState(m.aux, nil, append([]float64(nil), freqs...))
+	case moveReseed:
+		// Topology unchanged: clone the compiled scorer instead of
+		// rebuilding architecture and term bundles from scratch — this is
+		// the annealer's most common move and the incremental fast path.
+		inc := st.inc.Clone()
+		inc.Set1(m.qubit, m.freq)
+		next := &State{
+			Aux:     st.Aux,
+			Squares: append([]lattice.Square(nil), st.Squares...),
+			Arch:    st.Arch.Clone(),
+			inc:     inc,
+		}
+		// Repair the perturbed region but keep the kick pinned, so the
+		// move can escape the local minimum the incumbent sits in.
+		next.repairState([]int{m.qubit}, map[int]bool{m.qubit: true})
+		return next, nil
+	}
+	return nil, fmt.Errorf("search: unknown move kind %d", m.kind)
+}
+
+func removeSquare(sqs []lattice.Square, victim lattice.Square) []lattice.Square {
+	out := make([]lattice.Square, 0, len(sqs))
+	for _, sq := range sqs {
+		if sq != victim {
+			out = append(out, sq)
+		}
+	}
+	return out
+}
+
+// addCandidates lists the squares an add-bus move may target from st, in
+// canonical order.
+func (p *Problem) addCandidates(st *State) []lattice.Square {
+	if p.opt.MaxBuses >= 0 && len(st.Squares) >= p.opt.MaxBuses {
+		return nil
+	}
+	var out []lattice.Square
+	for _, sq := range p.bases[st.Aux].squares {
+		if st.Arch.CanApplyMultiBus(sq) {
+			out = append(out, sq)
+		}
+	}
+	return out
+}
+
+// bestReseeds derives the deterministic per-qubit coordinate-descent
+// moves of st: for each qubit, the candidate frequency minimising the
+// incremental analytic score, when it differs from the incumbent.
+func (p *Problem) bestReseeds(st *State) []move {
+	var out []move
+	for q := 0; q < st.Arch.NumQubits(); q++ {
+		if f, _, improved := bestFreqFor(st.inc, q); improved {
+			out = append(out, move{kind: moveReseed, qubit: q, freq: f})
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+// Package search is the guided design-space optimiser the exhaustive
+// sweep engine (internal/experiments) grows into: instead of enumerating
+// every (bus configuration × layout × frequency) design point, it walks
+// the space with neighbour moves — add/remove/shift a 4-qubit bus square,
+// jump to an auxiliary-qubit layout, re-seed a frequency region — under
+// one of two strategies, simulated annealing or beam search.
+//
+// The paper (Section 7) leaves global optimisation of the design space as
+// future work, and exhaustive sweeps stop scaling once the aux/bus axes
+// multiply. The engine gets its leverage from two-tier scoring:
+//
+//   - every proposed state is ranked by the closed-form expected collision
+//     count of its frequency assignment, maintained *incrementally*
+//     (collision.Incremental re-scores only the terms a local move
+//     perturbs), and
+//   - only analytically promising states receive a full Monte-Carlo yield
+//     estimate, which reuses the common-random-numbers noise matrices in
+//     yield.NoiseCache, so every evaluated design with the same qubit
+//     count is scored under identical simulated fabrications.
+//
+// Both strategies are deterministic for a fixed seed: random draws happen
+// only on the serial control path, parallel workers compute pure functions
+// into index-addressed slots, and every ranking tie breaks on a canonical
+// state key. Parallel and serial runs return bit-identical results.
+package search
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qproc/internal/circuit"
+	"qproc/internal/collision"
+	"qproc/internal/core"
+	"qproc/internal/lattice"
+	"qproc/internal/mapper"
+	"qproc/internal/yield"
+)
+
+// Strategy selects the search algorithm.
+type Strategy string
+
+const (
+	// Anneal is batch-proposal simulated annealing: each step draws a
+	// batch of neighbour moves, scores them concurrently, and applies a
+	// Metropolis accept/reject to the best.
+	Anneal Strategy = "anneal"
+	// Beam is deterministic beam search: every frontier state expands all
+	// its neighbour moves, and the best BeamWidth states survive.
+	Beam Strategy = "beam"
+)
+
+// Strategies lists the implemented strategies.
+func Strategies() []Strategy { return []Strategy{Anneal, Beam} }
+
+// ParseStrategy validates a strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case Anneal, Beam:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("search: unknown strategy %q (have anneal, beam)", s)
+}
+
+// Options configures a search run.
+type Options struct {
+	// Strategy picks annealing or beam search.
+	Strategy Strategy
+	// Seed drives every stochastic component deterministically.
+	Seed int64
+	// Sigma is the fabrication noise parameter the designs are optimised
+	// for, GHz.
+	Sigma float64
+	// Trials is the Monte-Carlo budget per full yield evaluation.
+	Trials int
+	// AuxCounts are the auxiliary-qubit layout variants the search may
+	// visit; the first entry seeds the annealer.
+	AuxCounts []int
+	// MaxBuses caps the number of 4-qubit bus squares per design;
+	// < 0 means no cap.
+	MaxBuses int
+	// MaxEvals caps the number of full Monte-Carlo evaluations; <= 0
+	// means unlimited. The incremental analytic surrogate is never
+	// capped.
+	MaxEvals int
+	// Steps is the annealing step count.
+	Steps int
+	// Proposals is the number of neighbour moves drawn per annealing
+	// step (scored concurrently).
+	Proposals int
+	// T0 and Tend are the initial and final annealing temperatures in
+	// expected-collision units.
+	T0, Tend float64
+	// BeamWidth is the beam search frontier size.
+	BeamWidth int
+	// Depth is the maximum beam search depth.
+	Depth int
+	// PerfWeight blends mapped performance into the objective:
+	// objective = yield · normPerf^PerfWeight. Zero optimises yield
+	// alone and skips mapping during the search.
+	PerfWeight float64
+	// Mapper holds the SABRE parameters used when PerfWeight > 0 and for
+	// the final report.
+	Mapper mapper.Options
+	// Params are the collision-model constants.
+	Params collision.Params
+	// Parallel fans proposal construction and Monte-Carlo trials out over
+	// a bounded worker pool; results are bit-identical with it off.
+	Parallel bool
+	// Workers bounds the fan-out; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns a configuration suitable for the paper's
+// benchmark scale.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:  Anneal,
+		Seed:      1,
+		Sigma:     yield.DefaultSigma,
+		Trials:    yield.DefaultTrials,
+		AuxCounts: []int{0},
+		MaxBuses:  -1,
+		Steps:     400,
+		Proposals: 8,
+		T0:        0.5,
+		Tend:      0.01,
+		BeamWidth: 8,
+		Depth:     12,
+		Mapper:    mapper.DefaultOptions(),
+		Params:    collision.DefaultParams(),
+		Parallel:  true,
+	}
+}
+
+// Validate rejects option combinations the engine cannot honour.
+func (o Options) Validate() error {
+	if _, err := ParseStrategy(string(o.Strategy)); err != nil {
+		return err
+	}
+	if o.Sigma <= 0 {
+		return fmt.Errorf("search: Sigma must be positive, got %g", o.Sigma)
+	}
+	if o.Trials <= 0 {
+		return fmt.Errorf("search: Trials must be positive, got %d", o.Trials)
+	}
+	if len(o.AuxCounts) == 0 {
+		return fmt.Errorf("search: AuxCounts must name at least one layout variant")
+	}
+	for _, a := range o.AuxCounts {
+		if a < 0 {
+			return fmt.Errorf("search: negative aux count %d", a)
+		}
+	}
+	if o.Strategy == Anneal && (o.Steps <= 0 || o.Proposals <= 0) {
+		return fmt.Errorf("search: annealing needs positive Steps and Proposals, got %d/%d", o.Steps, o.Proposals)
+	}
+	if o.Strategy == Anneal && (o.T0 <= 0 || o.Tend <= 0) {
+		return fmt.Errorf("search: annealing needs positive temperatures, got T0=%g Tend=%g", o.T0, o.Tend)
+	}
+	if o.Strategy == Beam && (o.BeamWidth <= 0 || o.Depth <= 0) {
+		return fmt.Errorf("search: beam search needs positive BeamWidth and Depth, got %d/%d", o.BeamWidth, o.Depth)
+	}
+	if o.PerfWeight < 0 {
+		return fmt.Errorf("search: PerfWeight must be >= 0, got %g", o.PerfWeight)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("search: Workers must be >= 0, got %d", o.Workers)
+	}
+	return nil
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(0..n-1), fanning out over a bounded worker pool when
+// the options ask for parallelism. fn must write its outcome by index so
+// the result is independent of scheduling.
+func (o Options) forEach(n int, fn func(int)) {
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	if !o.Parallel || workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Progress is delivered to the optional progress callback once per
+// annealing step or beam depth.
+type Progress struct {
+	// Step counts annealing steps or beam depths, 1-based; Total is the
+	// configured maximum.
+	Step, Total int
+	// Evals is the number of full Monte-Carlo evaluations spent so far.
+	Evals int
+	// BestYield and BestExpected describe the incumbent.
+	BestYield    float64
+	BestExpected float64
+}
+
+// TracePoint records one improvement of the incumbent.
+type TracePoint struct {
+	Step     int     `json:"step"`
+	Evals    int     `json:"evals"`
+	Yield    float64 `json:"yield"`
+	Expected float64 `json:"expected"`
+}
+
+// Result is the outcome of a search run.
+type Result struct {
+	Strategy Strategy `json:"strategy"`
+	// Best is the winning design: architecture with frequencies, bus
+	// squares, aux count, labelled core.ConfigSearch.
+	Best *core.Design `json:"-"`
+	// Yield is Best's Monte-Carlo yield estimate.
+	Yield float64 `json:"yield"`
+	// Expected is Best's analytic expected collision count.
+	Expected float64 `json:"expected"`
+	// Objective is the scalar the search maximised (= Yield when
+	// PerfWeight is zero).
+	Objective float64 `json:"objective"`
+	// GateCount, Swaps and NormPerf come from mapping the program onto
+	// Best (NormPerf is gates of IBM baseline (1) over Best's gates).
+	GateCount int     `json:"gate_count"`
+	Swaps     int     `json:"swaps"`
+	NormPerf  float64 `json:"norm_perf"`
+	// Evals is the number of full Monte-Carlo design evaluations spent —
+	// the currency the guided search saves against an exhaustive sweep.
+	Evals int `json:"evals"`
+	// Proposals is the number of candidate states constructed and scored
+	// by the incremental analytic surrogate.
+	Proposals int `json:"proposals"`
+	// Trace logs every incumbent improvement in order.
+	Trace []TracePoint `json:"trace"`
+}
+
+// Run searches the design space of the decomposed program c and returns
+// the best design found. cache may be nil; passing a shared
+// yield.NoiseCache lets several runs (or a surrounding sweep) reuse the
+// common-random-numbers matrices. progress may be nil.
+func Run(c *circuit.Circuit, opt Options, cache *yield.NoiseCache, progress func(Progress)) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := newProblem(c, opt)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(p, cache)
+	if err != nil {
+		return nil, err
+	}
+	var best *evaluated
+	var trace []TracePoint
+	switch opt.Strategy {
+	case Beam:
+		best, trace, err = runBeam(p, ev, progress)
+	default:
+		best, trace, err = runAnneal(p, ev, progress)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("search: no design evaluated (MaxEvals=%d)", opt.MaxEvals)
+	}
+	return p.finish(ev, best, trace)
+}
+
+// finish maps the winning state and assembles the Result. When
+// PerfWeight > 0 the winner was already mapped during evaluation.
+func (p *Problem) finish(ev *evaluator, best *evaluated, trace []TracePoint) (*Result, error) {
+	st := best.state
+	gates, swaps, normPerf := best.gates, best.swaps, best.normPerf
+	if gates == 0 {
+		var err error
+		gates, swaps, normPerf, err = ev.performance(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	a := st.Arch.Clone()
+	a.Name = fmt.Sprintf("%s/search-%s-%dbus", p.circ.Name, p.opt.Strategy, len(st.Squares))
+	return &Result{
+		Strategy: p.opt.Strategy,
+		Best: &core.Design{
+			Arch:      a,
+			Buses:     len(st.Squares),
+			Squares:   append([]lattice.Square(nil), st.Squares...),
+			Config:    core.ConfigSearch,
+			AuxQubits: st.Aux,
+		},
+		Yield:     best.yield,
+		Expected:  st.Expected,
+		Objective: best.objective,
+		GateCount: gates,
+		Swaps:     swaps,
+		NormPerf:  normPerf,
+		Evals:     ev.evals,
+		Proposals: p.proposals,
+		Trace:     trace,
+	}, nil
+}
+
+// tempAt returns the geometric annealing temperature for step s of n.
+func tempAt(opt Options, s, n int) float64 {
+	if n <= 1 {
+		return opt.T0
+	}
+	frac := float64(s) / float64(n-1)
+	return opt.T0 * math.Pow(opt.Tend/opt.T0, frac)
+}

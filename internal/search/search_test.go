@@ -1,0 +1,211 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"qproc/internal/circuit"
+	"qproc/internal/collision"
+	"qproc/internal/gen"
+	"qproc/internal/yield"
+)
+
+// testCircuit returns a small decomposed benchmark program.
+func testCircuit(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	b, err := gen.Get("sym6_145")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+// testOptions returns a reduced-budget configuration exercising every
+// move kind (two aux variants, both strategies configurable).
+func testOptions(strategy Strategy) Options {
+	o := DefaultOptions()
+	o.Strategy = strategy
+	o.Trials = 400
+	o.AuxCounts = []int{0, 1}
+	o.Steps = 60
+	o.Proposals = 4
+	o.BeamWidth = 5
+	o.Depth = 6
+	o.MaxEvals = 12
+	return o
+}
+
+// resultsEqual compares everything observable about two results.
+func resultsEqual(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Yield != b.Yield || a.Expected != b.Expected || a.Objective != b.Objective {
+		t.Fatalf("scores differ: (%g,%g,%g) vs (%g,%g,%g)",
+			a.Yield, a.Expected, a.Objective, b.Yield, b.Expected, b.Objective)
+	}
+	if a.Evals != b.Evals || a.Proposals != b.Proposals {
+		t.Fatalf("counters differ: evals %d/%d, proposals %d/%d", a.Evals, b.Evals, a.Proposals, b.Proposals)
+	}
+	if a.Best.Arch.Name != b.Best.Arch.Name || a.Best.Buses != b.Best.Buses || a.Best.AuxQubits != b.Best.AuxQubits {
+		t.Fatalf("designs differ: %s/%d/%d vs %s/%d/%d",
+			a.Best.Arch.Name, a.Best.Buses, a.Best.AuxQubits,
+			b.Best.Arch.Name, b.Best.Buses, b.Best.AuxQubits)
+	}
+	af, bf := a.Best.Arch.Freqs, b.Best.Arch.Freqs
+	if len(af) != len(bf) {
+		t.Fatalf("frequency counts differ: %d vs %d", len(af), len(bf))
+	}
+	for q := range af {
+		if af[q] != bf[q] {
+			t.Fatalf("qubit %d frequency differs: %g vs %g", q, af[q], bf[q])
+		}
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace %d differs: %+v vs %+v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	for i := range a.Best.Squares {
+		if a.Best.Squares[i] != b.Best.Squares[i] {
+			t.Fatalf("square %d differs: %v vs %v", i, a.Best.Squares[i], b.Best.Squares[i])
+		}
+	}
+}
+
+// TestSearchParallelMatchesSerial is the determinism guard of the
+// acceptance criteria: with a fixed seed, a parallel run (forced real
+// fan-out) and a serial run must return bit-identical results, for both
+// strategies. Run under -race in CI.
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	c := testCircuit(t)
+	for _, strategy := range Strategies() {
+		t.Run(string(strategy), func(t *testing.T) {
+			serial := testOptions(strategy)
+			serial.Parallel = false
+			parallel := testOptions(strategy)
+			parallel.Parallel = true
+			parallel.Workers = 4
+
+			sres, err := Run(c, serial, yield.NewNoiseCache(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := Run(c, parallel, yield.NewNoiseCache(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, sres, pres)
+		})
+	}
+}
+
+// TestSearchImprovesOnFiveFreqSeed checks the optimiser does real work:
+// starting the beam from both seeds, the winner must score at least as
+// well as the worse seed and its analytic score must be no worse than
+// the best seed's (the frontier keeps seeds unless something better
+// arrives).
+func TestSearchImprovesOnFiveFreqSeed(t *testing.T) {
+	c := testCircuit(t)
+	opt := testOptions(Beam)
+	p, err := newProblem(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := p.seedStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestSeedE := math.Inf(1)
+	for _, s := range seeds {
+		if s.Expected < bestSeedE {
+			bestSeedE = s.Expected
+		}
+	}
+	res, err := Run(c, opt, yield.NewNoiseCache(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expected > bestSeedE {
+		t.Fatalf("search ended with E=%g, worse than best seed E=%g", res.Expected, bestSeedE)
+	}
+	if res.Evals == 0 || (opt.MaxEvals > 0 && res.Evals > opt.MaxEvals) {
+		t.Fatalf("evals=%d outside (0, %d]", res.Evals, opt.MaxEvals)
+	}
+	if res.Best.Config != "search" {
+		t.Fatalf("best design labelled %q, want search", res.Best.Config)
+	}
+}
+
+// TestStateRepairNeverWorsens pins the local-repair contract: repairing a
+// region only moves frequencies on strict analytic improvement.
+func TestStateRepairNeverWorsens(t *testing.T) {
+	c := testCircuit(t)
+	opt := testOptions(Anneal)
+	p, err := newProblem(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := p.seedStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range seeds {
+		before := st.Expected
+		clone, err := p.newState(st.Aux, nil, st.Freqs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone.repairState([]int{0}, nil)
+		if clone.Expected > before+1e-12 {
+			t.Fatalf("repair worsened E: %g -> %g", before, clone.Expected)
+		}
+	}
+}
+
+// TestIncrementalAgreesWithCheckerOnStates cross-checks the surrogate on
+// real generated architectures, not just random graphs: a state's
+// Expected must match the one-shot analytic computation.
+func TestIncrementalAgreesWithCheckerOnStates(t *testing.T) {
+	c := testCircuit(t)
+	opt := testOptions(Anneal)
+	p, err := newProblem(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, err := p.seedStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range seeds {
+		want := collision.ExpectedCollisions(st.Arch.AdjList(), st.Freqs(), opt.Sigma, opt.Params)
+		if math.Abs(st.Expected-want) > 1e-9*(1+want) {
+			t.Fatalf("state %s: incremental %g, one-shot %g", st.key, st.Expected, want)
+		}
+	}
+}
+
+// TestOptionsValidate covers the rejection paths.
+func TestOptionsValidate(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.Strategy = "hillclimb" },
+		func(o *Options) { o.Sigma = 0 },
+		func(o *Options) { o.Trials = 0 },
+		func(o *Options) { o.AuxCounts = nil },
+		func(o *Options) { o.AuxCounts = []int{-1} },
+		func(o *Options) { o.Steps = 0 },
+		func(o *Options) { o.Strategy = Beam; o.BeamWidth = 0 },
+		func(o *Options) { o.Workers = -1 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+}
