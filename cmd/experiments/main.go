@@ -11,16 +11,22 @@
 //	experiments -all              # everything (the paper-fidelity run)
 //	experiments -quick ...        # reduced Monte-Carlo budgets
 //	experiments -sweep [-sweep-bench a,b] [-aux 0,1] [-sigmas 0.02,0.03] \
-//	            [-configs eff-full,ibm] [-out sweep.json]
+//	            [-configs eff-full,ibm] [-out sweep.json] [-store runs]
 //	experiments -search anneal|beam -bench sym6_145 [-aux 0,1] \
 //	            [-max-evals 10] [-steps 400] [-beam-width 8] [-depth 12] \
-//	            [-perf-weight 0.5] [-out search.json]
+//	            [-perf-weight 0.5] [-out search.json] [-store runs]
 //
 // The sweep fans out over (benchmark × config × aux-count × σ), prints
 // per-cell progress to stderr and exports the full point set as JSON.
 // The search replaces exhaustive enumeration with guided optimisation
 // (simulated annealing or beam search) over the same design space,
 // reporting the best design found and the Monte-Carlo evaluations spent.
+//
+// With -store, finished runs land content-addressed in the given
+// directory: a repeated identical sweep or search is served from disk
+// bit-for-bit with zero new Monte-Carlo work, and a cold search
+// warm-starts from the best matching stored sweep point. qserve uses the
+// same store layout, so CLI and service share one persistence path.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
+	"qproc/internal/runstore"
 	"qproc/internal/search"
 )
 
@@ -52,6 +59,7 @@ func main() {
 		sigmas  = flag.String("sigmas", "", "comma-separated fabrication σ values in GHz for -sweep (default 0.030)")
 		configs = flag.String("configs", "", "comma-separated configurations for -sweep (default all five)")
 		out     = flag.String("out", "", "write -sweep/-search JSON to this file (default stdout)")
+		store   = flag.String("store", "", "content-addressed run store directory: repeated -sweep/-search runs are served from it, searches warm-start from stored sweeps")
 
 		searchMode = flag.String("search", "", "run a guided design-space search: anneal or beam")
 		maxEvals   = flag.Int("max-evals", 0, "cap on full Monte-Carlo evaluations for -search (0 = unlimited)")
@@ -78,6 +86,9 @@ func main() {
 		}
 	}
 	check(cliutil.NonNegativeFloat("perf-weight", *perfWeight))
+	if *store != "" && !*sweep && *searchMode == "" {
+		check(fmt.Errorf("-store applies only to -sweep/-search mode"))
+	}
 
 	opt := experiments.DefaultOptions()
 	if *quick {
@@ -99,12 +110,12 @@ func main() {
 				check(fmt.Errorf("-%s does not apply to -search mode", f.Name))
 			}
 		})
-		runSearch(r, *searchMode, *bench, *auxFlag, *sigmas, *out, searchKnobs{
+		runSearch(r, *searchMode, *bench, *auxFlag, *sigmas, *out, *store, searchKnobs{
 			maxEvals: *maxEvals, steps: *steps, proposals: *proposals,
 			beamWidth: *beamWidth, depth: *depth, perfWeight: *perfWeight,
 		})
 	case *sweep:
-		runSweep(r, *sweepB, *auxFlag, *sigmas, *configs, *out)
+		runSweep(r, *sweepB, *auxFlag, *sigmas, *configs, *out, *store)
 	case *fig == 4:
 		s, err := experiments.Fig4()
 		check(err)
@@ -170,9 +181,36 @@ func main() {
 	}
 }
 
-// runSweep parses the sweep axes, runs the design-space sweep with
-// progress on stderr and writes the JSON result.
-func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out string) {
+// openStore opens the run store when -store was given; nil otherwise.
+func openStore(dir string) *runstore.Store {
+	if dir == "" {
+		return nil
+	}
+	check(cliutil.StoreDir("store", dir))
+	st, err := runstore.Open(dir)
+	check(err)
+	return st
+}
+
+// printEvent renders one unified job progress event on stderr.
+func printEvent(start time.Time, e experiments.Event) {
+	elapsed := time.Since(start).Round(time.Millisecond)
+	switch {
+	case e.Err != "" && e.Total == 0:
+		fmt.Fprintf(os.Stderr, "%s (FAIL: %s, %s)\n", e.Message, e.Err, elapsed)
+	case e.Err != "":
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (FAIL: %s, %s)\n", e.Done, e.Total, e.Message, e.Err, elapsed)
+	case e.Total == 0:
+		fmt.Fprintf(os.Stderr, "%s (%s)\n", e.Message, elapsed)
+	default:
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s)\n", e.Done, e.Total, e.Message, elapsed)
+	}
+}
+
+// runSweep parses the sweep axes, runs the design-space sweep (through
+// the run store when one is configured) with progress on stderr, and
+// writes the JSON result.
+func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out, storeDir string) {
 	spec := experiments.SweepSpec{Benchmarks: cliutil.SplitList(benches)}
 	auxCounts, err := cliutil.ParseInts("aux", aux, 0)
 	check(err)
@@ -185,20 +223,19 @@ func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out string) 
 	}
 
 	start := time.Now()
-	res, err := r.Sweep(spec, func(p experiments.SweepProgress) {
-		status := "ok"
-		if p.Err != nil {
-			status = "FAIL: " + p.Err.Error()
-		}
-		fmt.Fprintf(os.Stderr, "[%d/%d] %s (%s, %s)\n",
-			p.Done, p.Total, p.Cell, status, time.Since(start).Round(time.Millisecond))
-	})
+	outcome, cached, err := r.RunJob(experiments.SweepJob{Spec: spec}, openStore(storeDir),
+		func(e experiments.Event) { printEvent(start, e) })
 	check(err)
+	res := outcome.(*experiments.SweepResult)
 
 	check(cliutil.WriteOutput(out, os.Stdout, res.WriteJSON))
 	hits, misses := r.NoiseCacheStats()
-	fmt.Fprintf(os.Stderr, "%d points, %s (noise cache: %d hits, %d misses)\n",
-		len(res.Points), time.Since(start).Round(time.Millisecond), hits, misses)
+	note := ""
+	if cached {
+		note = ", served from run store"
+	}
+	fmt.Fprintf(os.Stderr, "%d points, %s (noise cache: %d hits, %d misses%s)\n",
+		len(res.Points), time.Since(start).Round(time.Millisecond), hits, misses, note)
 }
 
 // searchKnobs carries the optional -search tuning flags.
@@ -207,9 +244,11 @@ type searchKnobs struct {
 	perfWeight                                   float64
 }
 
-// runSearch validates the search axes, runs the guided search with
-// per-step progress on stderr, and writes the JSON outcome.
-func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out string, k searchKnobs) {
+// runSearch validates the search axes, runs the guided search (through
+// the run store when one is configured — repeated runs are served from
+// it and cold runs warm-start from stored sweeps) with per-step progress
+// on stderr, and writes the JSON outcome.
+func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out, storeDir string, k searchKnobs) {
 	if bench == "" {
 		check(fmt.Errorf("-search needs -bench (one of %v)", gen.Names()))
 	}
@@ -238,19 +277,21 @@ func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out string, 
 	}
 
 	start := time.Now()
-	res, err := r.Search(spec, func(p experiments.SearchProgress) {
-		fmt.Fprintf(os.Stderr, "[%d/%d] best yield %.4f (E=%.3f, %d evals, %s)\n",
-			p.Step, p.Total, p.BestYield, p.BestExpected, p.Evals,
-			time.Since(start).Round(time.Millisecond))
-	})
+	outcome, cached, err := r.RunJob(experiments.SearchJob{Spec: spec}, openStore(storeDir),
+		func(e experiments.Event) { printEvent(start, e) })
 	check(err)
+	res := outcome.(*experiments.SearchOutcome)
 
 	check(cliutil.WriteOutput(out, os.Stdout, res.WriteJSON))
 	hits, misses := r.NoiseCacheStats()
+	note := ""
+	if cached {
+		note = ", served from run store"
+	}
 	fmt.Fprintf(os.Stderr,
-		"%s: yield %.4f, perf %.3f, %d buses, aux %d — %d evals, %d proposals, %s (noise cache: %d hits, %d misses)\n",
+		"%s: yield %.4f, perf %.3f, %d buses, aux %d — %d evals, %d proposals, %s (noise cache: %d hits, %d misses%s)\n",
 		res.Best.Benchmark, res.Best.Yield, res.Best.NormPerf, res.Best.Buses, res.Best.AuxQubits,
-		res.Evals, res.Proposals, time.Since(start).Round(time.Millisecond), hits, misses)
+		res.Evals, res.Proposals, time.Since(start).Round(time.Millisecond), hits, misses, note)
 }
 
 func check(err error) {

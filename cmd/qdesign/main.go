@@ -9,6 +9,7 @@
 //	qdesign -qasm prog.qasm -config eff-5-freq
 //	qdesign -name sym6_145 -search anneal -max-evals 10
 //	qdesign -name sym6_145 -search beam -aux 1  # aux variants 0..1
+//	qdesign -name sym6_145 -search beam -store runs  # serve repeats from the run store
 package main
 
 import (
@@ -16,12 +17,14 @@ import (
 	"fmt"
 	"os"
 
+	"qproc/internal/arch"
 	"qproc/internal/circuit"
 	"qproc/internal/cliutil"
 	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
 	"qproc/internal/qasm"
+	"qproc/internal/runstore"
 	"qproc/internal/search"
 	"qproc/internal/yield"
 )
@@ -44,6 +47,7 @@ func main() {
 		steps      = flag.Int("steps", 0, "annealing steps for -search anneal (0 = default)")
 		beamWidth  = flag.Int("beam-width", 0, "frontier size for -search beam (0 = default)")
 		depth      = flag.Int("depth", 0, "maximum depth for -search beam (0 = default)")
+		store      = flag.String("store", "", "content-addressed run store for -search -name: repeated searches are served from it, cold ones warm-start from stored sweeps")
 	)
 	flag.Parse()
 
@@ -62,6 +66,9 @@ func main() {
 	}
 	c = c.Decompose()
 
+	if *store != "" && *searchMode == "" {
+		fatal(fmt.Errorf("-store applies only to -search mode"))
+	}
 	if *searchMode != "" {
 		// Series-only knobs must not be silently ignored in search mode.
 		flag.Visit(func(f *flag.Flag) {
@@ -70,11 +77,21 @@ func main() {
 				fatal(fmt.Errorf("-%s does not apply to -search mode (the search picks its own bus counts and uses analytic frequency scoring)", f.Name))
 			}
 		})
-		runSearch(c, searchArgs{
+		args := searchArgs{
 			mode: *searchMode, seed: *seed, maxAux: *aux, maxBuses: *maxB,
 			maxEvals: *maxEvals, steps: *steps, beamWidth: *beamWidth, depth: *depth,
 			jsonTo: *jsonTo, quiet: *quiet,
-		})
+		}
+		if *name != "" {
+			// Named benchmarks run through the experiments engine, so the
+			// run store can serve repeats and warm-start cold searches.
+			runSearchStored(*name, *store, args)
+			return
+		}
+		if *store != "" {
+			fatal(fmt.Errorf("-store requires -name: QASM files are not content-addressed"))
+		}
+		runSearch(c, args)
 		return
 	}
 
@@ -122,6 +139,57 @@ type searchArgs struct {
 	quiet                             bool
 }
 
+// runSearchStored drives a named-benchmark search through the
+// experiments engine and the optional run store (lookup-before-compute
+// plus warm-start from stored sweeps), emitting the same report shape as
+// runSearch.
+func runSearchStored(name, storeDir string, args searchArgs) {
+	strategy, err := search.ParseStrategy(args.mode)
+	if err != nil {
+		fatal(err)
+	}
+	var st *runstore.Store
+	if storeDir != "" {
+		fatalIf(cliutil.StoreDir("store", storeDir))
+		if st, err = runstore.Open(storeDir); err != nil {
+			fatal(err)
+		}
+	}
+	opt := experiments.DefaultOptions()
+	opt.Seed = args.seed
+	opt.MaxBuses = args.maxBuses
+	spec := experiments.SearchSpec{
+		Benchmark: name,
+		Strategy:  strategy,
+		MaxEvals:  args.maxEvals,
+		Steps:     args.steps,
+		BeamWidth: args.beamWidth,
+		Depth:     args.depth,
+	}
+	for a := 0; a <= args.maxAux; a++ {
+		spec.AuxCounts = append(spec.AuxCounts, a)
+	}
+	outcome, cached, err := experiments.NewRunner(opt).RunJob(experiments.SearchJob{Spec: spec}, st, nil)
+	if err != nil {
+		fatal(err)
+	}
+	res := outcome.(*experiments.SearchOutcome)
+	note := ""
+	if cached {
+		note = " — served from run store"
+	}
+	fmt.Printf("%s: yield %.4g (E[collisions] %.3f, %d evals, %d proposals)%s\n",
+		res.Arch, res.Best.Yield, res.Expected, res.Evals, res.Proposals, note)
+	fmt.Printf("performance: %d gates (%d swaps), %.3f vs IBM baseline (1)\n",
+		res.Best.GateCount, res.Best.Swaps, res.Best.NormPerf)
+	if !args.quiet {
+		fmt.Print(experiments.RenderDesign(res.Arch))
+	}
+	if args.jsonTo != "" {
+		writeArchJSON(args.jsonTo, res.Arch)
+	}
+}
+
 // runSearch drives the guided search and emits the winning design in the
 // same shape as a series run.
 func runSearch(c *circuit.Circuit, args searchArgs) {
@@ -164,12 +232,15 @@ func runSearch(c *circuit.Circuit, args searchArgs) {
 }
 
 // writeJSON exports one design's architecture.
-func writeJSON(path string, d *core.Design) {
+func writeJSON(path string, d *core.Design) { writeArchJSON(path, d.Arch) }
+
+// writeArchJSON exports an architecture.
+func writeArchJSON(path string, a *arch.Architecture) {
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	if err := d.Arch.WriteJSON(f); err != nil {
+	if err := a.WriteJSON(f); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -1,0 +1,121 @@
+// Command qserve is the long-lived evaluation service: it wraps the
+// experiments engine (sweeps + guided searches) in an HTTP/JSON API with
+// a bounded job queue, per-job streamed progress, and one shared noise
+// cache and worker pool across every client. With -store, finished runs
+// persist content-addressed on disk and repeated submissions — across
+// clients and across restarts — are served without recomputation.
+//
+// Usage:
+//
+//	qserve -addr :8080 -store runs -queue 16
+//	qserve -quick -addr 127.0.0.1:8080        # reduced Monte-Carlo budgets
+//
+// Submit and watch a job:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	     -d '{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"sigmas":[0.03]}}'
+//	curl -sN localhost:8080/v1/jobs/<id>/events     # one JSON line per event
+//	curl -s  localhost:8080/v1/jobs/<id>/result
+//	curl -s  localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qproc/internal/cliutil"
+	"qproc/internal/experiments"
+	"qproc/internal/runstore"
+	"qproc/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port)")
+		storeDir = flag.String("store", "", "persist finished runs in this directory (content-addressed run store)")
+		queue    = flag.Int("queue", 16, "bound on queued jobs; submissions beyond it get 503")
+		execs    = flag.Int("jobs", 1, "jobs running concurrently (each job fans out internally)")
+		retain   = flag.Int("retain", 256, "finished jobs kept in memory; older ones are dropped (store-backed runs stay on disk)")
+		quick    = flag.Bool("quick", false, "reduced Monte-Carlo budgets (fast smoke runs)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		workers  = flag.Int("workers", 0, "bound on concurrent evaluations per fan-out level (0 = GOMAXPROCS)")
+		serial   = flag.Bool("serial", false, "disable all parallelism")
+	)
+	flag.Parse()
+
+	check(cliutil.Addr("addr", *addr))
+	check(cliutil.Positive("queue", *queue))
+	check(cliutil.Positive("jobs", *execs))
+	check(cliutil.Positive("retain", *retain))
+	check(cliutil.NonNegative("workers", *workers))
+	if flag.NArg() > 0 {
+		check(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Seed = *seed
+	opt.Workers = *workers
+	if *serial {
+		opt.Parallel = false
+	}
+
+	var store *runstore.Store
+	if *storeDir != "" {
+		check(cliutil.StoreDir("store", *storeDir))
+		var err error
+		store, err = runstore.Open(*storeDir)
+		check(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Runner:     experiments.NewRunner(opt),
+		Store:      store,
+		QueueSize:  *queue,
+		Executors:  *execs,
+		RetainJobs: *retain,
+	})
+	check(err)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	storeNote := "no store"
+	if store != nil {
+		storeNote = fmt.Sprintf("store %s (%d runs)", store.Root(), store.Len())
+	}
+	fmt.Fprintf(os.Stderr, "qserve: listening on %s — %s, queue %d, %d executor(s), seed %d\n",
+		*addr, storeNote, *queue, *execs, *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "qserve: shutting down (finishing queued jobs)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		srv.Close()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			check(err)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qserve:", err)
+		os.Exit(1)
+	}
+}

@@ -9,7 +9,8 @@ import (
 )
 
 // jsonArch is the on-disk representation of an Architecture, exchanged by
-// the CLI tools (qdesign emits it, qyield and qmap consume it).
+// the CLI tools (qdesign emits it, qyield and qmap consume it) and
+// embedded in larger artefacts (search outcomes, server responses).
 type jsonArch struct {
 	Name   string    `json:"name"`
 	Coords [][2]int  `json:"coords"`
@@ -23,8 +24,8 @@ type jsonBus struct {
 	Square [2]int `json:"square,omitempty"`
 }
 
-// WriteJSON serialises the architecture.
-func (a *Architecture) WriteJSON(w io.Writer) error {
+// toJSON renders the architecture in its serialised shape.
+func (a *Architecture) toJSON() jsonArch {
 	out := jsonArch{Name: a.Name, Freqs: a.Freqs}
 	for _, c := range a.Coords {
 		out.Coords = append(out.Coords, [2]int{c.X, c.Y})
@@ -39,17 +40,12 @@ func (a *Architecture) WriteJSON(w io.Writer) error {
 		}
 		out.Buses = append(out.Buses, jb)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }
 
-// ReadJSON deserialises an architecture and validates it.
-func ReadJSON(r io.Reader) (*Architecture, error) {
-	var in jsonArch
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("arch: decoding: %w", err)
-	}
+// fromJSON rebuilds and validates an architecture from its serialised
+// shape.
+func fromJSON(in jsonArch) (*Architecture, error) {
 	coords := make([]lattice.Coord, len(in.Coords))
 	for i, c := range in.Coords {
 		coords[i] = lattice.Coord{X: c[0], Y: c[1]}
@@ -83,4 +79,41 @@ func ReadJSON(r io.Reader) (*Architecture, error) {
 		return nil, fmt.Errorf("arch: file invalid: %w", err)
 	}
 	return a, nil
+}
+
+// MarshalJSON implements json.Marshaler with the WriteJSON
+// representation.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.toJSON())
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the decoded
+// architecture like ReadJSON does.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var in jsonArch
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("arch: decoding: %w", err)
+	}
+	dec, err := fromJSON(in)
+	if err != nil {
+		return err
+	}
+	*a = *dec
+	return nil
+}
+
+// WriteJSON serialises the architecture.
+func (a *Architecture) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.toJSON())
+}
+
+// ReadJSON deserialises an architecture and validates it.
+func ReadJSON(r io.Reader) (*Architecture, error) {
+	var in jsonArch
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("arch: decoding: %w", err)
+	}
+	return fromJSON(in)
 }

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,37 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 	for i, src := range cases {
 		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestMarshalJSONRoundTrip: the json.Marshaler/Unmarshaler pair (used
+// when an architecture embeds in a larger artefact, e.g. a search
+// outcome) round-trips identically to WriteJSON/ReadJSON, byte for byte.
+func TestMarshalJSONRoundTrip(t *testing.T) {
+	for _, b := range []Baseline{IBM16Q2Bus, IBM20Q4Bus} {
+		a := NewBaseline(b)
+		fs := FiveFreqScheme(a)
+		if err := a.SetFrequencies(fs); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Architecture
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != a.Name || back.NumQubits() != a.NumQubits() || back.NumConnections() != a.NumConnections() {
+			t.Fatalf("%v: round trip changed shape: %s vs %s", b, &back, a)
+		}
+		again, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(again) {
+			t.Fatalf("%v: second marshal differs:\n%s\nvs\n%s", b, raw, again)
 		}
 	}
 }

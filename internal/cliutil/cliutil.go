@@ -7,6 +7,7 @@ package cliutil
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -61,6 +62,39 @@ func Sigma(flagName string, v float64) error {
 	}
 	if v >= 1 {
 		return fmt.Errorf("-%s: σ = %g GHz is implausibly large — did you mean %g?", flagName, v, v/1000)
+	}
+	return nil
+}
+
+// Addr validates a TCP listen-address flag of the host:port form (the
+// host may be empty to bind every interface).
+func Addr(flagName, v string) error {
+	if v == "" {
+		return fmt.Errorf("-%s must be host:port (e.g. \":8080\" or \"127.0.0.1:8080\")", flagName)
+	}
+	_, port, err := net.SplitHostPort(v)
+	if err != nil {
+		return fmt.Errorf("-%s: %q is not host:port (e.g. \":8080\" or \"127.0.0.1:8080\"): %v", flagName, v, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("-%s: port %q is not a number", flagName, port)
+	}
+	if p < 0 || p > 65535 {
+		return fmt.Errorf("-%s: port %d is outside 0-65535", flagName, p)
+	}
+	return nil
+}
+
+// StoreDir validates a run-store directory flag: the path must be
+// creatable as (or already be) a directory. An existing regular file is
+// rejected before any work starts rather than failing mid-run.
+func StoreDir(flagName, v string) error {
+	if v == "" {
+		return fmt.Errorf("-%s needs a directory path (e.g. -%s runs)", flagName, flagName)
+	}
+	if fi, err := os.Stat(v); err == nil && !fi.IsDir() {
+		return fmt.Errorf("-%s: %s exists and is not a directory", flagName, v)
 	}
 	return nil
 }

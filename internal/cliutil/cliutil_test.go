@@ -1,6 +1,8 @@
 package cliutil
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +79,41 @@ func TestParseSigmas(t *testing.T) {
 	}
 	if _, err := ParseSigmas("sigmas", "30"); err == nil || !strings.Contains(err.Error(), "0.03") {
 		t.Errorf("MHz mix-up hint missing: %v", err)
+	}
+}
+
+func TestAddr(t *testing.T) {
+	for _, ok := range []string{":8080", "127.0.0.1:8080", "[::1]:0", "localhost:65535"} {
+		if err := Addr("addr", ok); err != nil {
+			t.Errorf("%q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "8080", "host:", "host:http", "host:70000", "a:b:c"} {
+		if err := Addr("addr", bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := Addr("addr", "8080"); err == nil || !strings.Contains(err.Error(), ":8080") {
+		t.Errorf("missing-colon hint absent: %v", err)
+	}
+}
+
+func TestStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := StoreDir("store", dir); err != nil {
+		t.Errorf("existing directory rejected: %v", err)
+	}
+	if err := StoreDir("store", filepath.Join(dir, "new")); err != nil {
+		t.Errorf("creatable path rejected: %v", err)
+	}
+	file := filepath.Join(dir, "plain.json")
+	if err := os.WriteFile(file, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := StoreDir("store", file); err == nil {
+		t.Error("regular file accepted as store directory")
+	}
+	if err := StoreDir("store", ""); err == nil {
+		t.Error("empty path accepted")
 	}
 }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion is stamped into every JSON artefact this package writes
+// (sweep results, search outcomes) as a "schema_version" field, so
+// downstream tooling and the run store can tell formats apart. Readers
+// accept files without the field (they predate the stamp and decode as
+// version 0); bump the constant only on an incompatible layout change —
+// the run store keys include it, so a bump invalidates stored runs
+// rather than serving them in the old shape.
+const SchemaVersion = 1
+
+// versioned is implemented by every artefact that carries the schema
+// stamp; writeJSON uses it to set the field just before encoding.
+type versioned interface {
+	setSchemaVersion(int)
+}
+
+// writeJSON is the one JSON encoder of the package: it stamps the
+// schema version when the value carries one and streams the value as
+// indented JSON.
+func writeJSON(w io.Writer, v any) error {
+	if s, ok := v.(versioned); ok {
+		s.setSchemaVersion(SchemaVersion)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// readJSON is the matching decoder; what names the artefact in errors.
+func readJSON[T any](r io.Reader, what string) (*T, error) {
+	var v T
+	if err := json.NewDecoder(r).Decode(&v); err != nil {
+		return nil, fmt.Errorf("experiments: reading %s: %w", what, err)
+	}
+	return &v, nil
+}
+
+// marshalJSON renders v through writeJSON into a byte slice (the run
+// store and the server exchange outcomes as bytes).
+func marshalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,10 +1,10 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
+	"qproc/internal/arch"
 	"qproc/internal/gen"
 	"qproc/internal/search"
 	"qproc/internal/yield"
@@ -34,6 +34,12 @@ type SearchSpec struct {
 	// PerfWeight blends mapped performance into the objective
 	// (yield · normPerf^PerfWeight); zero optimises yield alone.
 	PerfWeight float64 `json:"perf_weight"`
+	// WarmStart optionally seeds the optimiser from a known-good design
+	// (aux variant + bus budget), typically the best point of a stored
+	// exhaustive sweep. Runner.RunJob fills it automatically from the run
+	// store when left nil; it participates in the job fingerprint because
+	// it changes the search trajectory.
+	WarmStart *search.WarmStart `json:"warm_start,omitempty"`
 }
 
 // withDefaults fills the empty axes; MaxBuses keeps the runner's cap.
@@ -75,6 +81,7 @@ func (s SearchSpec) withDefaults(opt Options) (SearchSpec, search.Options) {
 		so.Depth = s.Depth
 	}
 	so.PerfWeight = s.PerfWeight
+	so.WarmStart = s.WarmStart
 	return s, so
 }
 
@@ -91,11 +98,18 @@ type SearchProgress struct {
 // winning design rendered as a sweep point (so search results compose
 // with sweep tooling), plus the search diagnostics.
 type SearchOutcome struct {
-	Spec    SearchSpec `json:"spec"`
-	Options Options    `json:"options"`
+	// SchemaVersion is stamped by WriteJSON; files written before the
+	// stamp existed decode as 0.
+	SchemaVersion int        `json:"schema_version,omitempty"`
+	Spec          SearchSpec `json:"spec"`
+	Options       Options    `json:"options"`
 	// Best is the winning design in sweep-point form: Config "search",
 	// Label "k=<buses>", NormPerf anchored to IBM baseline (1).
 	Best SweepPoint `json:"best"`
+	// Arch is the winning architecture itself (layout, buses,
+	// frequencies), serialised so store and server clients can render or
+	// re-evaluate the design without re-running the search.
+	Arch *arch.Architecture `json:"arch,omitempty"`
 	// Expected is the winner's analytic expected collision count.
 	Expected float64 `json:"expected"`
 	// Objective is the scalar the search maximised.
@@ -111,20 +125,15 @@ type SearchOutcome struct {
 	Result *search.Result `json:"-"`
 }
 
-// WriteJSON streams the outcome as indented JSON.
-func (so *SearchOutcome) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(so)
-}
+func (so *SearchOutcome) setSchemaVersion(v int) { so.SchemaVersion = v }
+
+// WriteJSON streams the outcome as indented JSON, stamping the current
+// schema version.
+func (so *SearchOutcome) WriteJSON(w io.Writer) error { return writeJSON(w, so) }
 
 // ReadSearchJSON is the inverse of WriteJSON.
 func ReadSearchJSON(r io.Reader) (*SearchOutcome, error) {
-	var so SearchOutcome
-	if err := json.NewDecoder(r).Decode(&so); err != nil {
-		return nil, fmt.Errorf("experiments: reading search outcome: %w", err)
-	}
-	return &so, nil
+	return readJSON[SearchOutcome](r, "search outcome")
 }
 
 // Search runs the guided design-space search on one benchmark, sharing
@@ -172,6 +181,7 @@ func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*Search
 			AuxQubits: res.Best.AuxQubits,
 			Sigma:     spec.Sigma,
 		},
+		Arch:      res.Best.Arch,
 		Expected:  res.Expected,
 		Objective: res.Objective,
 		Evals:     res.Evals,

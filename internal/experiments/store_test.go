@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"qproc/internal/core"
+	"qproc/internal/runstore"
+)
+
+func openStore(t *testing.T) *runstore.Store {
+	t.Helper()
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func storeSweepJob() SweepJob {
+	return SweepJob{Spec: SweepSpec{
+		Benchmarks: []string{"sym6_145"},
+		Configs:    []core.Config{core.ConfigIBM, core.ConfigEffFull},
+		AuxCounts:  []int{0, 1},
+		Sigmas:     []float64{0.03},
+	}}
+}
+
+// TestRepeatedSweepServedFromStore is the headline guarantee: a second
+// identical sweep returns bit-identical JSON while performing zero new
+// Monte-Carlo evaluations (the fresh runner's noise cache is never
+// touched — every Estimate call would go through it).
+func TestRepeatedSweepServedFromStore(t *testing.T) {
+	st := openStore(t)
+	job := storeSweepJob()
+
+	r1 := NewRunner(tinyOptions())
+	out1, cached, err := r1.RunJob(job, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold run reported cached")
+	}
+	if hits, misses := r1.NoiseCacheStats(); hits+misses == 0 {
+		t.Fatal("cold run did not simulate anything")
+	}
+
+	r2 := NewRunner(tinyOptions())
+	out2, cached, err := r2.RunJob(job, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second identical sweep was not served from the store")
+	}
+	if hits, misses := r2.NoiseCacheStats(); hits+misses != 0 {
+		t.Fatalf("cached run performed %d+%d Monte-Carlo noise accesses, want 0", hits, misses)
+	}
+
+	var a, b bytes.Buffer
+	if err := out1.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := out2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("stored run is not bit-identical:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestRepeatedSearchServedFromStore mirrors the sweep guarantee for the
+// other Job implementation, including the serialised architecture.
+func TestRepeatedSearchServedFromStore(t *testing.T) {
+	st := openStore(t)
+	job := SearchJob{Spec: SearchSpec{
+		Benchmark: "sym6_145",
+		Strategy:  "beam",
+		BeamWidth: 3,
+		Depth:     3,
+		MaxEvals:  4,
+	}}
+
+	out1, cached, err := NewRunner(tinyOptions()).RunJob(job, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold search reported cached")
+	}
+
+	r2 := NewRunner(tinyOptions())
+	out2, cached, err := r2.RunJob(job, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second identical search was not served from the store")
+	}
+	if hits, misses := r2.NoiseCacheStats(); hits+misses != 0 {
+		t.Fatalf("cached search performed %d+%d noise accesses, want 0", hits, misses)
+	}
+
+	var a, b bytes.Buffer
+	if err := out1.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := out2.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("stored search is not bit-identical:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+	so := out2.(*SearchOutcome)
+	if so.Arch == nil || so.Arch.NumQubits() != so.Best.Qubits {
+		t.Fatalf("cached outcome lost the architecture: %+v", so.Arch)
+	}
+}
+
+// TestSearchWarmStartsFromStoredSweep: a search over a store holding a
+// matching sweep derives a WarmStart hint from the sweep's best point,
+// and the hint lands in the stored spec.
+func TestSearchWarmStartsFromStoredSweep(t *testing.T) {
+	st := openStore(t)
+	r := NewRunner(tinyOptions())
+	if _, _, err := r.RunJob(storeSweepJob(), st, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	out, cached, err := NewRunner(tinyOptions()).RunJob(SearchJob{Spec: SearchSpec{
+		Benchmark: "sym6_145",
+		Strategy:  "anneal",
+		AuxCounts: []int{0, 1},
+		Steps:     20,
+		MaxEvals:  4,
+	}}, st, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first search reported cached")
+	}
+	so := out.(*SearchOutcome)
+	if so.Spec.WarmStart == nil {
+		t.Fatal("search did not warm-start from the stored sweep")
+	}
+	found := false
+	for _, e := range events {
+		if e.Err == "" && e.Total == 0 && e.Done == 0 && e.Message != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no warm-start event emitted; events: %+v", events)
+	}
+
+	// The sweep's best eligible point (non-IBM, aux ∈ {0,1}) is the hint.
+	sweepOut, _, err := NewRunner(tinyOptions()).RunJob(storeSweepJob(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := sweepOut.(*SweepResult)
+	var bestYield float64
+	var bestAux, bestBuses int
+	for _, p := range sr.Points {
+		if p.Config == core.ConfigIBM {
+			continue
+		}
+		if p.Yield > bestYield {
+			bestYield, bestAux, bestBuses = p.Yield, p.AuxQubits, p.Buses
+		}
+	}
+	if so.Spec.WarmStart.Aux != bestAux || so.Spec.WarmStart.Buses != bestBuses {
+		t.Errorf("warm start = %+v, sweep best was aux=%d buses=%d (yield %v)",
+			so.Spec.WarmStart, bestAux, bestBuses, bestYield)
+	}
+}
+
+// TestRunJobWithoutStore: a nil store degrades to a plain run.
+func TestRunJobWithoutStore(t *testing.T) {
+	out, cached, err := NewRunner(tinyOptions()).RunJob(SweepJob{Spec: SweepSpec{
+		Benchmarks: []string{"sym6_145"},
+		Configs:    []core.Config{core.ConfigIBM},
+		Sigmas:     []float64{0.03},
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("nil store reported cached")
+	}
+	if len(out.(*SweepResult).Points) == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+// TestRunResolvedJobDoesNotReResolve: a job resolved (and therefore
+// content-addressed) before runs landed in the store must execute and
+// persist exactly as resolved — picking up a hint at execution time
+// would file the outcome under a different key than the announced one.
+func TestRunResolvedJobDoesNotReResolve(t *testing.T) {
+	st := openStore(t)
+	r := NewRunner(tinyOptions())
+	job := SearchJob{Spec: SearchSpec{
+		Benchmark: "sym6_145",
+		Strategy:  "beam",
+		BeamWidth: 2,
+		Depth:     2,
+		MaxEvals:  3,
+	}}
+
+	// Resolve against the empty store: no hint.
+	resolved := r.ResolveJob(job, st)
+	if resolved.(SearchJob).Spec.WarmStart != nil {
+		t.Fatal("empty store produced a warm-start hint")
+	}
+	key, err := r.JobKeyFor(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A sweep lands in the store between keying and execution.
+	if _, _, err := r.RunJob(storeSweepJob(), st, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	out, cached, err := r.RunResolvedJob(resolved, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold search reported cached")
+	}
+	if ws := out.(*SearchOutcome).Spec.WarmStart; ws != nil {
+		t.Fatalf("execution re-resolved a warm-start hint %+v", ws)
+	}
+	if payload, _, err := st.Peek(key); err != nil || payload == nil {
+		t.Fatalf("outcome not stored under the announced key %.12s (err %v)", key, err)
+	}
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -72,25 +71,23 @@ type SweepProgress struct {
 
 // SweepResult is the JSON-exportable outcome of a sweep.
 type SweepResult struct {
-	Spec    SweepSpec    `json:"spec"`
-	Options Options      `json:"options"`
-	Points  []SweepPoint `json:"points"`
+	// SchemaVersion is stamped by WriteJSON; files written before the
+	// stamp existed decode as 0.
+	SchemaVersion int          `json:"schema_version,omitempty"`
+	Spec          SweepSpec    `json:"spec"`
+	Options       Options      `json:"options"`
+	Points        []SweepPoint `json:"points"`
 }
 
-// WriteJSON streams the result as indented JSON.
-func (sr *SweepResult) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(sr)
-}
+func (sr *SweepResult) setSchemaVersion(v int) { sr.SchemaVersion = v }
+
+// WriteJSON streams the result as indented JSON, stamping the current
+// schema version.
+func (sr *SweepResult) WriteJSON(w io.Writer) error { return writeJSON(w, sr) }
 
 // ReadSweepJSON is the inverse of WriteJSON.
 func ReadSweepJSON(r io.Reader) (*SweepResult, error) {
-	var sr SweepResult
-	if err := json.NewDecoder(r).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("experiments: reading sweep: %w", err)
-	}
-	return &sr, nil
+	return readJSON[SweepResult](r, "sweep")
 }
 
 // ByCell returns the points of one (benchmark, aux, σ) cell, in

@@ -1,0 +1,300 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := HashJSON(map[string]any{"kind": "sweep", "seed": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"points":[1,2,3]}`)
+	e, err := s.Put(key, "sweep", "sym6_145", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != key || e.Kind != "sweep" || e.Size != int64(len(payload)) {
+		t.Fatalf("entry %+v", e)
+	}
+
+	got, ge, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge == nil || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %+v", got, ge)
+	}
+	if hits, misses := s.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+
+	// A different key misses without error.
+	other, _ := HashJSON("something else")
+	if got, ge, err := s.Get(other); err != nil || got != nil || ge != nil {
+		t.Fatalf("miss returned %q, %+v, %v", got, ge, err)
+	}
+	if hits, misses := s.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestHashStability: the content address must not depend on how the
+// hashed value was assembled — map insertion order, struct declaration
+// order and indirection through generic values all hash identically.
+func TestHashStability(t *testing.T) {
+	a := map[string]any{}
+	a["kind"] = "sweep"
+	a["spec"] = map[string]any{"benchmarks": []string{"x"}, "sigmas": []float64{0.03}}
+	a["seed"] = 1
+
+	b := map[string]any{}
+	b["seed"] = 1
+	b["spec"] = map[string]any{"sigmas": []float64{0.03}, "benchmarks": []string{"x"}}
+	b["kind"] = "sweep"
+
+	ha, err := HashJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := HashJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("insertion order changed the hash: %s vs %s", ha, hb)
+	}
+
+	// A struct with the same JSON content hashes like the map, whatever
+	// the field declaration order.
+	type spec struct {
+		Sigmas     []float64 `json:"sigmas"`
+		Benchmarks []string  `json:"benchmarks"`
+	}
+	type fp struct {
+		Seed int    `json:"seed"`
+		Kind string `json:"kind"`
+		Spec spec   `json:"spec"`
+	}
+	hs, err := HashJSON(fp{Seed: 1, Kind: "sweep", Spec: spec{Sigmas: []float64{0.03}, Benchmarks: []string{"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs != ha {
+		t.Fatalf("struct and map with equal JSON hash differently: %s vs %s", hs, ha)
+	}
+
+	// Different content must hash differently.
+	a["seed"] = 2
+	h2, _ := HashJSON(a)
+	if h2 == ha {
+		t.Fatal("seed change did not change the hash")
+	}
+}
+
+// TestCorruptedEntryRecovery: a truncated payload is evicted and
+// reported as a miss, and the store accepts a fresh Put afterwards.
+func TestCorruptedEntryRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := HashJSON("victim")
+	payload := []byte(`{"ok":true}`)
+	if _, err := s.Put(key, "sweep", "", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the payload behind the store's back.
+	p := filepath.Join(dir, "runs", key, "outcome.json")
+	if err := os.WriteFile(p, []byte(`{"ok":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ge, err := s.Get(key); err != nil || got != nil || ge != nil {
+		t.Fatalf("corrupted entry served: %q, %+v, %v", got, ge, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "runs", key)); !os.IsNotExist(err) {
+		t.Fatalf("corrupted run dir not removed: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("index still holds %d entries", s.Len())
+	}
+
+	// The key is usable again.
+	if _, err := s.Put(key, "sweep", "", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Get(key); err != nil || string(got) != string(payload) {
+		t.Fatalf("re-put not served: %q, %v", got, err)
+	}
+}
+
+// TestIndexRebuild: deleting index.json loses nothing — Open rebuilds it
+// from the per-run entry files.
+func TestIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := HashJSON("survivor")
+	payload := []byte(`{"v":1}`)
+	if _, err := s.Put(key, "search", "sym6_145 anneal", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, e, err := s2.Get(key)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("rebuilt store lost the run: %q, %v", got, err)
+	}
+	if e.Kind != "search" || e.Summary != "sym6_145 anneal" {
+		t.Fatalf("rebuilt entry %+v", e)
+	}
+}
+
+// TestCrossProcessAdoption: an entry written by a second store over the
+// same directory is visible to the first without reopening.
+func TestCrossProcessAdoption(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := HashJSON("shared")
+	payload := []byte(`{"v":2}`)
+	if _, err := b.Put(key, "sweep", "", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Get(key)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("first store did not adopt the run: %q, %v", got, err)
+	}
+}
+
+func TestEntriesSortedAndLen(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"c", "a", "b"} {
+		key, _ := HashJSON(v)
+		if _, err := s.Put(key, "sweep", v, []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	es := s.Entries()
+	if len(es) != 3 || s.Len() != 3 {
+		t.Fatalf("entries = %d, len = %d", len(es), s.Len())
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key >= es[i].Key {
+			t.Fatalf("entries not sorted: %q >= %q", es[i-1].Key, es[i].Key)
+		}
+	}
+}
+
+func TestRejectsNonHexKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../etc/passwd", "ABCDEF", "zz"} {
+		if _, err := s.Put(key, "sweep", "", []byte("{}")); err == nil {
+			t.Errorf("Put accepted key %q", key)
+		}
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get accepted key %q", key)
+		}
+	}
+}
+
+// TestPeekDoesNotCount: internal scans must not distort the hit/miss
+// statistics that report how many runs were served from the store.
+func TestPeekDoesNotCount(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := HashJSON("peeked")
+	if _, err := s.Put(key, "sweep", "", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Peek(key); err != nil || got == nil {
+		t.Fatalf("Peek = %q, %v", got, err)
+	}
+	missing, _ := HashJSON("absent")
+	if got, _, err := s.Peek(missing); err != nil || got != nil {
+		t.Fatalf("Peek miss = %q, %v", got, err)
+	}
+	if hits, misses := s.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Peek counted: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestIndexMergeAcrossProcesses: two stores writing the same directory
+// must not clobber each other's index entries — both runs stay listed.
+func TestIndexMergeAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx, _ := HashJSON("x")
+	ky, _ := HashJSON("y")
+	if _, err := a.Put(kx, "sweep", "", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Put(ky, "search", "", []byte(`{"y":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// b never saw a's Put through its own API, but its index write must
+	// have adopted it; a fresh Open sees both.
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("fresh store lists %d entries, want 2", c.Len())
+	}
+	if len(b.Entries()) != 2 {
+		t.Fatalf("writer store lists %d entries, want 2", len(b.Entries()))
+	}
+}
+
+// TestHashJSONLargeInts: canonicalisation keeps integer precision above
+// 2^53 — two adjacent huge seeds must not collide to one address.
+func TestHashJSONLargeInts(t *testing.T) {
+	h1, err := HashJSON(map[string]int64{"seed": 9007199254740992})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashJSON(map[string]int64{"seed": 9007199254740993})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("adjacent int64 seeds beyond 2^53 collided")
+	}
+}

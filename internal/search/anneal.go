@@ -21,7 +21,7 @@ func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, 
 	if err != nil {
 		return nil, nil, err
 	}
-	cur := seeds[0] // aux = AuxCounts[0], Algorithm 3 frequencies
+	cur := seeds[0] // warm-start seed when configured, else aux = AuxCounts[0], Algorithm 3 frequencies
 	var best *evaluated
 	var trace []TracePoint
 	bestExpected := math.Inf(1)

@@ -153,12 +153,25 @@ func stateKey(aux int, squares []lattice.Square, freqs []float64) string {
 	return b.String()
 }
 
-// seedStates returns the deduplicated initial states: for every aux
-// variant, the Algorithm 3 assignment and the 5-frequency scheme on the
-// bus-free layout.
+// seedStates returns the deduplicated initial states: the WarmStart
+// state first when one is configured, then for every aux variant the
+// Algorithm 3 assignment and the 5-frequency scheme on the bus-free
+// layout. Annealing starts from the first state, so a warm start shifts
+// the trajectory without removing any cold seed.
 func (p *Problem) seedStates() ([]*State, error) {
 	var out []*State
 	seen := map[string]bool{}
+	add := func(st *State) {
+		if !seen[st.key] {
+			seen[st.key] = true
+			out = append(out, st)
+		}
+	}
+	if warm, err := p.warmState(); err != nil {
+		return nil, err
+	} else if warm != nil {
+		add(warm)
+	}
 	for _, aux := range p.auxCounts {
 		base := p.bases[aux]
 		for _, freqs := range [][]float64{base.seedAlloc, base.seedFive} {
@@ -166,14 +179,55 @@ func (p *Problem) seedStates() ([]*State, error) {
 			if err != nil {
 				return nil, err
 			}
-			if !seen[st.key] {
-				seen[st.key] = true
-				out = append(out, st)
-				p.proposals++
-			}
+			p.proposals++
+			add(st)
 		}
 	}
 	return out, nil
+}
+
+// warmState builds the Options.WarmStart seed: starting from the
+// Algorithm 3 assignment on the hinted aux variant, the analytically
+// best eligible bus square is added greedily until the hinted budget
+// (clamped by MaxBuses and eligibility) is reached. Nil when no hint is
+// configured or the hint names an unconfigured aux variant.
+func (p *Problem) warmState() (*State, error) {
+	ws := p.opt.WarmStart
+	if ws == nil {
+		return nil, nil
+	}
+	if _, ok := p.bases[ws.Aux]; !ok {
+		return nil, nil // stale hint: variant not part of this search
+	}
+	base := p.bases[ws.Aux]
+	st, err := p.newState(ws.Aux, nil, append([]float64(nil), base.seedAlloc...))
+	if err != nil {
+		return nil, err
+	}
+	p.proposals++
+	target := ws.Buses
+	if p.opt.MaxBuses >= 0 && target > p.opt.MaxBuses {
+		target = p.opt.MaxBuses
+	}
+	for len(st.Squares) < target {
+		var next *State
+		for _, sq := range p.addCandidates(st) {
+			cand, err := p.apply(st, move{kind: moveAddBus, sq: sq})
+			if err != nil {
+				continue // square became ineligible under the current set
+			}
+			p.proposals++
+			if next == nil || cand.Expected < next.Expected ||
+				(cand.Expected == next.Expected && cand.key < next.key) {
+				next = cand
+			}
+		}
+		if next == nil {
+			break // no eligible square left below the budget
+		}
+		st = next
+	}
+	return st, nil
 }
 
 // repair runs one incremental coordinate-descent pass over the given

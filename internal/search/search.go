@@ -111,6 +111,26 @@ type Options struct {
 	Parallel bool
 	// Workers bounds the fan-out; 0 means GOMAXPROCS.
 	Workers int
+	// WarmStart optionally seeds the search from a known-good region of
+	// the space — typically the best point of a prior exhaustive sweep.
+	// Nil starts cold.
+	WarmStart *WarmStart
+}
+
+// WarmStart names the design-space region a search should start from:
+// an auxiliary-qubit layout variant and a bus-square budget. The warm
+// seed state is built greedily (the analytically best eligible square is
+// added Buses times onto the Algorithm 3 assignment) and joins the
+// standard seed states at the front, so annealing starts from it and
+// beam search keeps it in the initial frontier. A stale hint cannot
+// remove the cold seeds — it only adds a starting point.
+type WarmStart struct {
+	// Aux selects the layout variant; it must be one of Options.AuxCounts
+	// or the hint is ignored.
+	Aux int `json:"aux"`
+	// Buses is the 4-qubit bus-square budget of the seed; clamped to
+	// Options.MaxBuses and to the squares actually eligible.
+	Buses int `json:"buses"`
 }
 
 // DefaultOptions returns a configuration suitable for the paper's
@@ -168,6 +188,10 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("search: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.WarmStart != nil && (o.WarmStart.Aux < 0 || o.WarmStart.Buses < 0) {
+		return fmt.Errorf("search: WarmStart must be non-negative, got aux=%d buses=%d",
+			o.WarmStart.Aux, o.WarmStart.Buses)
 	}
 	return nil
 }

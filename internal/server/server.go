@@ -1,0 +1,510 @@
+// Package server wraps experiments.Runner in a long-lived HTTP/JSON
+// service (the qserve binary): clients submit sweep and search jobs,
+// watch per-job streamed progress, and fetch finished outcomes, while
+// every job — whichever client submitted it — shares one runner (one
+// yield.NoiseCache, one worker pool) and one optional run store, so
+// overlapping work is simulated once and repeated work is served from
+// disk without any computation.
+//
+// The API is JSON over HTTP:
+//
+//	POST /v1/jobs                {"kind":"sweep"|"search","spec":{...}}
+//	GET  /v1/jobs                list all jobs, submission order
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/result    the outcome (404 until done)
+//	GET  /v1/jobs/{id}/events    streamed progress, one JSON line per event
+//	GET  /v1/stats               queue, job and cache counters
+//	GET  /healthz                liveness
+//
+// Jobs are content-addressed: the id is the run-store key of the
+// normalised spec (experiments.JobKey), so submitting the same work
+// twice returns the same job instead of queuing it again, and a
+// restarted server serves previously stored runs instantly. The queue is
+// bounded; submissions beyond capacity are rejected with 503 so callers
+// back off instead of piling up.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"qproc/internal/experiments"
+	"qproc/internal/runstore"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Runner executes every job; required. All clients share its noise
+	// cache and parallelism settings.
+	Runner *experiments.Runner
+	// Store persists finished runs and serves repeats; optional.
+	Store *runstore.Store
+	// QueueSize bounds the number of jobs waiting to run; <= 0 means 16.
+	QueueSize int
+	// Executors is the number of jobs running concurrently; <= 0 means 1
+	// (each job already fans out internally over the runner's workers).
+	Executors int
+	// RetainJobs bounds how many finished jobs (and their outcome
+	// payloads) stay in memory; <= 0 means 256. When a new submission
+	// would exceed the bound, the oldest finished jobs are dropped —
+	// their outcomes remain retrievable from the run store when one is
+	// configured, and a resubmission is served from it instantly.
+	RetainJobs int
+}
+
+// Server is the HTTP job service. Create with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Job lifecycle states.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+)
+
+// job is one submitted unit of work and its observable state.
+type job struct {
+	id      string
+	kind    string
+	summary string
+	spec    json.RawMessage
+	parsed  experiments.Job
+
+	mu        sync.Mutex
+	status    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cached    bool
+	errMsg    string
+	outcome   []byte
+	events    []experiments.Event
+
+	// done is closed after the final event is appended, waking streamers.
+	done chan struct{}
+}
+
+// New builds the server and starts its executors.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("server: Config.Runner is required")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 16
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueSize),
+		jobs:  map[string]*job{},
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+// Close stops accepting submissions, waits for queued and running jobs
+// to finish, and returns. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// executor drains the queue until Close.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through the shared runner and store.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.status = statusRunning
+	j.started = time.Now().UTC()
+	j.mu.Unlock()
+
+	// RunResolvedJob, not RunJob: the job was resolved and keyed at
+	// submission; re-resolving here could pick up a warm-start hint from
+	// runs stored since and file the outcome under a different key than
+	// the announced job id.
+	out, cached, err := s.cfg.Runner.RunResolvedJob(j.parsed, s.cfg.Store, j.publish)
+	var payload []byte
+	if err == nil {
+		payload, err = marshalOutcome(out)
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now().UTC()
+	j.cached = cached
+	if err != nil {
+		j.status = statusFailed
+		j.errMsg = err.Error()
+		j.events = append(j.events, experiments.Event{Message: "job failed", Err: err.Error()})
+	} else {
+		j.status = statusDone
+		j.outcome = payload
+		msg := "job done"
+		if cached {
+			msg = "job done (served from run store)"
+		}
+		j.events = append(j.events, experiments.Event{Message: msg})
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func marshalOutcome(out experiments.Outcome) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := out.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// publish appends a progress event. Events may arrive from multiple
+// goroutines when the runner is parallel; streamers poll the slice.
+func (j *job) publish(e experiments.Event) {
+	j.mu.Lock()
+	j.events = append(j.events, e)
+	j.mu.Unlock()
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// jobStatus is the JSON view of a job.
+type jobStatus struct {
+	ID        string          `json:"id"`
+	Kind      string          `json:"kind"`
+	Summary   string          `json:"summary"`
+	Spec      json.RawMessage `json:"spec,omitempty"` // as submitted
+	Status    string          `json:"status"`
+	Cached    bool            `json:"cached,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Err       string          `json:"err,omitempty"`
+	// Done/Total mirror the latest progress event.
+	Done   int `json:"done"`
+	Total  int `json:"total"`
+	Events int `json:"events"`
+}
+
+func (j *job) view() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobStatus{
+		ID:        j.id,
+		Kind:      j.kind,
+		Summary:   j.summary,
+		Spec:      j.spec,
+		Status:    j.status,
+		Cached:    j.cached,
+		Submitted: j.submitted,
+		Err:       j.errMsg,
+		Events:    len(j.events),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Total > 0 {
+			v.Done, v.Total = j.events[i].Done, j.events[i].Total
+			break
+		}
+	}
+	return v
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	parsed, err := experiments.ParseJob(req.Kind, req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve before keying: a search may pick up a warm-start hint from
+	// the store, and the hint is part of the content address. Resolving
+	// here keeps the contract that the job id IS the run-store key of
+	// the outcome.
+	parsed = s.cfg.Runner.ResolveJob(parsed, s.cfg.Store)
+	key, err := s.cfg.Runner.JobKeyFor(parsed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		return
+	}
+	if existing, ok := s.jobs[key]; ok {
+		// Content-addressed dedupe: the same work is the same job. A
+		// failed job is replaced so callers can retry.
+		if st := existing.view().Status; st != statusFailed {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, existing.view())
+			return
+		}
+	}
+	j := &job{
+		id:        key,
+		kind:      parsed.Kind(),
+		summary:   parsed.Normalize(s.cfg.Runner.Options()).Summary(),
+		spec:      append(json.RawMessage(nil), req.Spec...),
+		parsed:    parsed,
+		status:    statusQueued,
+		submitted: time.Now().UTC(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue full (%d waiting); retry later", cap(s.queue)))
+		return
+	}
+	if _, ok := s.jobs[key]; !ok {
+		s.order = append(s.order, key)
+	}
+	s.jobs[key] = j
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// evictFinishedLocked drops the oldest finished jobs beyond the
+// retention bound, so a long-lived server's memory stays proportional to
+// RetainJobs rather than to its lifetime. Queued and running jobs are
+// never evicted. Callers hold s.mu.
+func (s *Server) evictFinishedLocked() {
+	finished := 0
+	for _, id := range s.order {
+		if st := s.jobs[id].view().Status; st == statusDone || st == statusFailed {
+			finished++
+		}
+	}
+	for i := 0; i < len(s.order) && finished > s.cfg.RetainJobs; {
+		id := s.order[i]
+		if st := s.jobs[id].view().Status; st == statusDone || st == statusFailed {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			finished--
+			continue
+		}
+		i++
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// lookup resolves a job id; nil means the 404 was already written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	status, errMsg, outcome := j.status, j.errMsg, j.outcome
+	j.mu.Unlock()
+	switch status {
+	case statusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(outcome)
+	case statusFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))
+	default:
+		writeError(w, http.StatusNotFound, fmt.Errorf("job is %s; result not ready", status))
+	}
+}
+
+// handleEvents streams the job's progress as one JSON object per line
+// (application/x-ndjson), replaying buffered events first and following
+// live ones until the job completes or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	next := 0
+	emit := func() bool {
+		j.mu.Lock()
+		pending := j.events[next:]
+		next = len(j.events)
+		j.mu.Unlock()
+		for _, e := range pending {
+			if err := enc.Encode(e); err != nil {
+				return false
+			}
+		}
+		if len(pending) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if !emit() {
+			return
+		}
+		select {
+		case <-j.done:
+			emit() // final drain: completion appends its event before close
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// statsView is the GET /v1/stats payload.
+type statsView struct {
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          map[string]int `json:"jobs"`
+	NoiseCache    counterView    `json:"noise_cache"`
+	Store         *storeView     `json:"store,omitempty"`
+}
+
+type counterView struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+type storeView struct {
+	counterView
+	Entries int `json:"entries"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cfg.Runner.NoiseCacheStats()
+	v := statsView{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Jobs:          map[string]int{statusQueued: 0, statusRunning: 0, statusDone: 0, statusFailed: 0},
+		NoiseCache:    counterView{Hits: hits, Misses: misses},
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		v.Jobs[s.jobs[id].view().Status]++
+	}
+	s.mu.Unlock()
+	if st := s.cfg.Store; st != nil {
+		sh, sm := st.Stats()
+		v.Store = &storeView{counterView: counterView{Hits: sh, Misses: sm}, Entries: st.Len()}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

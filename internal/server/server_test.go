@@ -1,0 +1,435 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qproc/internal/experiments"
+	"qproc/internal/runstore"
+)
+
+// tinyOptions keeps Monte-Carlo budgets small enough for fast tests.
+func tinyOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.YieldTrials = 200
+	o.FreqLocalTrials = 50
+	return o
+}
+
+func newTestServer(t *testing.T, store *runstore.Store, queueSize int) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Runner:    experiments.NewRunner(tinyOptions()),
+		Store:     store,
+		QueueSize: queueSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, base, body string) jobStatus {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, buf.String())
+	}
+	var v jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getStatus(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitDone(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		v := getStatus(t, base, id)
+		switch v.Status {
+		case statusDone:
+			return v
+		case statusFailed:
+			t.Fatalf("job %s failed: %s", id, v.Err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return jobStatus{}
+}
+
+const sweepBody = `{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["ibm","eff-full"],"sigmas":[0.03]}}`
+
+func TestSubmitRunFetch(t *testing.T) {
+	_, ts := newTestServer(t, nil, 4)
+
+	v := submit(t, ts.URL, sweepBody)
+	if v.Kind != "sweep" || v.ID == "" {
+		t.Fatalf("submit view %+v", v)
+	}
+	v = waitDone(t, ts.URL, v.ID)
+	if v.Total == 0 || v.Done != v.Total {
+		t.Errorf("final progress %d/%d", v.Done, v.Total)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s", resp.Status)
+	}
+	res, err := experiments.ReadSweepJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty sweep result")
+	}
+	if res.SchemaVersion != experiments.SchemaVersion {
+		t.Errorf("result schema_version = %d", res.SchemaVersion)
+	}
+}
+
+// TestConcurrentClientsShareNoiseCache is the acceptance check: two
+// clients submitting different jobs over the same design space hit one
+// shared noise cache. The second client's job draws zero new noise
+// matrices — its Monte-Carlo estimates run entirely on the matrices the
+// first client's job generated, which only works with a single runner
+// behind the service.
+func TestConcurrentClientsShareNoiseCache(t *testing.T) {
+	s, ts := newTestServer(t, nil, 8)
+
+	// Client 1: eff-full designs of sym6_145 at σ = 30 MHz.
+	a := submit(t, ts.URL,
+		`{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["eff-full"],"aux_counts":[0],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, a.ID)
+	h1, m1 := s.cfg.Runner.NoiseCacheStats()
+	if h1+m1 == 0 {
+		t.Fatal("first job did not simulate anything")
+	}
+
+	// Client 2: a different spec over the same qubit count and σ. Every
+	// estimate must hit the matrices client 1 drew.
+	b := submit(t, ts.URL,
+		`{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["eff-layout-only"],"aux_counts":[0],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, b.ID)
+	h2, m2 := s.cfg.Runner.NoiseCacheStats()
+	if m2 != m1 {
+		t.Errorf("second client drew %d new noise matrices, want 0 (shared cache)", m2-m1)
+	}
+	if h2 <= h1 {
+		t.Errorf("second client recorded no cache hits (hits %d -> %d)", h1, h2)
+	}
+
+	var stats statsView
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.NoiseCache.Hits != h2 {
+		t.Errorf("stats endpoint reports %d hits, runner %d", stats.NoiseCache.Hits, h2)
+	}
+	if stats.Jobs[statusDone] != 2 {
+		t.Errorf("stats jobs %+v", stats.Jobs)
+	}
+}
+
+// TestDuplicateSubmissionDedupes: the same spec is the same job — no
+// second queue slot, same id back.
+func TestDuplicateSubmissionDedupes(t *testing.T) {
+	_, ts := newTestServer(t, nil, 4)
+	a := submit(t, ts.URL, sweepBody)
+	b := submit(t, ts.URL, sweepBody)
+	if a.ID != b.ID {
+		t.Fatalf("duplicate submission created a new job: %s vs %s", a.ID, b.ID)
+	}
+	waitDone(t, ts.URL, a.ID)
+
+	// Field order in the JSON body does not matter: the content address
+	// comes from the canonical spec.
+	c := submit(t, ts.URL, `{"kind":"sweep","spec":{"sigmas":[0.03],"configs":["ibm","eff-full"],"benchmarks":["sym6_145"]}}`)
+	if c.ID != a.ID {
+		t.Fatalf("reordered JSON fields changed the job id: %s vs %s", c.ID, a.ID)
+	}
+}
+
+// TestStoreBackedRestartServesInstantly: a server restarted over the
+// same store serves a previously computed job without re-running it.
+func TestStoreBackedRestartServesInstantly(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, store1, 4)
+	first := submit(t, ts1.URL, sweepBody)
+	waitDone(t, ts1.URL, first.ID)
+
+	store2, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, store2, 4)
+	v := submit(t, ts2.URL, sweepBody)
+	if v.ID != first.ID {
+		t.Fatalf("content address changed across restarts: %s vs %s", v.ID, first.ID)
+	}
+	v = waitDone(t, ts2.URL, v.ID)
+	if !v.Cached {
+		t.Fatal("restarted server recomputed a stored run")
+	}
+	if hits, misses := s2.cfg.Runner.NoiseCacheStats(); hits+misses != 0 {
+		t.Fatalf("stored run still simulated: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestEventStream: the events endpoint replays buffered progress and
+// terminates when the job completes.
+func TestEventStream(t *testing.T) {
+	_, ts := newTestServer(t, nil, 4)
+	v := submit(t, ts.URL, sweepBody)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []experiments.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e experiments.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	last := events[len(events)-1]
+	if !strings.HasPrefix(last.Message, "job done") {
+		t.Fatalf("stream did not end with completion: %+v", last)
+	}
+	progressSeen := false
+	for _, e := range events {
+		if e.Total > 0 && e.Done > 0 {
+			progressSeen = true
+		}
+	}
+	if !progressSeen {
+		t.Error("no per-cell progress in the stream")
+	}
+}
+
+// TestQueueBounded: submissions beyond queue capacity are rejected with
+// 503 instead of piling up. The server is built without executors so the
+// queue cannot drain under the test.
+func TestQueueBounded(t *testing.T) {
+	s := &Server{
+		cfg:   Config{Runner: experiments.NewRunner(tinyOptions()), QueueSize: 1},
+		queue: make(chan *job, 1),
+		jobs:  map[string]*job{},
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Distinct benchmarks make distinct content addresses.
+	bodies := []string{
+		`{"kind":"sweep","spec":{"benchmarks":["dc1_220"],"configs":["eff-full"],"sigmas":[0.03]}}`,
+		`{"kind":"sweep","spec":{"benchmarks":["z4_268"],"configs":["eff-full"],"sigmas":[0.03]}}`,
+	}
+	codes := make([]int, len(bodies))
+	for i, body := range bodies {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes[i] = resp.StatusCode
+	}
+	if codes[0] != http.StatusAccepted {
+		t.Fatalf("first submission: %d, want 202", codes[0])
+	}
+	if codes[1] != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: %d, want 503", codes[1])
+	}
+
+	// The rejected job is not registered: its id 404s rather than showing
+	// a phantom queued job.
+	var listing struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 1 {
+		t.Fatalf("listing holds %d jobs, want 1", len(listing.Jobs))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, nil, 4)
+	cases := []string{
+		`{"kind":"anneal","spec":{}}`,
+		`{"kind":"sweep","spec":{"benchmrks":["x"]}}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil, 4)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+// TestSearchJobIdIsStoreKey: the announced job id must be the run-store
+// key the outcome lands under, including when the search picks up a
+// warm-start hint from a stored sweep (the hint is part of the content
+// address, so it must be resolved before keying).
+func TestSearchJobIdIsStoreKey(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, store, 8)
+
+	// Seed the store with a sweep the search can warm-start from.
+	sw := submit(t, ts.URL, `{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["eff-full"],"aux_counts":[0],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, sw.ID)
+
+	se := submit(t, ts.URL, `{"kind":"search","spec":{"benchmark":"sym6_145","strategy":"anneal","steps":15,"max_evals":3}}`)
+	waitDone(t, ts.URL, se.ID)
+
+	payload, entry, err := store.Peek(se.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload == nil {
+		t.Fatalf("job id %s is not a store key: outcome stored elsewhere", se.ID)
+	}
+	if entry.Kind != "search" {
+		t.Fatalf("stored entry kind %q", entry.Kind)
+	}
+	out, err := experiments.ReadSearchJSON(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Spec.WarmStart == nil {
+		t.Fatal("search did not warm-start from the stored sweep")
+	}
+}
+
+// TestFinishedJobEviction: the in-memory job map is bounded — the oldest
+// finished jobs are dropped once RetainJobs is exceeded.
+func TestFinishedJobEviction(t *testing.T) {
+	s, err := New(Config{
+		Runner:     experiments.NewRunner(tinyOptions()),
+		QueueSize:  8,
+		RetainJobs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	a := submit(t, ts.URL, `{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["ibm"],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, a.ID)
+	b := submit(t, ts.URL, `{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["eff-layout-only"],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, b.ID)
+	c := submit(t, ts.URL, `{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"configs":["eff-full"],"sigmas":[0.03]}}`)
+	waitDone(t, ts.URL, c.ID)
+
+	// With RetainJobs=1, at most one finished job may remain listed, and
+	// the evicted first job 404s.
+	s.mu.Lock()
+	remaining := len(s.order)
+	s.mu.Unlock()
+	if remaining > 2 {
+		t.Fatalf("%d jobs retained, want <= 2", remaining)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still served: %d", resp.StatusCode)
+	}
+}
