@@ -45,7 +45,8 @@ func main() {
 		retain   = flag.Int("retain", 256, "finished jobs kept in memory; older ones are dropped (store-backed runs stay on disk)")
 		quick    = flag.Bool("quick", false, "reduced Monte-Carlo budgets (fast smoke runs)")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
-		workers  = flag.Int("workers", 0, "bound on concurrent evaluations per fan-out level (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "shared helper-pool size across all jobs and fan-out levels (0 = GOMAXPROCS)")
+		cacheMB  = flag.Int("noise-cache-mb", 0, "byte bound on the shared noise cache in MiB, LRU-evicted (0 = unbounded)")
 		serial   = flag.Bool("serial", false, "disable all parallelism")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 	check(cliutil.Positive("jobs", *execs))
 	check(cliutil.Positive("retain", *retain))
 	check(cliutil.NonNegative("workers", *workers))
+	check(cliutil.NonNegative("noise-cache-mb", *cacheMB))
 	if flag.NArg() > 0 {
 		check(fmt.Errorf("unexpected arguments %v", flag.Args()))
 	}
@@ -65,6 +67,7 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.NoiseCacheBytes = int64(*cacheMB) << 20
 	if *serial {
 		opt.Parallel = false
 	}

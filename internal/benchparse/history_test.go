@@ -1,0 +1,67 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func historyFixture() []*Result {
+	return []*Result{
+		{
+			Commit: "aaaaaaaaaaaaaaaaaaaa",
+			Runs: []Run{
+				{Name: "BenchmarkSweep", Values: map[string]float64{"ns/op": 2e9}},
+				{Name: "BenchmarkSweep", Values: map[string]float64{"ns/op": 2e9}},
+				{Name: "BenchmarkSearch/anneal", Values: map[string]float64{"ns/op": 6e8}},
+			},
+		},
+		{
+			Commit: "bbbbbbbb",
+			Runs: []Run{
+				{Name: "BenchmarkSweep", Values: map[string]float64{"ns/op": 1e9}},
+				{Name: "BenchmarkSearch/anneal", Values: map[string]float64{"ns/op": 1.8e8}},
+				{Name: "BenchmarkEstimateIncremental/incremental", Values: map[string]float64{"ns/op": 2.7e5}},
+			},
+		},
+	}
+}
+
+func TestHistorySelectedColumns(t *testing.T) {
+	md := History(historyFixture(), []string{"BenchmarkSearch/anneal", "BenchmarkMissing"})
+	if !strings.Contains(md, "| aaaaaaaaaaaa |") {
+		t.Fatalf("commit column missing or untruncated:\n%s", md)
+	}
+	if !strings.Contains(md, "600.0ms") || !strings.Contains(md, "180.0ms") {
+		t.Fatalf("anneal trend values missing:\n%s", md)
+	}
+	// A benchmark absent from a commit is a hole, not an error.
+	if !strings.Contains(md, "—") {
+		t.Fatalf("missing benchmark should render as a dash:\n%s", md)
+	}
+	if !strings.Contains(md, "Search/anneal") {
+		t.Fatalf("column header missing:\n%s", md)
+	}
+}
+
+func TestHistoryDefaultColumnsAndUnits(t *testing.T) {
+	md := History(historyFixture(), nil)
+	for _, want := range []string{"Sweep", "Search/anneal", "EstimateIncremental/incremental", "2.00s", "270.0µs"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("missing %q in:\n%s", want, md)
+		}
+	}
+	if !strings.Contains(md, "2 commits × 3 benchmarks") {
+		t.Fatalf("summary line wrong:\n%s", md)
+	}
+	// Geomean over repeated runs: two 2e9 runs -> 2.00s exactly.
+	if strings.Count(md, "2.00s") != 1 {
+		t.Fatalf("geomean aggregation wrong:\n%s", md)
+	}
+}
+
+func TestHistoryUnstampedCommit(t *testing.T) {
+	md := History([]*Result{{Runs: []Run{{Name: "BenchmarkX", Values: map[string]float64{"ns/op": 10}}}}}, nil)
+	if !strings.Contains(md, "(unstamped)") || !strings.Contains(md, "10ns") {
+		t.Fatalf("unstamped result rendered wrong:\n%s", md)
+	}
+}

@@ -13,10 +13,22 @@ import "math"
 // for frequency allocation (unlike a Monte-Carlo yield estimate, whose
 // argmax wobbles at realistic trial budgets).
 
+// phiSat is the |x| beyond which phi saturates exactly: Go's math.Erf
+// returns exactly ±1 for |arg| ≥ ~5.93 (the implementation's |x| ≥ 6
+// branch computes 1−tiny, which rounds to 1), so phi(x) is exactly 1 for
+// x/√2 ≥ 6 — i.e. x ≥ 8.49 — and exactly 0 for x ≤ −8.49. 8.5 keeps a
+// safety margin; TestAnalyticGuardsBitIdentical enforces the invariant.
+const phiSat = 8.5
+
 // phi is the standard normal CDF.
 func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
 
 // windowProb returns P(|X + d − center| < threshold) for d ~ N(0, sd).
+// The saturation guard skips the two erf evaluations when both CDF
+// arguments sit in the exactly-saturated tail, where the difference is
+// exactly 0; the guarded value is bit-identical to the unguarded one.
+// The guard carries the hot path: at the model's σ ≈ 30 MHz most
+// condition windows sit many sd away from the operating point.
 func windowProb(x, center, threshold, sd float64) float64 {
 	if sd <= 0 {
 		if diff := math.Abs(x - center); diff < threshold {
@@ -24,7 +36,15 @@ func windowProb(x, center, threshold, sd float64) float64 {
 		}
 		return 0
 	}
-	return phi((center+threshold-x)/sd) - phi((center-threshold-x)/sd)
+	hi := (center + threshold - x) / sd
+	if hi <= -phiSat {
+		return 0 // phi(hi) and phi(lo) are both exactly 0
+	}
+	lo := (center - threshold - x) / sd
+	if lo >= phiSat {
+		return 0 // phi(hi) and phi(lo) are both exactly 1
+	}
+	return phi(hi) - phi(lo)
 }
 
 // PairProb returns the probability that the directed pair (fj, fk) of
@@ -38,9 +58,16 @@ func (p Params) PairProb(fj, fk, sigma float64) float64 {
 	pr := windowProb(d, 0, p.T1, sd) +
 		windowProb(d, -p.Delta/2, p.T2, sd) +
 		windowProb(d, -p.Delta, p.T3, sd)
-	// Condition 4: fj − fk > −δ.
+	// Condition 4: fj − fk > −δ. The same saturation guard applies: the
+	// tail probability is exactly 0 or 1 once the argument passes ±phiSat.
 	if sd > 0 {
-		pr += 1 - phi((-p.Delta-d)/sd)
+		switch v := (-p.Delta - d) / sd; {
+		case v >= phiSat: // phi(v) exactly 1: tail prob exactly 0
+		case v <= -phiSat:
+			pr += 1 // phi(v) exactly 0
+		default:
+			pr += 1 - phi(v)
+		}
 	} else if d > -p.Delta {
 		pr += 1
 	}

@@ -1,0 +1,63 @@
+package collision_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"qproc/internal/arch"
+	"qproc/internal/collision"
+)
+
+// benchPost draws a realistic trial batch: the densest baseline's
+// coupling graph under a 5-frequency plan with σ = 30 MHz noise.
+func benchPost(trials int) (adj [][]int, design []float64, posts [][]float64) {
+	a := arch.NewBaseline(arch.IBM20Q4Bus)
+	adj = a.AdjList()
+	design = arch.FiveFreqScheme(a)
+	rng := rand.New(rand.NewSource(17))
+	posts = make([][]float64, trials)
+	for t := range posts {
+		row := make([]float64, len(design))
+		for q := range row {
+			row[q] = design[q] + rng.NormFloat64()*0.030
+		}
+		posts[t] = row
+	}
+	return adj, design, posts
+}
+
+// BenchmarkCollidesCompiled measures the flat-table collision check —
+// the innermost operation of Monte-Carlo yield estimation: one compiled
+// design, one full verdict per pre-drawn fabrication outcome.
+func BenchmarkCollidesCompiled(b *testing.B) {
+	adj, design, posts := benchPost(512)
+	ch := collision.NewChecker(adj, design, collision.DefaultParams())
+	b.ReportMetric(float64(ch.NumPairs()+ch.NumTriples()), "conds")
+	b.ResetTimer()
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		if ch.Collides(posts[i%len(posts)]) {
+			fails++
+		}
+	}
+	_ = fails
+}
+
+// BenchmarkKernelEdgeFails measures the edge-bundle kernel on the same
+// workload, resolving orientation once per edge as the trial-state
+// update loop does.
+func BenchmarkKernelEdgeFails(b *testing.B) {
+	adj, design, posts := benchPost(512)
+	k := collision.NewKernel(adj, collision.DefaultParams())
+	b.ResetTimer()
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		post := posts[i%len(posts)]
+		for e := 0; e < k.NumEdges(); e++ {
+			if k.EdgeFails(e, design, post) {
+				fails++
+			}
+		}
+	}
+	_ = fails
+}

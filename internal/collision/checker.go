@@ -11,21 +11,31 @@ package collision
 // forbid every |Δf| ≤ −δ band and no assignment could win).
 //
 // Compile once per design with NewChecker, then test many Monte-Carlo
-// fabrication outcomes with Collides.
+// fabrication outcomes with Collides. The conditions are compiled into
+// flat structure-of-arrays index tables so the Monte-Carlo hot loop is
+// branch-light float comparisons over contiguous slices — no
+// per-condition function calls, no slice-of-slices pointer chasing. The
+// arithmetic per condition is identical to Params.Pair/Spectator, so
+// verdicts are bit-identical to the per-condition path (enforced by
+// TestCompiledCollidesMatchesReference).
 type Checker struct {
 	params Params
-	// pairs holds (control, target) per coupled pair.
-	pairs [][2]int
-	// triples holds (hub control j, spectator i, target k) per gate and
-	// spectator.
-	triples [][3]int
+	// halfDelta hoists the condition-2 centre offset the per-condition
+	// path recomputes per call; the value is bitwise equal (δ/2 is an
+	// exact float operation), so the compiled comparisons match.
+	halfDelta float64
+	// pairCtl/pairTgt hold (control, target) per coupled pair.
+	pairCtl, pairTgt []int32
+	// triHub/triSpec/triTgt hold (hub control j, spectator i, target k)
+	// per gate and spectator.
+	triHub, triSpec, triTgt []int32
 }
 
 // NewChecker compiles the collision test for the coupling graph adj under
 // the design (pre-fabrication) frequencies. Orientation ties (equal
 // design frequencies) resolve to the lower-indexed qubit as control.
 func NewChecker(adj [][]int, design []float64, p Params) *Checker {
-	c := &Checker{params: p}
+	c := &Checker{params: p, halfDelta: p.Delta / 2}
 	control := func(a, b int) (int, int) {
 		if design[a] > design[b] || (design[a] == design[b] && a < b) {
 			return a, b
@@ -38,11 +48,14 @@ func NewChecker(adj [][]int, design []float64, p Params) *Checker {
 				continue
 			}
 			ctl, tgt := control(j, k)
-			c.pairs = append(c.pairs, [2]int{ctl, tgt})
+			c.pairCtl = append(c.pairCtl, int32(ctl))
+			c.pairTgt = append(c.pairTgt, int32(tgt))
 			// Spectators: every other neighbour of the control.
 			for _, i := range adj[ctl] {
 				if i != tgt {
-					c.triples = append(c.triples, [3]int{ctl, i, tgt})
+					c.triHub = append(c.triHub, int32(ctl))
+					c.triSpec = append(c.triSpec, int32(i))
+					c.triTgt = append(c.triTgt, int32(tgt))
 				}
 			}
 		}
@@ -51,26 +64,61 @@ func NewChecker(adj [][]int, design []float64, p Params) *Checker {
 }
 
 // NumPairs returns the number of directed gate pairs checked.
-func (c *Checker) NumPairs() int { return len(c.pairs) }
+func (c *Checker) NumPairs() int { return len(c.pairCtl) }
 
 // NumTriples returns the number of spectator combinations checked.
-func (c *Checker) NumTriples() int { return len(c.triples) }
+func (c *Checker) NumTriples() int { return len(c.triHub) }
 
 // Collides reports whether the post-fabrication frequencies trigger any
-// collision condition.
+// collision condition. The loop bodies inline Params.Pair and
+// Params.Spectator with the condition centres hoisted; every float
+// operation matches the per-condition path, so the verdict is
+// bit-identical to it.
 func (c *Checker) Collides(post []float64) bool {
-	p := c.params
-	for _, e := range c.pairs {
-		if p.Pair(post[e[0]], post[e[1]]) {
+	t1, t2, t3 := c.params.T1, c.params.T2, c.params.T3
+	for i, ctl := range c.pairCtl {
+		fj, fk := post[ctl], post[c.pairTgt[i]]
+		// Condition 1: fj ≅ fk.
+		if d := abs(fj - fk); d < t1 {
+			return true
+		}
+		// Condition 2: fj ≅ fk − δ/2.
+		if d := abs(fj - (fk - c.halfDelta)); d < t2 {
+			return true
+		}
+		// Condition 3: fj ≅ fk − δ; condition 4: fj > fk − δ.
+		base := fk - c.params.Delta
+		if d := abs(fj - base); d < t3 {
+			return true
+		}
+		if fj > base {
 			return true
 		}
 	}
-	for _, t := range c.triples {
-		if p.Spectator(post[t[0]], post[t[1]], post[t[2]]) {
+	t5, t6, t7 := c.params.T5, c.params.T6, c.params.T7
+	for i, hub := range c.triHub {
+		fi, fk := post[c.triSpec[i]], post[c.triTgt[i]]
+		// Condition 5: fi ≅ fk.
+		if d := abs(fi - fk); d < t5 {
+			return true
+		}
+		// Condition 6: fi ≅ fk − δ.
+		if d := abs(fi - (fk - c.params.Delta)); d < t6 {
+			return true
+		}
+		// Condition 7: 2fj + δ ≅ fk + fi.
+		if d := abs(2*post[hub] + c.params.Delta - (fk + fi)); d < t7 {
 			return true
 		}
 	}
 	return false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Count returns the number of triggered condition instances, for
@@ -78,11 +126,11 @@ func (c *Checker) Collides(post []float64) bool {
 func (c *Checker) Count(post []float64) int {
 	p := c.params
 	n := 0
-	for _, e := range c.pairs {
-		n += len(p.PairConditions(post[e[0]], post[e[1]]))
+	for i, ctl := range c.pairCtl {
+		n += len(p.PairConditions(post[ctl], post[c.pairTgt[i]]))
 	}
-	for _, t := range c.triples {
-		n += len(p.SpectatorConditions(post[t[0]], post[t[1]], post[t[2]]))
+	for i, hub := range c.triHub {
+		n += len(p.SpectatorConditions(post[hub], post[c.triSpec[i]], post[c.triTgt[i]]))
 	}
 	return n
 }
@@ -98,11 +146,11 @@ func (c *Checker) Count(post []float64) int {
 func (c *Checker) Expected(design []float64, sigma float64) float64 {
 	p := c.params
 	e := 0.0
-	for _, pr := range c.pairs {
-		e += p.PairProb(design[pr[0]], design[pr[1]], sigma)
+	for i, ctl := range c.pairCtl {
+		e += p.PairProb(design[ctl], design[c.pairTgt[i]], sigma)
 	}
-	for _, t := range c.triples {
-		e += p.SpectatorProb(design[t[0]], design[t[1]], design[t[2]], sigma)
+	for i, hub := range c.triHub {
+		e += p.SpectatorProb(design[hub], design[c.triSpec[i]], design[c.triTgt[i]], sigma)
 	}
 	return e
 }

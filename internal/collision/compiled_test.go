@@ -1,0 +1,313 @@
+package collision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceCollides is the uncompiled per-condition implementation the
+// flat tables replaced: enumerate pairs and spectator triples exactly as
+// NewChecker does and delegate each to Params.Pair/Spectator. It is the
+// oracle of the differential tests — any divergence between it and the
+// compiled Checker is a kernel bug.
+func referenceCollides(adj [][]int, design, post []float64, p Params) bool {
+	pairs, triples := referenceConditions(adj, design)
+	for _, e := range pairs {
+		if p.Pair(post[e[0]], post[e[1]]) {
+			return true
+		}
+	}
+	for _, t := range triples {
+		if p.Spectator(post[t[0]], post[t[1]], post[t[2]]) {
+			return true
+		}
+	}
+	return false
+}
+
+// referenceCount mirrors Checker.Count through the same enumeration.
+func referenceCount(adj [][]int, design, post []float64, p Params) int {
+	pairs, triples := referenceConditions(adj, design)
+	n := 0
+	for _, e := range pairs {
+		n += len(p.PairConditions(post[e[0]], post[e[1]]))
+	}
+	for _, t := range triples {
+		n += len(p.SpectatorConditions(post[t[0]], post[t[1]], post[t[2]]))
+	}
+	return n
+}
+
+// referenceConditions enumerates the (control, target) pairs and
+// (control, spectator, target) triples with the design-orientation rule:
+// higher design frequency controls, ties to the lower index.
+func referenceConditions(adj [][]int, design []float64) (pairs [][2]int, triples [][3]int) {
+	control := func(a, b int) (int, int) {
+		if design[a] > design[b] || (design[a] == design[b] && a < b) {
+			return a, b
+		}
+		return b, a
+	}
+	for j, nbrs := range adj {
+		for _, k := range nbrs {
+			if k <= j {
+				continue
+			}
+			ctl, tgt := control(j, k)
+			pairs = append(pairs, [2]int{ctl, tgt})
+			for _, i := range adj[ctl] {
+				if i != tgt {
+					triples = append(triples, [3]int{ctl, i, tgt})
+				}
+			}
+		}
+	}
+	return pairs, triples
+}
+
+// TestCompiledCollidesMatchesReference drives the compiled flat-table
+// Checker against the per-condition reference on randomized graphs,
+// design assignments and noisy post-fabrication frequencies, including
+// near-threshold values where a single mis-rounded comparison would flip
+// the verdict. Both Collides and Count must agree exactly.
+func TestCompiledCollidesMatchesReference(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(10)
+		adj := randomGraph(rng, n)
+		design := randomFreqs(rng, n)
+		ch := NewChecker(adj, design, p)
+		for rep := 0; rep < 20; rep++ {
+			post := make([]float64, n)
+			for q := range post {
+				post[q] = design[q] + rng.NormFloat64()*0.03
+			}
+			if rep%5 == 4 && ch.NumPairs() > 0 {
+				// Push one pair exactly onto a condition boundary.
+				a, b := ch.pairCtl[0], ch.pairTgt[0]
+				post[a] = post[b] + p.T1
+			}
+			if got, want := ch.Collides(post), referenceCollides(adj, design, post, p); got != want {
+				t.Fatalf("trial %d rep %d: compiled Collides=%v, reference=%v\nadj=%v design=%v post=%v",
+					trial, rep, got, want, adj, design, post)
+			}
+			if got, want := ch.Count(post), referenceCount(adj, design, post, p); got != want {
+				t.Fatalf("trial %d rep %d: compiled Count=%d, reference=%d", trial, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesChecker checks the edge-bundle kernel's OR-over-edges
+// verdict equals the compiled Checker's Collides for the same design
+// orientation — including after design-frequency moves that flip edge
+// orientations, where the kernel re-derives the spectator sets and the
+// checker must be recompiled.
+func TestKernelMatchesChecker(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		adj := randomGraph(rng, n)
+		design := randomFreqs(rng, n)
+		k := NewKernel(adj, p)
+		for rep := 0; rep < 10; rep++ {
+			// Move one design frequency (possibly flipping orientations).
+			design[rng.Intn(n)] = 5.00 + 0.34*rng.Float64()
+			ch := NewChecker(adj, design, p)
+			post := make([]float64, n)
+			for q := range post {
+				post[q] = design[q] + rng.NormFloat64()*0.03
+			}
+			kernelFails := false
+			for e := 0; e < k.NumEdges(); e++ {
+				if k.EdgeFails(e, design, post) {
+					kernelFails = true
+				}
+			}
+			if got := ch.Collides(post); got != kernelFails {
+				t.Fatalf("trial %d rep %d: checker=%v kernel=%v\nadj=%v design=%v post=%v",
+					trial, rep, got, kernelFails, adj, design, post)
+			}
+		}
+	}
+}
+
+// TestKernelDepsCoverVerdictChanges property-checks the dependency lists:
+// moving one qubit's design frequency must leave every edge outside
+// Deps(q) with an unchanged verdict (the contract incremental
+// re-estimation relies on).
+func TestKernelDepsCoverVerdictChanges(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(8)
+		adj := randomGraph(rng, n)
+		design := randomFreqs(rng, n)
+		post := make([]float64, n)
+		for q := range post {
+			post[q] = design[q] + rng.NormFloat64()*0.03
+		}
+		k := NewKernel(adj, p)
+		before := make([]bool, k.NumEdges())
+		for e := range before {
+			before[e] = k.EdgeFails(e, design, post)
+		}
+		q := rng.Intn(n)
+		design[q] = 5.00 + 0.34*rng.Float64()
+		post[q] = design[q] + rng.NormFloat64()*0.03
+		dep := map[int32]bool{}
+		for _, e := range k.Deps(q) {
+			dep[e] = true
+		}
+		for e := 0; e < k.NumEdges(); e++ {
+			if dep[int32(e)] {
+				continue
+			}
+			if got := k.EdgeFails(e, design, post); got != before[e] {
+				t.Fatalf("trial %d: edge %d outside Deps(%d) changed verdict %v -> %v",
+					trial, e, q, before[e], got)
+			}
+		}
+	}
+}
+
+// TestAnalyticGuardsBitIdentical checks the erf-saturation fast paths in
+// windowProb and PairProb return bit-identical values to the unguarded
+// formulas, across random inputs and the guard boundary itself. The
+// guard's premise — math.Erf is exactly ±1 beyond |x| ≥ phiSat/√2 — is
+// asserted directly.
+func TestAnalyticGuardsBitIdentical(t *testing.T) {
+	if math.Erf(phiSat/math.Sqrt2) != 1 || math.Erf(-phiSat/math.Sqrt2) != -1 {
+		t.Fatalf("math.Erf no longer saturates at ±%g/√2; the windowProb guard is unsound", phiSat)
+	}
+	for _, x := range []float64{phiSat, phiSat * 2, 50, 1e6, 1e300} {
+		if phi(x) != 1 || phi(-x) != 0 {
+			t.Fatalf("phi(±%g) = %g/%g, want 1/0", x, phi(x), phi(-x))
+		}
+	}
+	unguardedWindow := func(x, center, threshold, sd float64) float64 {
+		if sd <= 0 {
+			if diff := math.Abs(x - center); diff < threshold {
+				return 1
+			}
+			return 0
+		}
+		return phi((center+threshold-x)/sd) - phi((center-threshold-x)/sd)
+	}
+	p := DefaultParams()
+	unguardedPair := func(fj, fk, sigma float64) float64 {
+		sd := sigma * math.Sqrt2
+		d := fj - fk
+		pr := unguardedWindow(d, 0, p.T1, sd) +
+			unguardedWindow(d, -p.Delta/2, p.T2, sd) +
+			unguardedWindow(d, -p.Delta, p.T3, sd)
+		if sd > 0 {
+			pr += 1 - phi((-p.Delta-d)/sd)
+		} else if d > -p.Delta {
+			pr += 1
+		}
+		return pr
+	}
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20000; trial++ {
+		x := rng.Float64()*2 - 1 // spans far beyond any window at small sd
+		center := []float64{0, -p.Delta / 2, -p.Delta}[rng.Intn(3)]
+		threshold := []float64{p.T1, p.T2, p.T3, p.T5}[rng.Intn(4)]
+		sd := math.Pow(10, -4+3*rng.Float64()) // 1e-4 .. 1e-1
+		if got, want := windowProb(x, center, threshold, sd), unguardedWindow(x, center, threshold, sd); got != want {
+			t.Fatalf("windowProb(%g,%g,%g,%g) = %g, unguarded %g", x, center, threshold, sd, got, want)
+		}
+		fj, fk := 5+0.34*rng.Float64(), 5+0.34*rng.Float64()
+		sigma := []float64{0, 0.001, 0.01, 0.03, 0.1}[rng.Intn(5)]
+		if got, want := p.PairProb(fj, fk, sigma), unguardedPair(fj, fk, sigma); got != want {
+			t.Fatalf("PairProb(%g,%g,%g) = %g, unguarded %g", fj, fk, sigma, got, want)
+		}
+	}
+	// Exact guard boundary: both CDF arguments pinned at ±phiSat.
+	for _, sd := range []float64{1e-3, 0.042} {
+		for _, sign := range []float64{1, -1} {
+			x := sign * (phiSat*sd + p.T1)
+			if got, want := windowProb(x, 0, p.T1, sd), unguardedWindow(x, 0, p.T1, sd); got != want {
+				t.Fatalf("boundary windowProb(%g) = %g, unguarded %g", x, got, want)
+			}
+		}
+	}
+}
+
+// fullRescore is the term-cache oracle: a fresh scorer compiled from the
+// same assignment, whose every bundle was scored from scratch.
+func fullRescore(inc *Incremental, adj [][]int, sigma float64, p Params) *Incremental {
+	return NewIncremental(adj, inc.Freqs(), sigma, p)
+}
+
+// TestTermCacheBitIdentical drives a long-lived scorer — whose bundles
+// increasingly come from the term-level fast path (spectator-only moves
+// re-add cached marginals) — against fresh full recompiles after every
+// update. Scores must agree to the last bit, and the fast path must have
+// actually fired (otherwise the test proves nothing).
+func TestTermCacheBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := DefaultParams()
+	partials := uint64(0)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		adj := randomGraph(rng, n)
+		freqs := randomFreqs(rng, n)
+		inc := NewIncremental(adj, freqs, 0.03, p)
+		for step := 0; step < 50; step++ {
+			q := rng.Intn(n)
+			f := 5.00 + 0.34*rng.Float64()
+			// Preview must match a committed move on a fresh compile.
+			got := inc.Preview1(q, f)
+			probe := fullRescore(inc, adj, 0.03, p)
+			probe.Set1(q, f)
+			if want := probe.Score(); got != want {
+				t.Fatalf("trial %d step %d: preview %.17g != fresh %.17g", trial, step, got, want)
+			}
+			inc.Set1(q, f)
+			if got, want := inc.Score(), fullRescore(inc, adj, 0.03, p).Score(); got != want {
+				t.Fatalf("trial %d step %d: committed %.17g != fresh %.17g", trial, step, got, want)
+			}
+			if step%7 == 0 { // clones must carry the term cache correctly
+				inc = inc.Clone()
+			}
+		}
+		partials += inc.Partials()
+	}
+	if partials == 0 {
+		t.Fatal("term-level fast path never fired")
+	}
+}
+
+// TestPreviewMatchesSetRoundTrip checks the direct-preview fast path is
+// bit-identical to the Set1+Score+Set1 spelling it replaced, on random
+// graphs, and that interleaved Set calls never see stale scratch state.
+func TestPreviewMatchesSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	p := DefaultParams()
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(10)
+		adj := randomGraph(rng, n)
+		freqs := randomFreqs(rng, n)
+		inc := NewIncremental(adj, freqs, 0.03, p)
+		for step := 0; step < 40; step++ {
+			q := rng.Intn(n)
+			f := 5.00 + 0.34*rng.Float64()
+			got := inc.Preview1(q, f)
+			// Round-trip on a twin so the preview target stays untouched.
+			twin := inc.Clone()
+			twin.Set1(q, f)
+			want := twin.Score()
+			if got != want {
+				t.Fatalf("trial %d step %d: Preview1(%d,%g) = %.17g, Set round-trip %.17g",
+					trial, step, q, f, got, want)
+			}
+			if rng.Intn(3) == 0 { // interleave committed moves
+				inc.Set1(rng.Intn(n), 5.00+0.34*rng.Float64())
+			}
+		}
+	}
+}

@@ -17,6 +17,17 @@ package collision
 // just those. Orientation flips caused by an update are handled naturally:
 // affected bundles are re-scored from scratch, re-deriving their control.
 //
+// Within a bundle, the individual term values (the pair marginal and each
+// spectator marginal) are cached. A move of a qubit that is not an
+// endpoint of the bundle's edge cannot flip the orientation or perturb the
+// pair term — it can only change that qubit's own spectator term (or no
+// term at all, when the qubit neighbours only the target). Such moves
+// recompute the one affected marginal and re-add the cached terms in the
+// original summation order, which yields the same float64 as a full
+// re-scoring — erf-free for every untouched term. The closed-form
+// marginals dominate the surrogate's cost, so this term-level reuse is
+// where the coordinate-descent inner loop wins its time back.
+//
 // The total is summed over bundles in edge-index order on every Score
 // call, so it is a pure function of the current frequencies — no
 // accumulated floating-point drift, and bit-identical across any update
@@ -32,10 +43,23 @@ type Incremental struct {
 	edgeE []float64
 	// deps[q] lists the edge bundles whose score depends on freqs[q].
 	deps [][]int
-	// mark/stamp deduplicate bundle re-scores within one update.
+	// terms caches the current marginal values of every bundle:
+	// terms[termOff[e]] is edge e's pair term and the following slots its
+	// spectator terms in adj[control] order; specQ (indexed by
+	// termOff[e]-e, one slot fewer per edge) names the spectator qubit of
+	// each spectator term. Slots are sized for the worse of the two
+	// orientations; the live count follows the current control's degree.
+	termOff []int32
+	terms   []float64
+	specQ   []int32
+	// mark/stamp deduplicate bundle re-scores within one update; scratch
+	// holds previewed bundle scores without committing them to edgeE.
 	mark     []int
 	stamp    int
+	scratch  []float64
 	rescored uint64
+	// partials counts the re-scores served by the term-level fast path.
+	partials uint64
 }
 
 // NewIncremental compiles the incremental scorer for the coupling graph
@@ -48,6 +72,7 @@ func NewIncremental(adj [][]int, freqs []float64, sigma float64, p Params) *Incr
 		freqs:  append([]float64(nil), freqs...),
 		deps:   make([][]int, len(adj)),
 	}
+	inc.termOff = append(inc.termOff, 0)
 	for a, nbrs := range adj {
 		for _, b := range nbrs {
 			if b <= a {
@@ -69,25 +94,122 @@ func NewIncremental(adj [][]int, freqs []float64, sigma float64, p Params) *Incr
 					}
 				}
 			}
+			// One pair slot plus spectator slots for the larger of the
+			// two orientations (the control's neighbours minus the target).
+			maxSpec := len(adj[a])
+			if len(adj[b]) > maxSpec {
+				maxSpec = len(adj[b])
+			}
+			inc.termOff = append(inc.termOff, inc.termOff[e]+int32(maxSpec)) // 1 pair + (maxSpec-1) spectators
 		}
 	}
+	total := int(inc.termOff[len(inc.edges)])
+	inc.terms = make([]float64, total)
+	inc.specQ = make([]int32, total-len(inc.edges))
 	inc.edgeE = make([]float64, len(inc.edges))
 	inc.mark = make([]int, len(inc.edges))
+	inc.scratch = make([]float64, len(inc.edges))
 	for e := range inc.edges {
 		inc.edgeE[e] = inc.scoreBundle(e)
 	}
 	return inc
 }
 
-// scoreBundle computes the bundle score of edge e from the current
-// frequencies: pair conditions in the current orientation plus every
-// spectator triple around the control.
-func (inc *Incremental) scoreBundle(e int) float64 {
+// orient resolves edge e's control and target under the current
+// frequencies (higher design frequency controls, ties to the lower
+// index — edges store a < b).
+func (inc *Incremental) orient(e int) (ctl, tgt int) {
 	a, b := inc.edges[e][0], inc.edges[e][1]
-	ctl, tgt := a, b
 	if inc.freqs[b] > inc.freqs[a] {
-		ctl, tgt = b, a
+		return b, a
 	}
+	return a, b
+}
+
+// scoreBundle recomputes every marginal of edge e from the current
+// frequencies — pair conditions in the current orientation plus every
+// spectator triple around the control — committing the term values and
+// returning their sum.
+func (inc *Incremental) scoreBundle(e int) float64 {
+	ctl, tgt := inc.orient(e)
+	base := int(inc.termOff[e])
+	sbase := base - e
+	s := inc.params.PairProb(inc.freqs[ctl], inc.freqs[tgt], inc.sigma)
+	inc.terms[base] = s
+	j := 0
+	for _, i := range inc.adj[ctl] {
+		if i != tgt {
+			v := inc.params.SpectatorProb(inc.freqs[ctl], inc.freqs[i], inc.freqs[tgt], inc.sigma)
+			inc.terms[base+1+j] = v
+			inc.specQ[sbase+j] = int32(i)
+			s += v
+			j++
+		}
+	}
+	inc.rescored++
+	return s
+}
+
+// resumBundle re-adds edge e's cached terms in the committed order —
+// the same float additions scoreBundle performed — optionally with the
+// spectator term of qubit swapQ replaced by swapV (swapQ < 0 disables
+// the swap). The caller guarantees the cached terms are current.
+func (inc *Incremental) resumBundle(e int, swapQ int, swapV float64) float64 {
+	ctl, _ := inc.orient(e)
+	base := int(inc.termOff[e])
+	sbase := base - e
+	s := inc.terms[base]
+	nspec := len(inc.adj[ctl]) - 1
+	for j := 0; j < nspec; j++ {
+		v := inc.terms[base+1+j]
+		if int(inc.specQ[sbase+j]) == swapQ {
+			v = swapV
+		}
+		s += v
+	}
+	return s
+}
+
+// rescoreFor re-scores bundle e after qubit q's frequency changed,
+// using the term-level fast path when q is not an endpoint: the
+// orientation and every other marginal are unchanged, so only q's own
+// spectator term (if the current control even sees q) needs a fresh
+// closed form. commit controls whether the new term and bundle score are
+// written back.
+func (inc *Incremental) rescoreFor(e, q int, commit bool) float64 {
+	if q == inc.edges[e][0] || q == inc.edges[e][1] {
+		if commit {
+			return inc.scoreBundle(e)
+		}
+		return inc.previewBundle(e)
+	}
+	inc.rescored++
+	inc.partials++
+	ctl, tgt := inc.orient(e)
+	base := int(inc.termOff[e])
+	sbase := base - e
+	nspec := len(inc.adj[ctl]) - 1
+	for j := 0; j < nspec; j++ {
+		if int(inc.specQ[sbase+j]) != q {
+			continue
+		}
+		v := inc.params.SpectatorProb(inc.freqs[ctl], inc.freqs[q], inc.freqs[tgt], inc.sigma)
+		if commit {
+			inc.terms[base+1+j] = v
+			return inc.resumBundle(e, -1, 0)
+		}
+		return inc.resumBundle(e, q, v)
+	}
+	// q neighbours only the target: no term involves it and the score is
+	// unchanged (a full re-score would recompute identical marginals).
+	return inc.edgeE[e]
+}
+
+// previewBundle computes edge e's bundle score from the current
+// frequencies without committing terms — the full-recompute arm of
+// previews.
+func (inc *Incremental) previewBundle(e int) float64 {
+	ctl, tgt := inc.orient(e)
 	s := inc.params.PairProb(inc.freqs[ctl], inc.freqs[tgt], inc.sigma)
 	for _, i := range inc.adj[ctl] {
 		if i != tgt {
@@ -121,12 +243,22 @@ func (inc *Incremental) Freqs() []float64 {
 }
 
 // Set updates the frequencies of the given qubits (vals aligned with
-// qubits) and re-scores every dependent bundle exactly once.
+// qubits) and re-scores every dependent bundle exactly once. Bundles
+// where every moved qubit is a non-endpoint take the term-level fast
+// path; the rest re-derive their orientation and every marginal.
 func (inc *Incremental) Set(qubits []int, vals []float64) {
 	for i, q := range qubits {
 		inc.freqs[q] = vals[i]
 	}
 	inc.stamp++
+	if len(qubits) == 1 {
+		q := qubits[0]
+		for _, e := range inc.deps[q] {
+			inc.mark[e] = inc.stamp
+			inc.edgeE[e] = inc.rescoreFor(e, q, true)
+		}
+		return
+	}
 	for _, q := range qubits {
 		for _, e := range inc.deps[q] {
 			if inc.mark[e] != inc.stamp {
@@ -143,13 +275,37 @@ func (inc *Incremental) Set1(q int, f float64) {
 }
 
 // Preview1 returns the Score the assignment would have with qubit q moved
-// to f, leaving the scorer unchanged.
+// to f, leaving the scorer unchanged. It scores each dependent bundle
+// once into a scratch slot — through the term-level fast path where q is
+// a non-endpoint — and sums all bundles in edge order with the scratch
+// values substituted: the same values in the same order a
+// Set1 + Score + restoring Set1 round-trip would produce (so results are
+// bit-identical to that spelling), with no committed state to restore.
+// Preview is the inner loop of the guided search's coordinate descent,
+// so this path carries most of the surrogate's runtime.
 func (inc *Incremental) Preview1(q int, f float64) float64 {
 	old := inc.freqs[q]
-	inc.Set1(q, f)
-	s := inc.Score()
-	inc.Set1(q, old)
-	return s
+	if f == old {
+		return inc.Score()
+	}
+	inc.freqs[q] = f
+	inc.stamp++
+	for _, e := range inc.deps[q] {
+		inc.mark[e] = inc.stamp
+		inc.scratch[e] = inc.rescoreFor(e, q, false)
+	}
+	inc.freqs[q] = old
+	total := 0.0
+	for e, v := range inc.edgeE {
+		if inc.mark[e] == inc.stamp {
+			v = inc.scratch[e]
+		}
+		total += v
+	}
+	// Invalidate the marks so they cannot be mistaken for committed
+	// state by later updates.
+	inc.stamp++
+	return total
 }
 
 // Clone returns an independent copy sharing the (immutable) adjacency and
@@ -158,7 +314,10 @@ func (inc *Incremental) Clone() *Incremental {
 	c := *inc
 	c.freqs = append([]float64(nil), inc.freqs...)
 	c.edgeE = append([]float64(nil), inc.edgeE...)
+	c.terms = append([]float64(nil), inc.terms...)
+	c.specQ = append([]int32(nil), inc.specQ...)
 	c.mark = make([]int, len(inc.edges))
+	c.scratch = make([]float64, len(inc.edges))
 	c.stamp = 0
 	return &c
 }
@@ -166,6 +325,10 @@ func (inc *Incremental) Clone() *Incremental {
 // Rescored reports how many bundle scorings the instance has performed
 // (including the initial compile), for tests and diagnostics.
 func (inc *Incremental) Rescored() uint64 { return inc.rescored }
+
+// Partials reports how many of the bundle scorings took the term-level
+// fast path (one marginal recomputed instead of the whole bundle).
+func (inc *Incremental) Partials() uint64 { return inc.partials }
 
 // NumBundles returns the number of edge bundles compiled.
 func (inc *Incremental) NumBundles() int { return len(inc.edges) }

@@ -1,0 +1,197 @@
+package collision
+
+// Kernel is the edge-bundle compilation of the collision conditions for
+// one coupling graph, the structural core of the incremental Monte-Carlo
+// estimator (yield.TrialState). Where Checker fixes the gate orientation
+// at compile time from one design-frequency assignment, Kernel compiles
+// only the topology — per undirected edge, the two endpoints and the
+// spectator candidate list of either orientation — and resolves the
+// orientation per call from whatever design frequencies the caller holds.
+// A design-frequency move can flip an edge's orientation (and with it the
+// spectator set conditions 5-7 range over), so the bundle, not the single
+// condition, is the unit of incremental re-evaluation: re-checking every
+// bundle within reach of a moved qubit re-derives its orientation
+// naturally.
+//
+// A trial's verdict is the OR over edges of EdgeFails, which equals
+// NewChecker(adj, design, p).Collides(post) exactly: both evaluate the
+// same pair and spectator conditions with the same float arithmetic, and
+// a boolean OR is order-independent. TestKernelMatchesChecker enforces
+// the equivalence.
+type Kernel struct {
+	params    Params
+	halfDelta float64
+	// edgeA/edgeB are the undirected coupling edges, edgeA[e] < edgeB[e].
+	edgeA, edgeB []int32
+	// specs holds the flattened spectator candidate lists: when edgeA[e]
+	// controls, its spectators (neighbours of A excluding B) are
+	// specs[offA[e]:offB[e]]; when edgeB[e] controls, its spectators are
+	// specs[offB[e]:offA[e+1]].
+	specs      []int32
+	offA, offB []int32
+	// deps[q] lists the edges whose verdict depends on qubit q's
+	// frequency: q is an endpoint or a spectator candidate of the edge.
+	deps [][]int32
+}
+
+// NewKernel compiles the edge bundles of the coupling graph adj.
+func NewKernel(adj [][]int, p Params) *Kernel {
+	k := &Kernel{params: p, halfDelta: p.Delta / 2, deps: make([][]int32, len(adj))}
+	for a, nbrs := range adj {
+		for _, b := range nbrs {
+			if b <= a {
+				continue
+			}
+			e := int32(len(k.edgeA))
+			k.edgeA = append(k.edgeA, int32(a))
+			k.edgeB = append(k.edgeB, int32(b))
+			k.offA = append(k.offA, int32(len(k.specs)))
+			for _, i := range adj[a] {
+				if i != b {
+					k.specs = append(k.specs, int32(i))
+				}
+			}
+			k.offB = append(k.offB, int32(len(k.specs)))
+			for _, i := range adj[b] {
+				if i != a {
+					k.specs = append(k.specs, int32(i))
+				}
+			}
+			// Dependents: endpoints plus every spectator candidate of
+			// either orientation, each edge recorded once per qubit.
+			seen := map[int32]bool{int32(a): true, int32(b): true}
+			k.deps[a] = append(k.deps[a], e)
+			k.deps[b] = append(k.deps[b], e)
+			for _, i := range k.specs[k.offA[e]:] {
+				if !seen[i] {
+					seen[i] = true
+					k.deps[i] = append(k.deps[i], e)
+				}
+			}
+		}
+	}
+	k.offA = append(k.offA, int32(len(k.specs)))
+	return k
+}
+
+// NumEdges returns the number of edge bundles compiled.
+func (k *Kernel) NumEdges() int { return len(k.edgeA) }
+
+// Deps returns the edges whose verdict depends on qubit q's frequency.
+// Callers must not mutate the returned slice.
+func (k *Kernel) Deps(q int) []int32 { return k.deps[q] }
+
+// Orient resolves edge e's gate direction under the design frequencies:
+// the control is the higher design-frequency endpoint, ties to the lower
+// index (the NewChecker rule). It returns the control, the target and the
+// control's spectator candidates.
+func (k *Kernel) Orient(e int, design []float64) (ctl, tgt int32, specs []int32) {
+	a, b := k.edgeA[e], k.edgeB[e]
+	if design[b] > design[a] {
+		return b, a, k.specs[k.offB[e]:k.offA[e+1]]
+	}
+	return a, b, k.specs[k.offA[e]:k.offB[e]]
+}
+
+// EdgeFails reports whether edge e's bundle triggers any collision
+// condition: pair conditions 1-4 of the edge oriented by the design
+// frequencies, and spectator conditions 5-7 of every (control, spectator,
+// target) triple, all evaluated on the post-fabrication frequencies.
+func (k *Kernel) EdgeFails(e int, design, post []float64) bool {
+	ctl, tgt, specs := k.Orient(e, design)
+	return k.FailsOriented(ctl, tgt, specs, post)
+}
+
+// EdgeFailsBits evaluates edge e's bundle across trials [lo, hi),
+// packing the verdicts into out: bit (t−lo) of out[(t−lo)/64] is set iff
+// the bundle fails in trial t (trailing bits of the last word are
+// cleared). cols is the noise matrix transposed to column-major
+// (cols[q][t] = trial t's noise on qubit q), so every inner-loop read is
+// a contiguous walk; the design frequencies of the bundle's qubits are
+// hoisted out of the trial loop. Each post-fabrication frequency is
+// formed as design[q] + cols[q][t] — the same single addition the
+// row-major Monte-Carlo loop performs — and the condition arithmetic
+// matches Checker.Collides operation for operation, so verdicts are
+// bit-identical to the one-shot path.
+func (k *Kernel) EdgeFailsBits(e int, design []float64, cols [][]float64, lo, hi int, out []uint64) {
+	ctl, tgt, specs := k.Orient(e, design)
+	p := &k.params
+	dj, dk := design[ctl], design[tgt]
+	cj, ck := cols[ctl][lo:hi], cols[tgt][lo:hi]
+	// Hoist the spectators' design frequencies and noise columns; the
+	// two tiny slices amortise over the whole trial range. No state on
+	// the kernel itself — chunked updates share one kernel concurrently.
+	specD := make([]float64, len(specs))
+	specC := make([][]float64, len(specs))
+	for si, s := range specs {
+		specD[si] = design[s]
+		specC[si] = cols[s][lo:hi]
+	}
+	var word uint64
+	var nbit uint
+	wi := 0
+	for i := 0; i < hi-lo; i++ {
+		fj, fk := dj+cj[i], dk+ck[i]
+		fails := abs(fj-fk) < p.T1 ||
+			abs(fj-(fk-k.halfDelta)) < p.T2 ||
+			abs(fj-(fk-p.Delta)) < p.T3 ||
+			fj > fk-p.Delta
+		if !fails {
+			for si := range specC {
+				fi := specD[si] + specC[si][i]
+				if abs(fi-fk) < p.T5 ||
+					abs(fi-(fk-p.Delta)) < p.T6 ||
+					abs(2*fj+p.Delta-(fk+fi)) < p.T7 {
+					fails = true
+					break
+				}
+			}
+		}
+		if fails {
+			word |= 1 << nbit
+		}
+		if nbit++; nbit == 64 {
+			out[wi] = word
+			wi++
+			word, nbit = 0, 0
+		}
+	}
+	if nbit > 0 {
+		out[wi] = word
+	}
+}
+
+// FailsOriented is EdgeFails with the orientation pre-resolved, so a
+// trial loop re-checking one edge across thousands of fabrications pays
+// for Orient once. The condition arithmetic matches Checker.Collides
+// operation for operation, keeping verdicts bit-identical.
+func (k *Kernel) FailsOriented(ctl, tgt int32, specs []int32, post []float64) bool {
+	p := &k.params
+	fj, fk := post[ctl], post[tgt]
+	if d := abs(fj - fk); d < p.T1 {
+		return true
+	}
+	if d := abs(fj - (fk - k.halfDelta)); d < p.T2 {
+		return true
+	}
+	base := fk - p.Delta
+	if d := abs(fj - base); d < p.T3 {
+		return true
+	}
+	if fj > base {
+		return true
+	}
+	for _, s := range specs {
+		fi := post[s]
+		if d := abs(fi - fk); d < p.T5 {
+			return true
+		}
+		if d := abs(fi - (fk - p.Delta)); d < p.T6 {
+			return true
+		}
+		if d := abs(2*fj + p.Delta - (fk + fi)); d < p.T7 {
+			return true
+		}
+	}
+	return false
+}

@@ -62,12 +62,13 @@ func (p SweepProgress) Event() Event {
 
 // Event converts a search progress report.
 func (p SearchProgress) Event() Event {
-	return Event{
-		Done:  p.Step,
-		Total: p.Total,
-		Message: fmt.Sprintf("best yield %.4f (E=%.3f, %d evals)",
-			p.BestYield, p.BestExpected, p.Evals),
+	msg := fmt.Sprintf("best yield %.4f (E=%.3f, %d evals)",
+		p.BestYield, p.BestExpected, p.Evals)
+	if p.CondSkipped > 0 {
+		msg += fmt.Sprintf(", %.0f%% cond-checks skipped",
+			100*float64(p.CondSkipped)/float64(p.CondChecks+p.CondSkipped))
 	}
+	return Event{Done: p.Step, Total: p.Total, Message: msg}
 }
 
 // SweepJob runs an exhaustive design-space sweep.

@@ -9,14 +9,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"qproc/internal/arch"
 	"qproc/internal/circuit"
 	"qproc/internal/core"
 	"qproc/internal/gen"
 	"qproc/internal/mapper"
+	"qproc/internal/workpool"
 	"qproc/internal/yield"
 )
 
@@ -42,11 +41,17 @@ type Options struct {
 	// the yield simulator. Results are bit-identical with Parallel off;
 	// only wall-clock time changes.
 	Parallel bool
-	// Workers bounds the number of concurrent evaluations at each
-	// fan-out level independently (so nested levels multiply: RunAll
-	// over benchmarks × RunCircuit over designs); 0 means GOMAXPROCS
-	// per level. The Go scheduler time-slices the excess.
+	// Workers sizes the runner's shared helper pool; 0 means GOMAXPROCS.
+	// Every fan-out level — benchmarks, designs, search proposals,
+	// Monte-Carlo trial chunks — draws helpers from this one budget (the
+	// calling goroutine of each level always participates in its own
+	// work), so nested levels and concurrent jobs on one runner cannot
+	// multiply into oversubscription.
 	Workers int
+	// NoiseCacheBytes bounds the shared noise cache's matrix bytes with
+	// least-recently-used eviction; 0 means unbounded. Eviction can only
+	// cost regeneration time, never change a result.
+	NoiseCacheBytes int64 `json:"noise_cache_bytes,omitempty"`
 }
 
 // workers resolves the effective worker count.
@@ -119,15 +124,22 @@ func (r *BenchmarkResult) ByConfig(cfg core.Config) []Point {
 // cache, so every design with the same qubit count (and σ) is simulated
 // under the same fabrications — the common-random-numbers discipline —
 // and the Trials × n Gaussian matrix is drawn once per qubit count
-// instead of once per design. A Runner is safe for concurrent use.
+// instead of once per design. They also share one bounded worker pool:
+// however many jobs run concurrently on the runner, helper goroutines
+// stay within the Workers budget. A Runner is safe for concurrent use.
 type Runner struct {
 	opt   Options
 	cache *yield.NoiseCache
+	pool  *workpool.Pool
 }
 
 // NewRunner returns a Runner with the given options.
 func NewRunner(opt Options) *Runner {
-	return &Runner{opt: opt, cache: yield.NewNoiseCache()}
+	cache := yield.NewNoiseCache()
+	if opt.NoiseCacheBytes > 0 {
+		cache.SetLimit(opt.NoiseCacheBytes)
+	}
+	return &Runner{opt: opt, cache: cache, pool: workpool.New(opt.workers())}
 }
 
 // Options returns the runner's options.
@@ -136,6 +148,14 @@ func (r *Runner) Options() Options { return r.opt }
 // NoiseCacheStats exposes the shared noise cache's hit/miss counters
 // (for reporting and tests).
 func (r *Runner) NoiseCacheStats() (hits, misses uint64) { return r.cache.Stats() }
+
+// NoiseCache exposes the shared cache for stats endpoints (size, byte
+// accounting, eviction counters). Callers must not purge or reconfigure
+// it mid-run.
+func (r *Runner) NoiseCache() *yield.NoiseCache { return r.cache }
+
+// Pool exposes the shared helper pool for stats endpoints.
+func (r *Runner) Pool() *workpool.Pool { return r.pool }
 
 func (r *Runner) flow() *core.Flow {
 	f := core.NewFlow(r.opt.Seed)
@@ -149,40 +169,22 @@ func (r *Runner) simulator() *yield.Simulator {
 	s.Cache = r.cache
 	s.Parallel = r.opt.Parallel
 	s.Workers = r.opt.Workers
+	s.Pool = r.pool
 	return s
 }
 
-// forEach runs fn(0..n-1), fanning out over a bounded worker pool when
-// the options ask for parallelism. Every index runs exactly once; fn
-// must write its result by index so that the outcome is independent of
-// scheduling.
+// forEach runs fn(0..n-1), drawing helpers from the runner's shared
+// bounded pool when the options ask for parallelism. Every index runs
+// exactly once; fn must write its result by index so that the outcome is
+// independent of scheduling.
 func (r *Runner) forEach(n int, fn func(int)) {
-	workers := r.opt.workers()
-	if workers > n {
-		workers = n
-	}
-	if !r.opt.Parallel || workers < 2 {
+	if !r.opt.Parallel || r.opt.workers() < 2 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	r.pool.ForEach(n, fn)
 }
 
 // RunBenchmark evaluates all five configurations for the named benchmark

@@ -86,12 +86,17 @@ func (s SearchSpec) withDefaults(opt Options) (SearchSpec, search.Options) {
 }
 
 // SearchProgress mirrors search.Progress for the runner's callback
-// convention.
+// convention (field-for-field: the runner converts between the two).
 type SearchProgress struct {
 	Step, Total  int
 	Evals        int
 	BestYield    float64
 	BestExpected float64
+	// CondChecks / CondSkipped are the Monte-Carlo tier's cumulative
+	// condition-bundle evaluations performed and avoided by incremental
+	// re-estimation.
+	CondChecks  uint64
+	CondSkipped uint64
 }
 
 // SearchOutcome is the JSON-exportable result of a guided search: the
@@ -116,9 +121,14 @@ type SearchOutcome struct {
 	Objective float64 `json:"objective"`
 	// Evals is the number of full Monte-Carlo design evaluations spent;
 	// Proposals the number of surrogate-scored candidate states.
-	Evals     int                 `json:"evals"`
-	Proposals int                 `json:"proposals"`
-	Trace     []search.TracePoint `json:"trace"`
+	Evals     int `json:"evals"`
+	Proposals int `json:"proposals"`
+	// CondChecks / CondSkipped report the Monte-Carlo kernel's
+	// condition-bundle evaluations performed and avoided by incremental
+	// re-estimation on the promotion path.
+	CondChecks  uint64              `json:"cond_checks,omitempty"`
+	CondSkipped uint64              `json:"cond_skipped,omitempty"`
+	Trace       []search.TracePoint `json:"trace"`
 
 	// Result keeps the full search result (with the architecture) for
 	// programmatic callers; not serialised.
@@ -150,6 +160,10 @@ func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*Search
 	}
 	c := b.Build()
 	spec, so := spec.withDefaults(r.opt)
+	// The shared pool is a runner resource, not a spec axis: it changes
+	// scheduling only, never results, so it stays out of withDefaults and
+	// the job fingerprint.
+	so.Pool = r.pool
 
 	var cb func(search.Progress)
 	if progress != nil {
@@ -181,12 +195,14 @@ func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*Search
 			AuxQubits: res.Best.AuxQubits,
 			Sigma:     spec.Sigma,
 		},
-		Arch:      res.Best.Arch,
-		Expected:  res.Expected,
-		Objective: res.Objective,
-		Evals:     res.Evals,
-		Proposals: res.Proposals,
-		Trace:     res.Trace,
-		Result:    res,
+		Arch:        res.Best.Arch,
+		Expected:    res.Expected,
+		Objective:   res.Objective,
+		Evals:       res.Evals,
+		Proposals:   res.Proposals,
+		CondChecks:  res.CondChecks,
+		CondSkipped: res.CondSkipped,
+		Trace:       res.Trace,
+		Result:      res,
 	}, nil
 }

@@ -88,6 +88,7 @@ func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, 
 			// Both numbers describe the evaluated incumbent (as in beam);
 			// bestExpected is only the internal promotion threshold.
 			pr := Progress{Step: step + 1, Total: opt.Steps, Evals: ev.evals}
+			pr.CondChecks, pr.CondSkipped = ev.condStats()
 			if best != nil {
 				pr.BestYield = best.yield
 				pr.BestExpected = best.state.Expected

@@ -120,6 +120,7 @@ func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []
 		}
 		if progress != nil {
 			pr := Progress{Step: depth, Total: opt.Depth, Evals: ev.evals}
+			pr.CondChecks, pr.CondSkipped = ev.condStats()
 			if best != nil {
 				pr.BestYield = best.yield
 				pr.BestExpected = best.state.Expected

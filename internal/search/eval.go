@@ -27,6 +27,18 @@ type evaluated struct {
 type evaluator struct {
 	p   *Problem
 	sim *yield.Simulator
+	// ts is the trial-survivor state of the last evaluated topology
+	// (tsTopo): consecutive promotions that only move frequencies — the
+	// common case on an annealing trajectory — are re-estimated
+	// incrementally instead of re-running the full Monte-Carlo loop.
+	// The estimate is bit-identical either way, so the evaluator's
+	// results do not depend on which promotions happened to share a
+	// topology.
+	ts     *yield.TrialState
+	tsTopo string
+	// accChecked/accSkipped accumulate condition statistics of retired
+	// trial states; condStats folds in the live one.
+	accChecked, accSkipped uint64
 	// baseGates anchors NormPerf: gates of the program on IBM baseline
 	// (1). Computed lazily, only when the mapper is needed.
 	baseGates int
@@ -44,8 +56,45 @@ func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
 	sim.Params = p.opt.Params
 	sim.Parallel = p.opt.Parallel
 	sim.Workers = p.opt.Workers
+	sim.Pool = p.opt.Pool
 	sim.Cache = cache
 	return &evaluator{p: p, sim: sim, seen: map[string]*evaluated{}}, nil
+}
+
+// mcYield scores st's assignment by Monte-Carlo. When the previous
+// evaluation shared st's topology, only the conditions around the moved
+// qubits are re-checked (yield.TrialState); otherwise a fresh trial
+// state is built — which costs the same as the plain estimate and seeds
+// the next incremental step. FullEval forces the plain estimator; all
+// three paths return the same bits.
+func (ev *evaluator) mcYield(st *State) float64 {
+	if ev.p.opt.FullEval {
+		return ev.sim.Estimate(st.Arch)
+	}
+	freqs := st.Freqs()
+	if ev.ts != nil && ev.tsTopo == st.topoKey {
+		return ev.sim.ReEstimate(ev.ts, nil, freqs)
+	}
+	if ev.ts != nil {
+		c, s := ev.ts.Stats()
+		ev.accChecked += c
+		ev.accSkipped += s
+	}
+	ev.ts = ev.sim.NewTrialState(st.Arch.AdjList(), freqs)
+	ev.tsTopo = st.topoKey
+	return ev.ts.Yield()
+}
+
+// condStats reports the cumulative Monte-Carlo condition-bundle
+// evaluations performed and skipped across all trial states so far.
+func (ev *evaluator) condStats() (checked, skipped uint64) {
+	checked, skipped = ev.accChecked, ev.accSkipped
+	if ev.ts != nil {
+		c, s := ev.ts.Stats()
+		checked += c
+		skipped += s
+	}
+	return checked, skipped
 }
 
 // budget reports whether another full evaluation is allowed.
@@ -64,7 +113,7 @@ func (ev *evaluator) evaluate(st *State) (*evaluated, bool, error) {
 		return nil, false, nil
 	}
 	ev.evals++
-	e := &evaluated{state: st, yield: ev.sim.Estimate(st.Arch)}
+	e := &evaluated{state: st, yield: ev.mcYield(st)}
 	e.objective = e.yield
 	if ev.p.opt.PerfWeight > 0 {
 		gates, swaps, normPerf, err := ev.performance(st)

@@ -89,6 +89,11 @@ type State struct {
 
 	inc *collision.Incremental
 	key string
+	// topoKey identifies the coupling topology alone (aux variant + bus
+	// squares): states sharing it have identical adjacency lists, which
+	// is what lets the evaluator re-estimate frequency-only promotions
+	// incrementally.
+	topoKey string
 }
 
 // Freqs returns the state's frequency assignment.
@@ -131,17 +136,28 @@ func (p *Problem) newState(aux int, squares []lattice.Square, freqs []float64) (
 		Arch:     a,
 		Expected: inc.Score(),
 		inc:      inc,
+		topoKey:  topoKey(aux, squares),
 	}
-	st.key = stateKey(aux, squares, freqs)
+	st.key = stateKey(st.topoKey, freqs)
 	return st, nil
 }
 
-func stateKey(aux int, squares []lattice.Square, freqs []float64) string {
+// topoKey canonically names a coupling topology: the aux layout variant
+// plus the sorted bus squares. Equal topoKeys imply equal adjacency
+// lists (the squares are applied to the same base layout in the same
+// canonical order).
+func topoKey(aux int, squares []lattice.Square) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "aux=%d|", aux)
 	for _, sq := range squares {
 		fmt.Fprintf(&b, "%d,%d;", sq.Origin.X, sq.Origin.Y)
 	}
+	return b.String()
+}
+
+func stateKey(topo string, freqs []float64) string {
+	var b strings.Builder
+	b.WriteString(topo)
 	b.WriteByte('|')
 	for _, f := range freqs {
 		// Full precision: the 5-frequency seed values sit off the 0.01
@@ -284,7 +300,7 @@ func (st *State) repairState(seeds []int, keep map[int]bool) {
 		panic(err) // unreachable: length preserved
 	}
 	st.Expected = st.inc.Score()
-	st.key = stateKey(st.Aux, st.Squares, fr)
+	st.key = stateKey(st.topoKey, fr)
 }
 
 // cornerQubits returns the qubit ids on the corners of sq in st's layout.
@@ -382,6 +398,7 @@ func (p *Problem) apply(st *State, m move) (*State, error) {
 			Squares: append([]lattice.Square(nil), st.Squares...),
 			Arch:    st.Arch.Clone(),
 			inc:     inc,
+			topoKey: st.topoKey,
 		}
 		// Repair the perturbed region but keep the kick pinned, so the
 		// move can escape the local minimum the incumbent sits in.

@@ -36,6 +36,7 @@ import (
 	"qproc/internal/core"
 	"qproc/internal/lattice"
 	"qproc/internal/mapper"
+	"qproc/internal/workpool"
 	"qproc/internal/yield"
 )
 
@@ -111,6 +112,19 @@ type Options struct {
 	Parallel bool
 	// Workers bounds the fan-out; 0 means GOMAXPROCS.
 	Workers int
+	// Pool, when non-nil, is the shared helper pool every fan-out level
+	// draws from — proposal construction here and trial-level chunking in
+	// the yield simulator — so a search embedded in a multi-job service
+	// respects one global core budget. Nil falls back to per-call
+	// goroutines bounded by Workers.
+	Pool *workpool.Pool
+	// FullEval disables the trial-survivor incremental Monte-Carlo
+	// estimator on the promotion path, running every evaluation from
+	// scratch. Results are bit-identical either way (the incremental
+	// estimator's contract); the switch exists for differential tests and
+	// for near-zero-yield workloads where the one-shot loop's
+	// first-failure early exit wins.
+	FullEval bool
 	// WarmStart optionally seeds the search from a known-good region of
 	// the space — typically the best point of a prior exhaustive sweep.
 	// Nil starts cold.
@@ -204,9 +218,10 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs fn(0..n-1), fanning out over a bounded worker pool when
-// the options ask for parallelism. fn must write its outcome by index so
-// the result is independent of scheduling.
+// forEach runs fn(0..n-1), fanning out over the shared pool (when one is
+// attached) or a bounded per-call worker set when the options ask for
+// parallelism. fn must write its outcome by index so the result is
+// independent of scheduling.
 func (o Options) forEach(n int, fn func(int)) {
 	workers := o.workers()
 	if workers > n {
@@ -216,6 +231,10 @@ func (o Options) forEach(n int, fn func(int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		return
+	}
+	if o.Pool != nil {
+		o.Pool.ForEach(n, fn)
 		return
 	}
 	var next atomic.Int64
@@ -247,6 +266,12 @@ type Progress struct {
 	// BestYield and BestExpected describe the incumbent.
 	BestYield    float64
 	BestExpected float64
+	// CondChecks counts the condition-bundle-per-trial evaluations the
+	// Monte-Carlo tier has performed; CondSkipped counts the ones the
+	// trial-survivor incremental estimator avoided relative to
+	// from-scratch evaluation. Both are cumulative over the run.
+	CondChecks  uint64
+	CondSkipped uint64
 }
 
 // TracePoint records one improvement of the incumbent.
@@ -281,6 +306,10 @@ type Result struct {
 	// Proposals is the number of candidate states constructed and scored
 	// by the incremental analytic surrogate.
 	Proposals int `json:"proposals"`
+	// CondChecks / CondSkipped report the Monte-Carlo tier's
+	// condition-bundle evaluations performed and avoided (see Progress).
+	CondChecks  uint64 `json:"cond_checks,omitempty"`
+	CondSkipped uint64 `json:"cond_skipped,omitempty"`
 	// Trace logs every incumbent improvement in order.
 	Trace []TracePoint `json:"trace"`
 }
@@ -332,6 +361,7 @@ func (p *Problem) finish(ev *evaluator, best *evaluated, trace []TracePoint) (*R
 	}
 	a := st.Arch.Clone()
 	a.Name = fmt.Sprintf("%s/search-%s-%dbus", p.circ.Name, p.opt.Strategy, len(st.Squares))
+	checked, skipped := ev.condStats()
 	return &Result{
 		Strategy: p.opt.Strategy,
 		Best: &core.Design{
@@ -341,15 +371,17 @@ func (p *Problem) finish(ev *evaluator, best *evaluated, trace []TracePoint) (*R
 			Config:    core.ConfigSearch,
 			AuxQubits: st.Aux,
 		},
-		Yield:     best.yield,
-		Expected:  st.Expected,
-		Objective: best.objective,
-		GateCount: gates,
-		Swaps:     swaps,
-		NormPerf:  normPerf,
-		Evals:     ev.evals,
-		Proposals: p.proposals,
-		Trace:     trace,
+		Yield:       best.yield,
+		Expected:    st.Expected,
+		Objective:   best.objective,
+		GateCount:   gates,
+		Swaps:       swaps,
+		NormPerf:    normPerf,
+		Evals:       ev.evals,
+		Proposals:   p.proposals,
+		CondChecks:  checked,
+		CondSkipped: skipped,
+		Trace:       trace,
 	}, nil
 }
 

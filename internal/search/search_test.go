@@ -101,6 +101,61 @@ func TestSearchParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSearchIncrementalMatchesFullEval is the Monte-Carlo differential
+// guarantee at the search level: a run whose promotions are scored by
+// the trial-survivor incremental estimator must be bit-identical —
+// winner, yield, trace and all — to a run forced through from-scratch
+// estimation, for both strategies. It also checks the incremental run
+// actually skipped work (otherwise the test proves nothing).
+func TestSearchIncrementalMatchesFullEval(t *testing.T) {
+	c := testCircuit(t)
+	for _, strategy := range Strategies() {
+		t.Run(string(strategy), func(t *testing.T) {
+			inc := testOptions(strategy)
+			full := testOptions(strategy)
+			full.FullEval = true
+
+			ires, err := Run(c, inc, yield.NewNoiseCache(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres, err := Run(c, full, yield.NewNoiseCache(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ires.CondSkipped == 0 && ires.Evals > 1 {
+				t.Error("incremental run skipped no condition checks")
+			}
+			fres.CondChecks, fres.CondSkipped = ires.CondChecks, ires.CondSkipped // not part of equality
+			resultsEqual(t, ires, fres)
+		})
+	}
+}
+
+// TestSearchYieldIsExact re-scores the winning design with a fresh
+// simulator under the search's CRN discipline: the yield the search
+// reports must be exactly what a standalone estimate of that design
+// produces — no drift can accumulate across incremental promotions.
+func TestSearchYieldIsExact(t *testing.T) {
+	c := testCircuit(t)
+	for _, strategy := range Strategies() {
+		opt := testOptions(strategy)
+		cache := yield.NewNoiseCache()
+		res, err := Run(c, opt, cache, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := yield.New(opt.Seed + 7919)
+		sim.Sigma = opt.Sigma
+		sim.Trials = opt.Trials
+		sim.Params = opt.Params
+		sim.Cache = cache
+		if got := sim.Estimate(res.Best.Arch); got != res.Yield {
+			t.Fatalf("%s: reported yield %v, fresh estimate %v", strategy, res.Yield, got)
+		}
+	}
+}
+
 // TestSearchImprovesOnFiveFreqSeed checks the optimiser does real work:
 // starting the beam from both seeds, the winner must score at least as
 // well as the worse seed and its analytic score must be no worse than

@@ -463,7 +463,8 @@ type statsView struct {
 	QueueDepth    int            `json:"queue_depth"`
 	QueueCapacity int            `json:"queue_capacity"`
 	Jobs          map[string]int `json:"jobs"`
-	NoiseCache    counterView    `json:"noise_cache"`
+	NoiseCache    noiseCacheView `json:"noise_cache"`
+	Workers       workersView    `json:"workers"`
 	Store         *storeView     `json:"store,omitempty"`
 }
 
@@ -472,18 +473,44 @@ type counterView struct {
 	Misses uint64 `json:"misses"`
 }
 
+// noiseCacheView reports the shared noise cache: hit/miss counters, the
+// resident matrices with their byte footprint, and — when a byte bound
+// is configured — the bound and how many matrices it has evicted.
+type noiseCacheView struct {
+	counterView
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	LimitBytes int64  `json:"limit_bytes,omitempty"`
+	Evictions  uint64 `json:"evictions,omitempty"`
+}
+
+// workersView reports the shared helper pool.
+type workersView struct {
+	Size  int `json:"size"`
+	InUse int `json:"in_use"`
+}
+
 type storeView struct {
 	counterView
 	Entries int `json:"entries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.cfg.Runner.NoiseCacheStats()
+	cache := s.cfg.Runner.NoiseCache()
+	hits, misses := cache.Stats()
+	pool := s.cfg.Runner.Pool()
 	v := statsView{
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		Jobs:          map[string]int{statusQueued: 0, statusRunning: 0, statusDone: 0, statusFailed: 0},
-		NoiseCache:    counterView{Hits: hits, Misses: misses},
+		NoiseCache: noiseCacheView{
+			counterView: counterView{Hits: hits, Misses: misses},
+			Entries:     cache.Len(),
+			Bytes:       cache.Bytes(),
+			LimitBytes:  cache.Limit(),
+			Evictions:   cache.Evictions(),
+		},
+		Workers: workersView{Size: pool.Size(), InUse: pool.InUse()},
 	}
 	s.mu.Lock()
 	for _, id := range s.order {

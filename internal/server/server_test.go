@@ -167,8 +167,55 @@ func TestConcurrentClientsShareNoiseCache(t *testing.T) {
 	if stats.NoiseCache.Hits != h2 {
 		t.Errorf("stats endpoint reports %d hits, runner %d", stats.NoiseCache.Hits, h2)
 	}
+	if stats.NoiseCache.Entries == 0 || stats.NoiseCache.Bytes == 0 {
+		t.Errorf("stats endpoint reports empty noise cache after two jobs: %+v", stats.NoiseCache)
+	}
+	if want := s.cfg.Runner.NoiseCache().Bytes(); stats.NoiseCache.Bytes != want {
+		t.Errorf("stats endpoint reports %d cache bytes, runner %d", stats.NoiseCache.Bytes, want)
+	}
+	if stats.Workers.Size == 0 {
+		t.Errorf("stats endpoint reports zero-size worker pool: %+v", stats.Workers)
+	}
 	if stats.Jobs[statusDone] != 2 {
 		t.Errorf("stats jobs %+v", stats.Jobs)
+	}
+}
+
+// TestNoiseCacheBoundedByOption checks the NoiseCacheBytes option wires
+// through to the runner's cache: a bound small enough for one matrix
+// keeps the resident bytes at or below it across σ switches, and the
+// results stay identical to an unbounded runner's.
+func TestNoiseCacheBoundedByOption(t *testing.T) {
+	opt := tinyOptions()
+	// One 200-trial × ~16-qubit matrix ≈ 25 KiB; bound to 64 KiB so the
+	// two baseline qubit counts cannot both stay resident.
+	opt.NoiseCacheBytes = 64 << 10
+	bounded, err := experiments.NewRunner(opt).RunBenchmark("sym6_145")
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := experiments.NewRunner(tinyOptions()).RunBenchmark("sym6_145")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded.Points) != len(free.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(bounded.Points), len(free.Points))
+	}
+	for i := range bounded.Points {
+		if bounded.Points[i] != free.Points[i] {
+			t.Fatalf("point %d differs under the byte bound:\nbounded %+v\nfree    %+v",
+				i, bounded.Points[i], free.Points[i])
+		}
+	}
+	r := experiments.NewRunner(opt)
+	if _, err := r.RunBenchmark("sym6_145"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NoiseCache().Bytes(); got > opt.NoiseCacheBytes {
+		t.Fatalf("cache holds %d bytes beyond the %d bound", got, opt.NoiseCacheBytes)
+	}
+	if r.NoiseCache().Limit() != opt.NoiseCacheBytes {
+		t.Fatalf("cache limit %d, want %d", r.NoiseCache().Limit(), opt.NoiseCacheBytes)
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package workpool provides the bounded helper pool every fan-out site
+// of the evaluation engine shares. Before it, each parallel call site —
+// design-level fan-out in the experiments runner, proposal construction
+// in the search strategies, trial-level chunking in the yield simulator —
+// spawned its own ad-hoc goroutines bounded only per call, so a qserve
+// process running several jobs concurrently oversubscribed the machine
+// (jobs × levels × workers goroutines competing for the same cores). One
+// shared Pool caps the helper goroutines globally: whoever asks for
+// parallelism gets it while budget remains and degrades to inline
+// execution when it does not.
+//
+// The scheduling discipline preserves the engine's determinism contract:
+// ForEach runs fn(0..n-1) exactly once each, callers write results by
+// index, and no result depends on which goroutine computed it — so runs
+// are bit-identical whether the pool is saturated, idle, or absent.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a shared budget of helper goroutines. The zero value is not
+// usable; create with New. A nil *Pool is valid everywhere and means
+// "no shared budget": call sites fall back to their own bounded fan-out.
+type Pool struct {
+	// sem holds one token per helper the pool may run concurrently.
+	sem chan struct{}
+}
+
+// New returns a pool allowing up to size concurrent helper goroutines
+// across all ForEach calls; size <= 0 means GOMAXPROCS. The calling
+// goroutine of every ForEach participates in its own work regardless of
+// budget, so total concurrency is bounded by size plus the number of
+// concurrent callers — and a ForEach can never deadlock waiting for
+// tokens, even when called from inside another ForEach's helper.
+func New(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, size)}
+}
+
+// Size returns the helper budget.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// InUse returns the helpers currently running, for stats endpoints.
+func (p *Pool) InUse() int { return len(p.sem) }
+
+// ForEach runs fn(0), ..., fn(n-1), each exactly once. Indices are
+// handed out atomically to the caller and to however many helper
+// goroutines the shared budget grants at this instant (never more than
+// n-1; possibly zero, in which case the caller runs everything inline).
+// fn must write its outcome by index so the result is independent of
+// scheduling. A nil pool runs everything inline.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < n-1; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break // budget exhausted right now: the caller picks up the rest
+	}
+	work()
+	wg.Wait()
+}

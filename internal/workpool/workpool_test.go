@@ -1,0 +1,93 @@
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		counts := make([]atomic.Int32, n)
+		p.ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	ran := make([]bool, 5)
+	p.ForEach(5, func(i int) { ran[i] = true })
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("index %d skipped", i)
+		}
+	}
+}
+
+// TestHelperBudgetShared checks the pool bound is global: two concurrent
+// ForEach calls never hold more helpers than the pool size between them.
+func TestHelperBudgetShared(t *testing.T) {
+	const size = 3
+	p := New(size)
+	var active, peak atomic.Int32
+	body := func(int) {
+		if a := active.Add(1); a > peak.Load() {
+			peak.Store(a)
+		}
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		active.Add(-1)
+	}
+	var wg sync.WaitGroup
+	const callers = 4
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				p.ForEach(64, body)
+			}
+		}()
+	}
+	wg.Wait()
+	// Helpers ≤ size, plus each caller participates in its own work.
+	if got := peak.Load(); got > size+callers {
+		t.Fatalf("peak concurrency %d exceeds size %d + callers %d", got, size, callers)
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("%d helpers still marked in use after completion", p.InUse())
+	}
+}
+
+// TestNestedForEachDoesNotDeadlock exercises the engine's real shape:
+// an outer design-level fan-out whose work items themselves fan out
+// trial-level on the same pool, at a size small enough that inner calls
+// find the budget exhausted.
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	p.ForEach(8, func(int) {
+		p.ForEach(16, func(int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested run executed %d inner bodies, want %d", got, 8*16)
+	}
+}
+
+func TestDeterministicByIndex(t *testing.T) {
+	p := New(8)
+	out := make([]int, 512)
+	p.ForEach(len(out), func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -118,6 +118,105 @@ func TestCachePurge(t *testing.T) {
 	}
 }
 
+// TestCacheBytesAccounting checks Bytes tracks the data footprint of the
+// generated matrices: Trials × n × 8 per entry, down to zero after Purge.
+func TestCacheBytesAccounting(t *testing.T) {
+	cache := NewNoiseCache()
+	s := New(2)
+	s.Trials = 100
+	s.Cache = cache
+	if cache.Bytes() != 0 {
+		t.Fatalf("fresh cache reports %d bytes", cache.Bytes())
+	}
+	s.noise(4)
+	if got, want := cache.Bytes(), int64(100*4*8); got != want {
+		t.Fatalf("one matrix: %d bytes, want %d", got, want)
+	}
+	s.noise(6)
+	if got, want := cache.Bytes(), int64(100*4*8+100*6*8); got != want {
+		t.Fatalf("two matrices: %d bytes, want %d", got, want)
+	}
+	s.noise(4) // hit: no growth
+	if got, want := cache.Bytes(), int64(100*4*8+100*6*8); got != want {
+		t.Fatalf("after hit: %d bytes, want %d", got, want)
+	}
+	cache.Purge()
+	if cache.Bytes() != 0 {
+		t.Fatalf("purged cache reports %d bytes", cache.Bytes())
+	}
+}
+
+// TestCacheLRUEviction checks the byte bound drops the least recently
+// used matrix first, never the one just requested, and that an evicted
+// matrix regenerates bit-identically on the next request.
+func TestCacheLRUEviction(t *testing.T) {
+	cache := NewNoiseCache()
+	perMatrix := int64(100 * 4 * 8)
+	cache.SetLimit(2 * perMatrix)
+	sim := func(seed int64) *Simulator {
+		s := New(seed)
+		s.Trials = 100
+		s.Cache = cache
+		return s
+	}
+	s1, s2, s3 := sim(1), sim(2), sim(3)
+	first := s1.noise(4)[0][0]
+	s2.noise(4)
+	s1.noise(4) // refresh seed 1's recency: seed 2 is now LRU
+	s3.noise(4) // exceeds the bound: seed 2 must go
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+	if cache.Bytes() > 2*perMatrix {
+		t.Fatalf("cache holds %d bytes beyond the %d limit", cache.Bytes(), 2*perMatrix)
+	}
+	if cache.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", cache.Evictions())
+	}
+	// Seed 1 must have survived (seed 2 was least recently used).
+	hits0, _ := cache.Stats()
+	if got := s1.noise(4)[0][0]; got != first {
+		t.Fatalf("surviving matrix changed: %v != %v", got, first)
+	}
+	if hits, _ := cache.Stats(); hits != hits0+1 {
+		t.Fatal("seed 1 was evicted instead of the LRU entry")
+	}
+	// The evicted matrix regenerates identically (pure function).
+	if got, want := s2.noise(4)[0][0], s2.GenNoise(4)[0][0]; got != want {
+		t.Fatalf("regenerated entry differs: %v != %v", got, want)
+	}
+}
+
+// TestCacheLimitKeepsEstimatesIdentical is the eviction-safety contract:
+// estimates under a tightly bounded cache are bit-identical to an
+// unbounded one, whatever the eviction pattern.
+func TestCacheLimitKeepsEstimatesIdentical(t *testing.T) {
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	freqs := []float64{5.05, 5.15, 5.25, 5.07}
+	run := func(limit int64) []float64 {
+		cache := NewNoiseCache()
+		cache.SetLimit(limit)
+		var out []float64
+		for rep := 0; rep < 3; rep++ {
+			for _, sigma := range []float64{0.01, 0.03, 0.06} {
+				s := New(5)
+				s.Trials = 200
+				s.Sigma = sigma
+				s.Cache = cache
+				out = append(out, s.EstimateFreqs(adj, freqs))
+			}
+		}
+		return out
+	}
+	unbounded := run(0)
+	tiny := run(200 * 4 * 8) // one matrix at a time: every σ switch evicts
+	for i := range unbounded {
+		if unbounded[i] != tiny[i] {
+			t.Fatalf("estimate %d: bounded cache %v != unbounded %v", i, tiny[i], unbounded[i])
+		}
+	}
+}
+
 // BenchmarkEstimateUncached / BenchmarkEstimateCached demonstrate the
 // allocations the cache saves: uncached, every Estimate re-draws the
 // Trials × n Gaussian matrix; cached, the steady state allocates

@@ -1,0 +1,89 @@
+package yield
+
+import (
+	"testing"
+
+	"qproc/internal/arch"
+)
+
+// TestEstimateWithNoiseTrialEdges pins the estimator's behaviour at the
+// batch-size boundaries: 0 trials define yield 0, a single trial is 0 or
+// 1, and the ParallelThreshold cut (255 runs inline even with Parallel
+// set, 256 fans out) never changes a bit of the estimate.
+func TestEstimateWithNoiseTrialEdges(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q2Bus)
+	adj := a.AdjList()
+	freqs := arch.FiveFreqScheme(a)
+	s := New(3)
+	s.Trials = ParallelThreshold // enough rows to slice every case below
+	noise := s.GenNoise(len(freqs))
+
+	if got := s.EstimateWithNoise(adj, freqs, nil); got != 0 {
+		t.Fatalf("0 trials: yield %v, want 0", got)
+	}
+	if got := s.EstimateWithNoise(adj, freqs, noise[:0]); got != 0 {
+		t.Fatalf("empty slice: yield %v, want 0", got)
+	}
+	for _, trials := range []int{1, ParallelThreshold - 1, ParallelThreshold} {
+		rows := noise[:trials]
+		s.Parallel = false
+		serial := s.EstimateWithNoise(adj, freqs, rows)
+		if trials == 1 && serial != 0 && serial != 1 {
+			t.Fatalf("1 trial: yield %v, want exactly 0 or 1", serial)
+		}
+		s.Parallel = true
+		if got := s.EstimateWithNoise(adj, freqs, rows); got != serial {
+			t.Fatalf("%d trials: parallel %v != serial %v", trials, got, serial)
+		}
+	}
+}
+
+// TestEstimateWithNoiseWorkerEdges checks worker-count extremes: one
+// worker, one worker per trial, and more workers than trials (the
+// surplus must be clamped, not spawned idle) all produce the serial
+// estimate exactly.
+func TestEstimateWithNoiseWorkerEdges(t *testing.T) {
+	a := arch.NewBaseline(arch.IBM16Q2Bus)
+	adj := a.AdjList()
+	freqs := arch.FiveFreqScheme(a)
+	trials := ParallelThreshold + 10 // above the threshold so Workers matters
+	s := New(9)
+	s.Trials = trials
+	noise := s.GenNoise(len(freqs))
+
+	s.Parallel = false
+	want := s.EstimateWithNoise(adj, freqs, noise)
+	s.Parallel = true
+	for _, workers := range []int{1, trials, trials + 7} {
+		s.Workers = workers
+		if got := s.EstimateWithNoise(adj, freqs, noise); got != want {
+			t.Fatalf("workers=%d: yield %v != serial %v", workers, got, want)
+		}
+		if eff := s.effectiveWorkers(trials); eff > trials {
+			t.Fatalf("workers=%d: effective count %d exceeds trial count", workers, eff)
+		}
+	}
+}
+
+// TestReEstimateWorkerEdges runs the incremental estimator through the
+// same worker extremes.
+func TestReEstimateWorkerEdges(t *testing.T) {
+	adj, freqs := trialTestbed()
+	moved := append([]float64(nil), freqs...)
+	moved[2] = 5.31
+	s := New(4)
+	s.Trials = ParallelThreshold + 5
+	s.Parallel = false
+	ref := s.NewTrialState(adj, freqs)
+	want := s.ReEstimate(ref, nil, moved)
+	for _, workers := range []int{1, s.Trials, s.Trials + 7} {
+		p := New(4)
+		p.Trials = s.Trials
+		p.Parallel = true
+		p.Workers = workers
+		st := p.NewTrialState(adj, freqs)
+		if got := p.ReEstimate(st, nil, moved); got != want {
+			t.Fatalf("workers=%d: incremental %v != serial %v", workers, got, want)
+		}
+	}
+}

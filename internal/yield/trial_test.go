@@ -1,0 +1,165 @@
+package yield
+
+import (
+	"math/rand"
+	"testing"
+
+	"qproc/internal/arch"
+)
+
+// trialTestbed builds a baseline architecture with a perturbable
+// assignment for the incremental-estimation tests.
+func trialTestbed() (adj [][]int, freqs []float64) {
+	a := arch.NewBaseline(arch.IBM16Q4Bus)
+	return a.AdjList(), arch.FiveFreqScheme(a)
+}
+
+// TestTrialStateInitialYieldMatchesEstimate checks the cached build path
+// returns exactly what the one-shot estimator returns.
+func TestTrialStateInitialYieldMatchesEstimate(t *testing.T) {
+	adj, freqs := trialTestbed()
+	for _, trials := range []int{1, 63, 64, 65, 500, 2000} {
+		s := New(5)
+		s.Trials = trials
+		st := s.NewTrialState(adj, freqs)
+		if got, want := st.Yield(), s.EstimateFreqs(adj, freqs); got != want {
+			t.Fatalf("trials=%d: TrialState yield %v != EstimateFreqs %v", trials, got, want)
+		}
+	}
+}
+
+// TestReEstimateMatchesFull drives a trial state through random move
+// sequences — single-qubit kicks, multi-qubit region moves, and moves
+// that flip gate orientations — comparing every incremental yield against
+// a from-scratch EstimateWithNoise of the same assignment under the same
+// noise. Equality is exact: same verdict per trial, same yield to the
+// last bit.
+func TestReEstimateMatchesFull(t *testing.T) {
+	adj, freqs := trialTestbed()
+	s := New(7)
+	s.Trials = 1500
+	s.Cache = NewNoiseCache()
+	noise := s.noise(len(freqs))
+	st := s.NewTrialState(adj, freqs)
+	cur := append([]float64(nil), freqs...)
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 60; step++ {
+		next := append([]float64(nil), cur...)
+		var moved []int
+		k := 1 + rng.Intn(3)
+		for len(moved) < k {
+			q := rng.Intn(len(next))
+			dup := false
+			for _, m := range moved {
+				if m == q {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			moved = append(moved, q)
+			next[q] = 5.00 + 0.34*rng.Float64()
+		}
+		// Alternate between explicit move lists and nil (derived) moves.
+		if step%2 == 0 {
+			moved = nil
+		}
+		got := s.ReEstimate(st, moved, next)
+		if want := s.EstimateWithNoise(adj, next, noise); got != want {
+			t.Fatalf("step %d: incremental %v != full %v (moved %v)", step, got, want, moved)
+		}
+		cur = next
+	}
+	checked, skipped := st.Stats()
+	if skipped == 0 {
+		t.Fatal("no condition checks were skipped — incremental path not exercised")
+	}
+	t.Logf("checked %d bundle-trials, skipped %d (%.1f%% saved)",
+		checked, skipped, 100*float64(skipped)/float64(checked+skipped))
+}
+
+// TestReEstimateParallelMatchesSerial checks the chunked update path
+// writes the same bits and counts as the inline path.
+func TestReEstimateParallelMatchesSerial(t *testing.T) {
+	adj, freqs := trialTestbed()
+	run := func(parallel bool) []float64 {
+		s := New(3)
+		s.Trials = 3000
+		s.Parallel = parallel
+		st := s.NewTrialState(adj, freqs)
+		rng := rand.New(rand.NewSource(99))
+		var out []float64
+		cur := append([]float64(nil), freqs...)
+		for step := 0; step < 25; step++ {
+			next := append([]float64(nil), cur...)
+			next[rng.Intn(len(next))] = 5.00 + 0.34*rng.Float64()
+			out = append(out, s.ReEstimate(st, nil, next))
+			cur = next
+		}
+		return out
+	}
+	serial, parallel := run(false), run(true)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("step %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestReEstimateAfterAnnealTrace replays a recorded anneal-style
+// trajectory: a greedy sequence of single-qubit coordinate moves with
+// occasional uphill kicks, checking the incremental yield after every
+// accepted move equals a fresh full estimate — the exact guarantee the
+// search promotion path relies on.
+func TestReEstimateAfterAnnealTrace(t *testing.T) {
+	adj, freqs := trialTestbed()
+	s := New(11)
+	s.Trials = 1000
+	s.Cache = NewNoiseCache()
+	noise := s.noise(len(freqs))
+	st := s.NewTrialState(adj, freqs)
+	rng := rand.New(rand.NewSource(2))
+	cur := append([]float64(nil), freqs...)
+	grid := make([]float64, 0, 35)
+	for f := 5.00; f <= 5.341; f += 0.01 {
+		grid = append(grid, f)
+	}
+	best := st.Yield()
+	for step := 0; step < 40; step++ {
+		q := rng.Intn(len(cur))
+		cand := append([]float64(nil), cur...)
+		cand[q] = grid[rng.Intn(len(grid))]
+		y := s.ReEstimate(st, []int{q}, cand)
+		if want := s.EstimateWithNoise(adj, cand, noise); y != want {
+			t.Fatalf("trace step %d: incremental %v != full %v", step, y, want)
+		}
+		if y >= best || rng.Float64() < 0.25 { // accept improvements and kicks
+			cur, best = cand, y
+		} else { // reject: move the state back, also incrementally
+			if y2 := s.ReEstimate(st, []int{q}, cur); y2 != s.EstimateWithNoise(adj, cur, noise) {
+				t.Fatalf("trace step %d: rollback diverged", step)
+			}
+		}
+	}
+}
+
+// TestReEstimateNoMovesIsFree checks a no-op re-estimate returns the
+// current yield without touching any condition.
+func TestReEstimateNoMovesIsFree(t *testing.T) {
+	adj, freqs := trialTestbed()
+	s := New(1)
+	s.Trials = 500
+	st := s.NewTrialState(adj, freqs)
+	checkedBefore, _ := st.Stats()
+	if got, want := s.ReEstimate(st, nil, freqs), st.Yield(); got != want {
+		t.Fatalf("no-op re-estimate %v != yield %v", got, want)
+	}
+	if checkedAfter, _ := st.Stats(); checkedAfter != checkedBefore {
+		t.Fatalf("no-op re-estimate performed %d checks", checkedAfter-checkedBefore)
+	}
+}
+
+// BenchmarkEstimateIncremental lives in trial_bench_test.go (external
+// test package: the realistic testbed needs the freq allocator, which
+// imports this package).

@@ -18,6 +18,7 @@ import (
 
 	"qproc/internal/arch"
 	"qproc/internal/collision"
+	"qproc/internal/workpool"
 )
 
 // DefaultSigma is the fabrication precision parameter σ in GHz: 30 MHz,
@@ -40,10 +41,20 @@ type Simulator struct {
 	Params collision.Params
 	// Parallel enables evaluation of trials across CPUs. The estimate is
 	// identical either way; parallelism only changes wall-clock time.
+	// Batches below ParallelThreshold rows always run inline — see
+	// EstimateWithNoise.
 	Parallel bool
 	// Workers bounds the trial-level fan-out when Parallel is on;
-	// 0 means GOMAXPROCS.
+	// 0 means GOMAXPROCS. Values above the trial count are clamped — the
+	// excess workers would have no rows to chunk.
 	Workers int
+	// Pool, when non-nil, routes the trial-level fan-out through a shared
+	// bounded helper pool instead of spawning per-call goroutines, so
+	// several simulators running concurrently (a qserve process executing
+	// multiple jobs) stay within one global core budget instead of
+	// multiplying their worker counts. Estimates are bit-identical with
+	// and without a pool.
+	Pool *workpool.Pool
 	// Cache, when non-nil, memoises noise matrices across estimates so
 	// that every design with the same qubit count is scored under the
 	// same simulated fabrications without regenerating them. Estimates
@@ -106,12 +117,26 @@ func (s *Simulator) GenNoise(n int) [][]float64 {
 	return noise
 }
 
+// ParallelThreshold is the trial count below which EstimateWithNoise
+// ignores Parallel and runs inline: fewer rows than this finish faster
+// than the fan-out's coordination costs. The threshold is part of the
+// documented contract — callers timing small batches should not expect
+// Parallel to change anything below it.
+const ParallelThreshold = 256
+
 // EstimateWithNoise returns the yield of freqs over adj under the given
 // pre-drawn noise matrix (rows = trials). The gate orientation is
 // compiled once from the design frequencies — the direction of every
 // cross-resonance gate is a design-time choice and does not move with
 // fabrication noise. Rows shorter than freqs are a programming error and
 // panic via index.
+//
+// Parallelism: batches of at least ParallelThreshold rows are split into
+// one chunk per effective worker (Workers clamped to the row count, so
+// surplus workers are never spawned idle) and fanned out — through the
+// shared Pool when one is attached, otherwise as per-call goroutines.
+// Chunk counts land by index and are summed in fixed order, so the
+// estimate is bit-identical to the serial loop.
 func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise [][]float64) float64 {
 	if len(noise) == 0 {
 		return 0
@@ -131,40 +156,61 @@ func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise [][]fl
 		}
 		return ok
 	}
-	if !s.Parallel || len(noise) < 256 {
+	if !s.Parallel || len(noise) < ParallelThreshold {
 		return float64(countChunk(noise)) / float64(len(noise))
 	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(noise) {
-		workers = len(noise)
-	}
+	workers := s.effectiveWorkers(len(noise))
 	chunk := (len(noise) + workers - 1) / workers
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	chunks := (len(noise) + chunk - 1) / chunk
+	counts := make([]int, chunks)
+	s.forChunks(chunks, func(w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > len(noise) {
 			hi = len(noise)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			counts[w] = countChunk(noise[lo:hi])
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		counts[w] = countChunk(noise[lo:hi])
+	})
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
 	return float64(total) / float64(len(noise))
+}
+
+// effectiveWorkers resolves the trial-level fan-out width for a batch of
+// rows trials: Workers (GOMAXPROCS when unset) clamped to rows.
+func (s *Simulator) effectiveWorkers(rows int) int {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forChunks dispatches n chunk bodies: through the shared pool when one
+// is attached, else via one goroutine per chunk (n is already bounded by
+// the effective worker count).
+func (s *Simulator) forChunks(n int, fn func(int)) {
+	if s.Pool != nil {
+		s.Pool.ForEach(n, fn)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // Subgraph extracts the induced coupling subgraph on the qubit set keep
