@@ -11,6 +11,7 @@
 package qproc_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -222,7 +223,7 @@ func BenchmarkSweep(b *testing.B) {
 	opt.Parallel = true
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(opt)
-		if _, err := r.Sweep(spec, nil); err != nil {
+		if _, err := r.Sweep(context.Background(), spec, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +242,7 @@ func BenchmarkSearch(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := experiments.NewRunner(opt)
 				var err error
-				out, err = r.Search(experiments.SearchSpec{
+				out, err = r.Search(context.Background(), experiments.SearchSpec{
 					Benchmark: "sym6_145",
 					Strategy:  strategy,
 					AuxCounts: []int{0, 1},

@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -110,12 +111,12 @@ func main() {
 				check(fmt.Errorf("-%s does not apply to -search mode", f.Name))
 			}
 		})
-		runSearch(r, *searchMode, *bench, *auxFlag, *sigmas, *out, *store, searchKnobs{
+		runSearch(cliutil.SignalContext(), r, *searchMode, *bench, *auxFlag, *sigmas, *out, *store, searchKnobs{
 			maxEvals: *maxEvals, steps: *steps, proposals: *proposals,
 			beamWidth: *beamWidth, depth: *depth, perfWeight: *perfWeight,
 		})
 	case *sweep:
-		runSweep(r, *sweepB, *auxFlag, *sigmas, *configs, *out, *store)
+		runSweep(cliutil.SignalContext(), r, *sweepB, *auxFlag, *sigmas, *configs, *out, *store)
 	case *fig == 4:
 		s, err := experiments.Fig4()
 		check(err)
@@ -210,7 +211,7 @@ func printEvent(start time.Time, e experiments.Event) {
 // runSweep parses the sweep axes, runs the design-space sweep (through
 // the run store when one is configured) with progress on stderr, and
 // writes the JSON result.
-func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out, storeDir string) {
+func runSweep(ctx context.Context, r *experiments.Runner, benches, aux, sigmas, configs, out, storeDir string) {
 	spec := experiments.SweepSpec{Benchmarks: cliutil.SplitList(benches)}
 	auxCounts, err := cliutil.ParseInts("aux", aux, 0)
 	check(err)
@@ -223,7 +224,7 @@ func runSweep(r *experiments.Runner, benches, aux, sigmas, configs, out, storeDi
 	}
 
 	start := time.Now()
-	outcome, cached, err := r.RunJob(experiments.SweepJob{Spec: spec}, openStore(storeDir),
+	outcome, cached, err := r.RunJob(ctx, experiments.SweepJob{Spec: spec}, openStore(storeDir),
 		func(e experiments.Event) { printEvent(start, e) })
 	check(err)
 	res := outcome.(*experiments.SweepResult)
@@ -248,7 +249,7 @@ type searchKnobs struct {
 // the run store when one is configured — repeated runs are served from
 // it and cold runs warm-start from stored sweeps) with per-step progress
 // on stderr, and writes the JSON outcome.
-func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out, storeDir string, k searchKnobs) {
+func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, aux, sigmas, out, storeDir string, k searchKnobs) {
 	if bench == "" {
 		check(fmt.Errorf("-search needs -bench (one of %v)", gen.Names()))
 	}
@@ -277,7 +278,7 @@ func runSearch(r *experiments.Runner, strategy, bench, aux, sigmas, out, storeDi
 	}
 
 	start := time.Now()
-	outcome, cached, err := r.RunJob(experiments.SearchJob{Spec: spec}, openStore(storeDir),
+	outcome, cached, err := r.RunJob(ctx, experiments.SearchJob{Spec: spec}, openStore(storeDir),
 		func(e experiments.Event) { printEvent(start, e) })
 	check(err)
 	res := outcome.(*experiments.SearchOutcome)

@@ -169,7 +169,7 @@ func runSearchStored(name, storeDir string, args searchArgs) {
 	for a := 0; a <= args.maxAux; a++ {
 		spec.AuxCounts = append(spec.AuxCounts, a)
 	}
-	outcome, cached, err := experiments.NewRunner(opt).RunJob(experiments.SearchJob{Spec: spec}, st, nil)
+	outcome, cached, err := experiments.NewRunner(opt).RunJob(cliutil.SignalContext(), experiments.SearchJob{Spec: spec}, st, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -214,7 +214,7 @@ func runSearch(c *circuit.Circuit, args searchArgs) {
 	for a := 1; a <= args.maxAux; a++ {
 		opt.AuxCounts = append(opt.AuxCounts, a)
 	}
-	res, err := search.Run(c, opt, yield.NewNoiseCache(), nil)
+	res, err := search.Run(cliutil.SignalContext(), c, opt, yield.NewNoiseCache(), nil)
 	if err != nil {
 		fatal(err)
 	}

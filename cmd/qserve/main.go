@@ -1,14 +1,19 @@
 // Command qserve is the long-lived evaluation service: it wraps the
 // experiments engine (sweeps + guided searches) in an HTTP/JSON API with
-// a bounded job queue, per-job streamed progress, and one shared noise
-// cache and worker pool across every client. With -store, finished runs
-// persist content-addressed on disk and repeated submissions — across
-// clients and across restarts — are served without recomputation.
+// a bounded job queue, per-job streamed progress, cooperative job
+// cancellation, and one shared noise cache and worker pool across every
+// client. With -store, finished runs persist content-addressed on disk,
+// repeated submissions — across clients and across restarts — are served
+// without recomputation, and a job-metadata journal next to the store
+// lets a restarted server list prior jobs with their final statuses
+// (jobs that were in flight when the process died are marked
+// "interrupted").
 //
 // Usage:
 //
 //	qserve -addr :8080 -store runs -queue 16
 //	qserve -quick -addr 127.0.0.1:8080        # reduced Monte-Carlo budgets
+//	qserve -store runs -drain 30s             # SIGTERM: drain 30s, then cancel
 //
 // Submit and watch a job:
 //
@@ -16,7 +21,15 @@
 //	     -d '{"kind":"sweep","spec":{"benchmarks":["sym6_145"],"sigmas":[0.03]}}'
 //	curl -sN localhost:8080/v1/jobs/<id>/events     # one JSON line per event
 //	curl -s  localhost:8080/v1/jobs/<id>/result
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>   # cancel mid-flight
 //	curl -s  localhost:8080/v1/stats
+//
+// On SIGTERM/SIGINT the server stops accepting submissions, drains
+// queued and running jobs for -drain, then cooperatively cancels
+// whatever is left (each job stops within one proposal batch /
+// Monte-Carlo trial chunk) and exits — it never hangs past the drain
+// deadline on a long job, so a k8s grace period is honoured instead of
+// escalating to SIGKILL and losing the journal's final records.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -48,6 +62,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "shared helper-pool size across all jobs and fan-out levels (0 = GOMAXPROCS)")
 		cacheMB  = flag.Int("noise-cache-mb", 0, "byte bound on the shared noise cache in MiB, LRU-evicted (0 = unbounded)")
 		serial   = flag.Bool("serial", false, "disable all parallelism")
+		drain    = flag.Duration("drain", 10*time.Second, "on SIGTERM, finish queued and running jobs for this long, then cancel the rest cooperatively")
 	)
 	flag.Parse()
 
@@ -57,6 +72,9 @@ func main() {
 	check(cliutil.Positive("retain", *retain))
 	check(cliutil.NonNegative("workers", *workers))
 	check(cliutil.NonNegative("noise-cache-mb", *cacheMB))
+	if *drain <= 0 {
+		check(fmt.Errorf("-drain must be positive, got %v", *drain))
+	}
 	if flag.NArg() > 0 {
 		check(fmt.Errorf("unexpected arguments %v", flag.Args()))
 	}
@@ -73,16 +91,23 @@ func main() {
 	}
 
 	var store *runstore.Store
+	var journal *runstore.Journal
 	if *storeDir != "" {
 		check(cliutil.StoreDir("store", *storeDir))
 		var err error
 		store, err = runstore.Open(*storeDir)
+		check(err)
+		// The job-metadata journal lives next to the run store: outcomes
+		// are content-addressed in the store, lifecycle metadata here, so
+		// a restart lists prior jobs and re-serves done ones.
+		journal, err = runstore.OpenJournal(filepath.Join(*storeDir, "jobs.ndjson"), *retain)
 		check(err)
 	}
 
 	srv, err := server.New(server.Config{
 		Runner:     experiments.NewRunner(opt),
 		Store:      store,
+		Journal:    journal,
 		QueueSize:  *queue,
 		Executors:  *execs,
 		RetainJobs: *retain,
@@ -95,20 +120,33 @@ func main() {
 
 	storeNote := "no store"
 	if store != nil {
-		storeNote = fmt.Sprintf("store %s (%d runs)", store.Root(), store.Len())
+		storeNote = fmt.Sprintf("store %s (%d runs, journal %s)", store.Root(), store.Len(), journal.Path())
 	}
-	fmt.Fprintf(os.Stderr, "qserve: listening on %s — %s, queue %d, %d executor(s), seed %d\n",
-		*addr, storeNote, *queue, *execs, *seed)
+	fmt.Fprintf(os.Stderr, "qserve: listening on %s — %s, queue %d, %d executor(s), seed %d, drain %v\n",
+		*addr, storeNote, *queue, *execs, *seed, *drain)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "qserve: shutting down (finishing queued jobs)")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
-		srv.Close()
+		fmt.Fprintf(os.Stderr, "qserve: shutting down (draining jobs for up to %v)\n", *drain)
+		// Jobs first: srv.Shutdown stops accepting work, drains until the
+		// deadline, then cooperatively cancels the rest — each job stops
+		// within one proposal batch / trial chunk, so this returns
+		// promptly instead of hanging on a long Monte-Carlo run. Event
+		// streams end with the jobs, which is what lets the HTTP shutdown
+		// below finish: it waits for active connections to go idle.
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "qserve: drain deadline hit; remaining jobs canceled")
+		}
+		cancelDrain()
+		httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = httpSrv.Shutdown(httpCtx)
+		cancelHTTP()
+		if journal != nil {
+			_ = journal.Close()
+		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			check(err)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSigtermExitsWithinDrainDeadline is the shutdown-hang regression
+// test at the process level: a qserve with a long Monte-Carlo search
+// running must exit within the drain deadline on SIGTERM — not block in
+// shutdown until the job finishes — and a restart over the same store
+// must list the job as canceled or interrupted via the metadata journal.
+func TestSigtermExitsWithinDrainDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "qserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building qserve: %v", err)
+	}
+	storeDir := filepath.Join(dir, "runs")
+
+	addr := freeAddr(t)
+	srv := startQserve(t, bin, addr, storeDir)
+
+	// A search far larger than the test's patience.
+	body := `{"kind":"search","spec":{"benchmark":"sym6_145","strategy":"anneal","steps":200000,"max_evals":2}}`
+	id := submitJob(t, addr, body)
+	waitJobStatus(t, addr, id, "running", time.Minute)
+
+	// SIGTERM with -drain 2s: the process must exit well within the
+	// deadline plus the cancellation bound, never hang on the job.
+	start := time.Now()
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	select {
+	case <-exited:
+	case <-time.After(30 * time.Second):
+		srv.Process.Kill()
+		t.Fatalf("qserve did not exit within 30s of SIGTERM (drain 2s)")
+	}
+	if elapsed := time.Since(start); elapsed > 25*time.Second {
+		t.Fatalf("qserve took %s to exit", elapsed)
+	}
+
+	// Restart over the same store: the journal lists the prior job in a
+	// terminal, lost-work state.
+	addr2 := freeAddr(t)
+	srv2 := startQserve(t, bin, addr2, storeDir)
+	defer func() {
+		srv2.Process.Signal(syscall.SIGTERM)
+		srv2.Wait()
+	}()
+	resp, err := http.Get("http://" + addr2 + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Jobs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	status := ""
+	for _, j := range listing.Jobs {
+		if j.ID == id {
+			status = j.Status
+		}
+	}
+	if status != "canceled" && status != "interrupted" {
+		t.Fatalf("restarted server lists the job as %q, want canceled or interrupted (listing: %+v)",
+			status, listing.Jobs)
+	}
+}
+
+// freeAddr reserves a loopback port and returns host:port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startQserve launches the built binary and waits for /healthz.
+func startQserve(t *testing.T, bin, addr, storeDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-quick", "-store", storeDir, "-drain", "2s")
+	var logBuf strings.Builder
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("qserve at %s never became healthy; log:\n%s", addr, logBuf.String())
+	return nil
+}
+
+func submitJob(t *testing.T, addr, body string) string {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatalf("submit returned no id (%s)", resp.Status)
+	}
+	return v.ID
+}
+
+func waitJobStatus(t *testing.T, addr, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	status := ""
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", addr, id))
+		if err == nil {
+			var v struct {
+				Status string `json:"status"`
+			}
+			json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			status = v.Status
+			if status == want {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck at %q, want %q", id, status, want)
+}

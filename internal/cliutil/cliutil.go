@@ -5,13 +5,25 @@
 package cliutil
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 )
+
+// SignalContext returns a context cancelled by Ctrl-C / SIGTERM, so a
+// long run aborts cooperatively (within one proposal batch / trial
+// chunk) instead of being killed mid-write. For CLI mains that exit
+// soon after the run, so the stop function is intentionally dropped.
+func SignalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return ctx
+}
 
 // Positive rejects non-positive values of an integer flag.
 func Positive(flagName string, v int) error {

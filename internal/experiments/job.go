@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,8 +26,11 @@ type Job interface {
 	Normalize(opt Options) Job
 	// Summary is a human-readable one-liner for listings and progress.
 	Summary() string
-	// Run executes the job on the runner. progress may be nil.
-	Run(r *Runner, progress func(Event)) (Outcome, error)
+	// Run executes the job on the runner. progress may be nil. ctx
+	// cancels cooperatively: a cancelled job returns an error wrapping
+	// ctx.Err() within one proposal batch / trial chunk; a live ctx
+	// never changes the result.
+	Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error)
 	// spec exposes the raw spec for fingerprinting. Unexported: sweeps
 	// and searches are the only job kinds this package defines.
 	spec() any
@@ -89,12 +93,12 @@ func (j SweepJob) Summary() string {
 		s.Benchmarks, len(s.Configs), s.AuxCounts, len(s.Sigmas))
 }
 
-func (j SweepJob) Run(r *Runner, progress func(Event)) (Outcome, error) {
+func (j SweepJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error) {
 	var cb func(SweepProgress)
 	if progress != nil {
 		cb = func(p SweepProgress) { progress(p.Event()) }
 	}
-	return r.Sweep(j.Spec, cb)
+	return r.Sweep(ctx, j.Spec, cb)
 }
 
 func (j SweepJob) spec() any { return j.Spec }
@@ -116,12 +120,12 @@ func (j SearchJob) Summary() string {
 	return fmt.Sprintf("search %s %s aux %v", s.Strategy, s.Benchmark, s.AuxCounts)
 }
 
-func (j SearchJob) Run(r *Runner, progress func(Event)) (Outcome, error) {
+func (j SearchJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error) {
 	var cb func(SearchProgress)
 	if progress != nil {
 		cb = func(p SearchProgress) { progress(p.Event()) }
 	}
-	return r.Search(j.Spec, cb)
+	return r.Search(ctx, j.Spec, cb)
 }
 
 func (j SearchJob) spec() any { return j.Spec }

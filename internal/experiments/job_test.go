@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -102,7 +103,7 @@ func TestProgressEvents(t *testing.T) {
 // written before the stamp existed still decode.
 func TestSchemaVersionStamp(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	res, err := r.Sweep(SweepSpec{
+	res, err := r.Sweep(context.Background(), SweepSpec{
 		Benchmarks: []string{"sym6_145"},
 		Configs:    []core.Config{core.ConfigIBM},
 		Sigmas:     []float64{0.03},

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -178,13 +179,24 @@ func (r *Runner) simulator() *yield.Simulator {
 // exactly once; fn must write its result by index so that the outcome is
 // independent of scheduling.
 func (r *Runner) forEach(n int, fn func(int)) {
+	r.forEachCtx(context.Background(), n, fn)
+}
+
+// forEachCtx is forEach under a cooperative cancellation signal: once
+// ctx is cancelled no further index is dispatched, and the caller must
+// treat its result slots as incomplete (checking ctx.Err() right after).
+// A live ctx runs every index exactly once, identical to forEach.
+func (r *Runner) forEachCtx(ctx context.Context, n int, fn func(int)) {
 	if !r.opt.Parallel || r.opt.workers() < 2 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
-	r.pool.ForEach(n, fn)
+	_ = r.pool.ForEachCtx(ctx, n, fn)
 }
 
 // RunBenchmark evaluates all five configurations for the named benchmark

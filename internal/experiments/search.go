@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -153,7 +154,11 @@ func ReadSearchJSON(r io.Reader) (*SearchOutcome, error) {
 // callback fires once per annealing step or beam depth. Results are
 // deterministic for a given seed; parallel and serial runs are
 // bit-identical.
-func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*SearchOutcome, error) {
+//
+// ctx cancels cooperatively: a cancelled search stops within one
+// proposal batch or Monte-Carlo trial chunk and returns an error
+// wrapping ctx.Err(); an uncancelled ctx never changes the result.
+func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(SearchProgress)) (*SearchOutcome, error) {
 	b, err := gen.Get(spec.Benchmark)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: search: %w", err)
@@ -171,7 +176,7 @@ func (r *Runner) Search(spec SearchSpec, progress func(SearchProgress)) (*Search
 			progress(SearchProgress(p))
 		}
 	}
-	res, err := search.Run(c, so, r.cache, cb)
+	res, err := search.Run(ctx, c, so, r.cache, cb)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: search %s: %w", spec.Benchmark, err)
 	}

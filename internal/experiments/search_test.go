@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"qproc/internal/core"
@@ -31,7 +32,7 @@ func searchSweepSpec() SweepSpec {
 // simulated fabrications and the comparison is exact.
 func TestSearchBeatsSweepWithFractionOfEvals(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	sweep, err := r.Sweep(searchSweepSpec(), nil)
+	sweep, err := r.Sweep(context.Background(), searchSweepSpec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSearchBeatsSweepWithFractionOfEvals(t *testing.T) {
 
 	for _, strategy := range search.Strategies() {
 		t.Run(string(strategy), func(t *testing.T) {
-			out, err := r.Search(SearchSpec{
+			out, err := r.Search(context.Background(), SearchSpec{
 				Benchmark: "sym6_145",
 				Strategy:  strategy,
 				AuxCounts: []int{0, 1},
@@ -91,11 +92,11 @@ func TestRunnerSearchParallelMatchesSerial(t *testing.T) {
 	parallel.Parallel = true
 	parallel.Workers = 4
 
-	sout, err := NewRunner(serial).Search(spec, nil)
+	sout, err := NewRunner(serial).Search(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pout, err := NewRunner(parallel).Search(spec, nil)
+	pout, err := NewRunner(parallel).Search(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestRunnerSearchParallelMatchesSerial(t *testing.T) {
 func TestSearchProgressAndJSONRoundTrip(t *testing.T) {
 	r := NewRunner(tinyOptions())
 	var calls int
-	out, err := r.Search(SearchSpec{
+	out, err := r.Search(context.Background(), SearchSpec{
 		Benchmark: "sym6_145",
 		Strategy:  search.Beam,
 		BeamWidth: 3,
@@ -150,11 +151,11 @@ func TestSearchProgressAndJSONRoundTrip(t *testing.T) {
 // matrix misses for qubit counts the sweep already simulated.
 func TestSearchSharedCacheWithSweep(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	if _, err := r.Sweep(searchSweepSpec(), nil); err != nil {
+	if _, err := r.Sweep(context.Background(), searchSweepSpec(), nil); err != nil {
 		t.Fatal(err)
 	}
 	_, missesBefore := r.NoiseCacheStats()
-	if _, err := r.Search(SearchSpec{
+	if _, err := r.Search(context.Background(), SearchSpec{
 		Benchmark: "sym6_145",
 		Strategy:  search.Beam,
 		AuxCounts: []int{0, 1},

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -24,8 +25,8 @@ import (
 // matching point seeds the optimiser (search.WarmStart). The resolved
 // hint is part of the spec — and therefore of the content address — so a
 // warm-started run is stored under the inputs that actually produced it.
-func (r *Runner) RunJob(job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
-	return r.runResolved(r.resolveJob(job, store, progress), store, progress)
+func (r *Runner) RunJob(ctx context.Context, job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
+	return r.runResolved(ctx, r.resolveJob(job, store, progress), store, progress)
 }
 
 // RunResolvedJob executes job exactly as given — no warm-start
@@ -34,13 +35,20 @@ func (r *Runner) RunJob(job Job, store *runstore.Store, progress func(Event)) (O
 // step: re-resolving there could pick up a hint from runs stored in
 // between, silently filing the outcome under a different key than the
 // one announced to the client.
-func (r *Runner) RunResolvedJob(job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
-	return r.runResolved(job.Normalize(r.opt), store, progress)
+//
+// ctx cancels cooperatively: a cancelled job stops within one proposal
+// batch / trial chunk and returns an error wrapping ctx.Err(); its
+// partial outcome is never persisted.
+func (r *Runner) RunResolvedJob(ctx context.Context, job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
+	return r.runResolved(ctx, job.Normalize(r.opt), store, progress)
 }
 
 // runResolved is the lookup-before-compute core shared by RunJob and
 // RunResolvedJob.
-func (r *Runner) runResolved(job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
+func (r *Runner) runResolved(ctx context.Context, job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key, err := JobKey(job, r.opt)
 	if err != nil {
 		return nil, false, err
@@ -63,7 +71,7 @@ func (r *Runner) runResolved(job Job, store *runstore.Store, progress func(Event
 			_ = store.Discard(key)
 		}
 	}
-	out, err := job.Run(r, progress)
+	out, err := job.Run(ctx, r, progress)
 	if err != nil {
 		return nil, false, err
 	}

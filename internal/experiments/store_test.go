@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"qproc/internal/core"
@@ -35,7 +36,7 @@ func TestRepeatedSweepServedFromStore(t *testing.T) {
 	job := storeSweepJob()
 
 	r1 := NewRunner(tinyOptions())
-	out1, cached, err := r1.RunJob(job, st, nil)
+	out1, cached, err := r1.RunJob(context.Background(), job, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestRepeatedSweepServedFromStore(t *testing.T) {
 	}
 
 	r2 := NewRunner(tinyOptions())
-	out2, cached, err := r2.RunJob(job, st, nil)
+	out2, cached, err := r2.RunJob(context.Background(), job, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestRepeatedSearchServedFromStore(t *testing.T) {
 		MaxEvals:  4,
 	}}
 
-	out1, cached, err := NewRunner(tinyOptions()).RunJob(job, st, nil)
+	out1, cached, err := NewRunner(tinyOptions()).RunJob(context.Background(), job, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRepeatedSearchServedFromStore(t *testing.T) {
 	}
 
 	r2 := NewRunner(tinyOptions())
-	out2, cached, err := r2.RunJob(job, st, nil)
+	out2, cached, err := r2.RunJob(context.Background(), job, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,12 +125,12 @@ func TestRepeatedSearchServedFromStore(t *testing.T) {
 func TestSearchWarmStartsFromStoredSweep(t *testing.T) {
 	st := openStore(t)
 	r := NewRunner(tinyOptions())
-	if _, _, err := r.RunJob(storeSweepJob(), st, nil); err != nil {
+	if _, _, err := r.RunJob(context.Background(), storeSweepJob(), st, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	var events []Event
-	out, cached, err := NewRunner(tinyOptions()).RunJob(SearchJob{Spec: SearchSpec{
+	out, cached, err := NewRunner(tinyOptions()).RunJob(context.Background(), SearchJob{Spec: SearchSpec{
 		Benchmark: "sym6_145",
 		Strategy:  "anneal",
 		AuxCounts: []int{0, 1},
@@ -157,7 +158,7 @@ func TestSearchWarmStartsFromStoredSweep(t *testing.T) {
 	}
 
 	// The sweep's best eligible point (non-IBM, aux ∈ {0,1}) is the hint.
-	sweepOut, _, err := NewRunner(tinyOptions()).RunJob(storeSweepJob(), st, nil)
+	sweepOut, _, err := NewRunner(tinyOptions()).RunJob(context.Background(), storeSweepJob(), st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestSearchWarmStartsFromStoredSweep(t *testing.T) {
 
 // TestRunJobWithoutStore: a nil store degrades to a plain run.
 func TestRunJobWithoutStore(t *testing.T) {
-	out, cached, err := NewRunner(tinyOptions()).RunJob(SweepJob{Spec: SweepSpec{
+	out, cached, err := NewRunner(tinyOptions()).RunJob(context.Background(), SweepJob{Spec: SweepSpec{
 		Benchmarks: []string{"sym6_145"},
 		Configs:    []core.Config{core.ConfigIBM},
 		Sigmas:     []float64{0.03},
@@ -222,11 +223,11 @@ func TestRunResolvedJobDoesNotReResolve(t *testing.T) {
 	}
 
 	// A sweep lands in the store between keying and execution.
-	if _, _, err := r.RunJob(storeSweepJob(), st, nil); err != nil {
+	if _, _, err := r.RunJob(context.Background(), storeSweepJob(), st, nil); err != nil {
 		t.Fatal(err)
 	}
 
-	out, cached, err := r.RunResolvedJob(resolved, st, nil)
+	out, cached, err := r.RunResolvedJob(context.Background(), resolved, st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

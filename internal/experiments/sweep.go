@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -114,7 +115,15 @@ func (sr *SweepResult) ByCell(cell SweepCell) []SweepPoint {
 // the whole sweep. The optional progress callback fires once per
 // finished (benchmark, aux, σ) cell; results are deterministic for a
 // given seed and identical to a serial run.
-func (r *Runner) Sweep(spec SweepSpec, progress func(SweepProgress)) (*SweepResult, error) {
+//
+// ctx cancels cooperatively: a cancelled sweep stops within one
+// (benchmark, aux) group's current phase — design mapping fan-out, one
+// σ's Monte-Carlo scoring — and returns an error wrapping ctx.Err().
+// An uncancelled ctx never changes the result.
+func (r *Runner) Sweep(ctx context.Context, spec SweepSpec, progress func(SweepProgress)) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec = spec.withDefaults()
 	for _, name := range spec.Benchmarks {
 		if _, err := gen.Get(name); err != nil {
@@ -137,7 +146,7 @@ func (r *Runner) Sweep(spec SweepSpec, progress func(SweepProgress)) (*SweepResu
 	perGroup := make([][]SweepPoint, len(groups))
 	errs := make([]error, len(groups))
 	var done atomic.Int64
-	r.forEach(len(groups), func(i int) {
+	r.forEachCtx(ctx, len(groups), func(i int) {
 		g := groups[i]
 		report := func(sigma float64, err error) {
 			if progress != nil {
@@ -149,8 +158,11 @@ func (r *Runner) Sweep(spec SweepSpec, progress func(SweepProgress)) (*SweepResu
 				})
 			}
 		}
-		perGroup[i], errs[i] = r.runGroup(g.benchmark, g.aux, spec, report)
+		perGroup[i], errs[i] = r.runGroup(ctx, g.benchmark, g.aux, spec, report)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: sweep: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sweep cell %s aux=%d: %w", groups[i].benchmark, groups[i].aux, err)
@@ -167,8 +179,10 @@ func (r *Runner) Sweep(spec SweepSpec, progress func(SweepProgress)) (*SweepResu
 // runGroup evaluates one (benchmark, aux) group across every requested
 // configuration and σ. report is called once per σ, mirroring the cell
 // granularity of the progress callback; on a generation or mapping
-// error every σ cell of the group is reported failed.
-func (r *Runner) runGroup(bench string, aux int, spec SweepSpec, report func(float64, error)) ([]SweepPoint, error) {
+// error every σ cell of the group is reported failed. A cancelled ctx
+// aborts between phases and between σ cells; the partial slice is
+// discarded by Sweep.
+func (r *Runner) runGroup(ctx context.Context, bench string, aux int, spec SweepSpec, report func(float64, error)) ([]SweepPoint, error) {
 	fail := func(err error) ([]SweepPoint, error) {
 		for _, sigma := range spec.Sigmas {
 			report(sigma, err)
@@ -211,7 +225,7 @@ func (r *Runner) runGroup(bench string, aux int, spec SweepSpec, report func(flo
 		}
 	}
 	mapErrs := make([]error, len(designs))
-	r.forEach(len(designs), func(i int) {
+	r.forEachCtx(ctx, len(designs), func(i int) {
 		mres, err := mapper.Map(c, designs[i].design.Arch, r.opt.Mapper)
 		if err != nil {
 			mapErrs[i] = fmt.Errorf("mapping %s onto %s: %w", c.Name, designs[i].design.Arch.Name, err)
@@ -219,6 +233,9 @@ func (r *Runner) runGroup(bench string, aux int, spec SweepSpec, report func(flo
 		}
 		designs[i].gates, designs[i].swaps = mres.GateCount, mres.Swaps
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range mapErrs {
 		if err != nil {
 			return fail(err)
@@ -249,8 +266,12 @@ func (r *Runner) runGroup(bench string, aux int, spec SweepSpec, report func(flo
 	// Score every σ; only the Monte-Carlo yield depends on it.
 	var out []SweepPoint
 	for _, sigma := range spec.Sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sim := r.simulator()
 		sim.Sigma = sigma
+		sim.Ctx = ctx
 		for _, m := range designs {
 			out = append(out, SweepPoint{
 				Point: Point{

@@ -2,10 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"qproc/internal/core"
+	"qproc/internal/runstore"
 )
 
 // sweepSpec returns a small two-axis sweep over one benchmark.
@@ -22,7 +26,7 @@ func TestSweepStructure(t *testing.T) {
 	r := NewRunner(tinyOptions())
 	var mu sync.Mutex
 	var calls []SweepProgress
-	res, err := r.Sweep(sweepSpec(), func(p SweepProgress) {
+	res, err := r.Sweep(context.Background(), sweepSpec(), func(p SweepProgress) {
 		mu.Lock()
 		calls = append(calls, p)
 		mu.Unlock()
@@ -108,11 +112,11 @@ func TestSweepDeterministicAndParallel(t *testing.T) {
 	parallel.Parallel = true
 	parallel.Workers = 4
 
-	a, err := NewRunner(serial).Sweep(sweepSpec(), nil)
+	a, err := NewRunner(serial).Sweep(context.Background(), sweepSpec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewRunner(parallel).Sweep(sweepSpec(), nil)
+	b, err := NewRunner(parallel).Sweep(context.Background(), sweepSpec(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +135,7 @@ func TestSweepJSONRoundTrip(t *testing.T) {
 	spec := sweepSpec()
 	spec.AuxCounts = []int{0}
 	spec.Sigmas = []float64{0.03}
-	res, err := r.Sweep(spec, nil)
+	res, err := r.Sweep(context.Background(), spec, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +162,7 @@ func TestSweepJSONRoundTrip(t *testing.T) {
 
 func TestSweepRejectsUnknownBenchmark(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	if _, err := r.Sweep(SweepSpec{Benchmarks: []string{"no_such"}}, nil); err == nil {
+	if _, err := r.Sweep(context.Background(), SweepSpec{Benchmarks: []string{"no_such"}}, nil); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }
@@ -167,5 +171,56 @@ func TestSweepDefaultsFillEveryAxis(t *testing.T) {
 	s := SweepSpec{}.withDefaults()
 	if len(s.Benchmarks) == 0 || len(s.Configs) != 5 || len(s.AuxCounts) != 1 || len(s.Sigmas) != 1 {
 		t.Fatalf("defaults: %+v", s)
+	}
+}
+
+// TestSweepCanceledMidFlight: cancelling the context after the first
+// finished cell aborts the sweep with context.Canceled instead of
+// evaluating the remaining cells, and a cancelled run is never stored.
+func TestSweepCanceledMidFlight(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	res, err := r.Sweep(ctx, sweepSpec(), func(SweepProgress) {
+		if calls.Add(1) == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled sweep returned a result")
+	}
+	total := len(sweepSpec().Benchmarks) * len(sweepSpec().AuxCounts) * len(sweepSpec().Sigmas)
+	if got := int(calls.Load()); got >= total {
+		t.Fatalf("all %d cells reported despite cancellation", got)
+	}
+}
+
+// TestRunJobCanceledNotPersisted: a job cancelled mid-run leaves nothing
+// in the run store, and a later uncancelled run of the same job
+// recomputes and persists normally.
+func TestRunJobCanceledNotPersisted(t *testing.T) {
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(tinyOptions())
+	job := SweepJob{Spec: sweepSpec()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := r.RunJob(ctx, job, st, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("cancelled run persisted %d entries", st.Len())
+	}
+	out, cached, err := r.RunJob(context.Background(), job, st, nil)
+	if err != nil || cached || out == nil {
+		t.Fatalf("recompute after cancel: out=%v cached=%v err=%v", out, cached, err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d entries after recompute, want 1", st.Len())
 	}
 }

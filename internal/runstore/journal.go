@@ -1,0 +1,191 @@
+package runstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// JobRecord is one line of the job-metadata journal: the compact,
+// JSON-serialisable view of a submitted job's lifecycle. The journal is
+// what lets a restarted service list prior jobs — outcomes live in the
+// run store (content-addressed by ID), metadata lives here.
+type JobRecord struct {
+	// ID is the job's content address (= the run-store key its outcome
+	// is filed under).
+	ID string `json:"id"`
+	// Kind is the job type ("sweep", "search").
+	Kind string `json:"kind"`
+	// Summary is a human-readable one-liner for listings.
+	Summary string `json:"summary,omitempty"`
+	// Spec is the spec as submitted by the client, replayed verbatim.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Status is the lifecycle state at the time of the append ("queued",
+	// "running", "done", "failed", "canceled"). A replay that finds a
+	// job still queued or running knows the process died mid-flight.
+	Status string `json:"status"`
+	// Submitted/Started/Finished are the lifecycle timestamps; zero
+	// values (IsZero) mean the transition had not happened yet.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// Err carries the failure message of a failed job.
+	Err string `json:"err,omitempty"`
+}
+
+// Journal is an append-only NDJSON log of job-metadata records, stored
+// next to the run store so a restarted service can list prior jobs and
+// their final statuses. Each lifecycle transition appends one full
+// record; replay keeps the last record per job ID, in first-submission
+// order. The file is compacted to that folded form on every open, so
+// its size stays proportional to the number of distinct jobs rather
+// than to the append count. A torn final line (the process died
+// mid-append) is skipped on replay, never fatal. A Journal is safe for
+// concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	restored []JobRecord
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// and folds its records, and rewrites it compacted. The folded records
+// are available from Restored.
+//
+// retain bounds the records kept across the compaction, mirroring a
+// server's in-memory retention: when the fold exceeds it, the oldest
+// records in a terminal state are dropped first — records still marked
+// queued or running (lost work a restart must surface) are always kept.
+// retain <= 0 keeps everything.
+func OpenJournal(path string, retain int) (*Journal, error) {
+	records, err := replayJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	records = pruneRecords(records, retain)
+	// Compact: rewrite the folded records atomically, then append from
+	// there.
+	var buf []byte
+	for _, rec := range records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("runstore: journal: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := atomicWrite(path, buf); err != nil {
+		return nil, fmt.Errorf("runstore: journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, restored: records}, nil
+}
+
+// pruneRecords drops the oldest terminal-state records beyond retain,
+// so the journal's size (and the restore work it implies) stays
+// proportional to the retention bound instead of to the server's
+// lifetime. In-flight records survive regardless.
+func pruneRecords(records []JobRecord, retain int) []JobRecord {
+	if retain <= 0 || len(records) <= retain {
+		return records
+	}
+	drop := len(records) - retain
+	kept := records[:0]
+	for _, rec := range records {
+		if drop > 0 {
+			switch rec.Status {
+			case "done", "failed", "canceled", "interrupted":
+				drop--
+				continue
+			}
+		}
+		kept = append(kept, rec)
+	}
+	return kept
+}
+
+// replayJournal reads the NDJSON file at path and folds it to the last
+// record per ID, preserving first-appearance order. A missing file is
+// an empty journal; unparsable lines (a torn tail from a crash) are
+// skipped.
+func replayJournal(path string) ([]JobRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runstore: journal: %w", err)
+	}
+	defer f.Close()
+	byID := map[string]int{}
+	var records []JobRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
+			continue // torn or foreign line: skip, never fail the replay
+		}
+		if i, ok := byID[rec.ID]; ok {
+			records[i] = rec
+			continue
+		}
+		byID[rec.ID] = len(records)
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runstore: journal: %w", err)
+	}
+	return records, nil
+}
+
+// Restored returns the folded records that were on disk when the
+// journal was opened, in first-submission order. The slice is shared;
+// callers must not mutate it.
+func (j *Journal) Restored() []JobRecord { return j.restored }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record as a single NDJSON line. Appends are
+// buffered by the OS only — metadata loss on a crash is bounded to the
+// transitions since the last append, and replay tolerates a torn tail.
+func (j *Journal) Append(rec JobRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstore: journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("runstore: journal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

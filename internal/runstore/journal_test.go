@@ -1,0 +1,207 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.ndjson")
+}
+
+func TestJournalAppendReplayFolds(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Restored()) != 0 {
+		t.Fatalf("fresh journal restored %d records", len(j.Restored()))
+	}
+	now := time.Now().UTC().Truncate(time.Second)
+	// Every append carries the full record (the fold keeps the last one
+	// per id), mirroring how the server journals transitions.
+	spec := json.RawMessage(`{"sigmas":[0.03]}`)
+	recs := []JobRecord{
+		{ID: "aa11", Kind: "sweep", Status: "queued", Submitted: now, Spec: spec},
+		{ID: "bb22", Kind: "search", Status: "queued", Submitted: now.Add(time.Second)},
+		{ID: "aa11", Kind: "sweep", Status: "running", Submitted: now, Started: now.Add(2 * time.Second), Spec: spec},
+		{ID: "aa11", Kind: "sweep", Status: "done", Submitted: now, Started: now.Add(2 * time.Second), Finished: now.Add(3 * time.Second), Spec: spec},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Restored()
+	if len(got) != 2 {
+		t.Fatalf("restored %d records, want 2 (folded)", len(got))
+	}
+	// First-submission order: aa11 before bb22 despite later appends.
+	if got[0].ID != "aa11" || got[1].ID != "bb22" {
+		t.Fatalf("order %s, %s", got[0].ID, got[1].ID)
+	}
+	if got[0].Status != "done" || got[0].Finished.IsZero() {
+		t.Fatalf("aa11 folded to %+v, want final done record", got[0])
+	}
+	if string(got[0].Spec) != `{"sigmas":[0.03]}` {
+		t.Fatalf("spec did not round-trip: %s", got[0].Spec)
+	}
+	if got[1].Status != "queued" {
+		t.Fatalf("bb22 status %q", got[1].Status)
+	}
+}
+
+// TestJournalCompactsOnOpen: reopening rewrites the file to one line per
+// job, so the journal's size tracks distinct jobs, not append count.
+func TestJournalCompactsOnOpen(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		st := "running"
+		if i == 49 {
+			st = "done"
+		}
+		if err := j.Append(JobRecord{ID: "cc33", Kind: "sweep", Status: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(raw), "\n")
+	if lines != 1 {
+		t.Fatalf("compacted journal holds %d lines, want 1", lines)
+	}
+	if !strings.Contains(string(raw), `"done"`) {
+		t.Fatalf("compaction kept a stale record: %s", raw)
+	}
+}
+
+// TestJournalTornTailSkipped: a half-written final line (crash
+// mid-append) is skipped on replay, and the earlier records survive.
+func TestJournalTornTailSkipped(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobRecord{ID: "dd44", Kind: "sweep", Status: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"ee55","kind":"sw`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Restored()
+	if len(got) != 1 || got[0].ID != "dd44" {
+		t.Fatalf("restored %+v, want the single intact record", got)
+	}
+}
+
+// TestJournalMissingFileIsEmpty: opening a journal in a fresh directory
+// starts empty and creates the file.
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(j.Restored()) != 0 {
+		t.Fatalf("restored %d records from a missing file", len(j.Restored()))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file not created: %v", err)
+	}
+}
+
+func TestJournalAppendAfterCloseFails(t *testing.T) {
+	j, err := OpenJournal(journalPath(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(JobRecord{ID: "ff66", Status: "queued"}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestJournalPrunedToRetention: compaction drops the oldest terminal
+// records beyond the retain bound but always keeps in-flight ones, so
+// the file tracks the server's retention instead of its lifetime.
+func TestJournalPrunedToRetention(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(JobRecord{ID: fmt.Sprintf("aa%02d", i), Kind: "sweep", Status: "done"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One in-flight record, older than most of the terminal ones.
+	if err := j.Append(JobRecord{ID: "bbbb", Kind: "search", Status: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Restored()
+	if len(got) != 3 {
+		t.Fatalf("restored %d records under retain=3, want 3", len(got))
+	}
+	// The newest terminal records and the in-flight one survive.
+	ids := map[string]bool{}
+	for _, r := range got {
+		ids[r.ID] = true
+	}
+	if !ids["bbbb"] {
+		t.Fatal("pruning dropped an in-flight record")
+	}
+	if !ids["aa08"] || !ids["aa09"] {
+		t.Fatalf("pruning kept the wrong terminal records: %v", ids)
+	}
+}

@@ -298,6 +298,31 @@ func (s *Store) get(key string, count bool) ([]byte, *Entry, error) {
 	return payload, &e, nil
 }
 
+// Has reports whether key is present in the store, adopting an entry
+// another process sharing the directory has written — without reading
+// or verifying the payload, so it is cheap enough for admission
+// decisions. A true result can still fail verification at Get time;
+// that Get evicts the entry, after which Has reports false.
+func (s *Store) Has(key string) bool {
+	if err := validKey(key); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.index[key]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	e, err := readEntry(filepath.Join(s.runDir(key), "entry.json"))
+	if err != nil || e.Key != key {
+		return false
+	}
+	s.mu.Lock()
+	s.index[key] = e
+	s.mu.Unlock()
+	return true
+}
+
 // Discard evicts key, for callers that find a verified payload
 // undecodable at a higher level (e.g. a schema change).
 func (s *Store) Discard(key string) error {

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -12,8 +13,10 @@ import (
 // analytic score. States whose analytic score beats everything evaluated
 // so far are promoted to a full Monte-Carlo evaluation. Every random draw
 // happens on the serial control path, so parallel and serial runs are
-// bit-identical.
-func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
+// bit-identical. A cancelled ctx aborts at the next step boundary (and
+// mid-batch via forEach / mid-evaluation via the simulator), returning
+// ctx.Err() with all partial state discarded.
+func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
 	opt := p.opt
 	rng := rand.New(rand.NewSource(opt.Seed))
 
@@ -45,6 +48,9 @@ func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, 
 	}
 
 	for step := 0; step < opt.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Draw the whole batch serially, then build concurrently.
 		moves := make([]move, opt.Proposals)
 		for i := range moves {
@@ -52,12 +58,15 @@ func runAnneal(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, 
 		}
 		states := make([]*State, opt.Proposals)
 		origin := cur
-		opt.forEach(opt.Proposals, func(i int) {
+		opt.forEach(ctx, opt.Proposals, func(i int) {
 			st, err := p.apply(origin, moves[i])
 			if err == nil {
 				states[i] = st
 			}
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err // partial batch: discard, don't select from it
+		}
 		p.proposals += len(moves)
 
 		// Pick the best candidate: lowest analytic score, key tie-break.

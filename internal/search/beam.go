@@ -1,6 +1,9 @@
 package search
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // runBeam is deterministic beam search: the frontier starts from the
 // seed states (every aux variant × {Algorithm 3, 5-frequency} on the
@@ -12,7 +15,10 @@ import "sort"
 // BeamWidth by (analytic score, key) survive. Newly surfaced frontier
 // members receive full Monte-Carlo evaluations in frontier order while
 // the budget lasts. No RNG anywhere, so parallel == serial trivially.
-func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
+// A cancelled ctx aborts at the next depth boundary (and mid-expansion
+// via forEach / mid-evaluation via the simulator), returning ctx.Err()
+// with all partial state discarded.
+func runBeam(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
 	opt := p.opt
 	seeds, err := p.seedStates()
 	if err != nil {
@@ -29,6 +35,9 @@ func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []
 	inFrontier := map[string]bool{}
 	evalFrontier := func(depth int) error {
 		for _, st := range frontier {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			e, ok, err := ev.evaluate(st)
 			if err != nil {
 				return err
@@ -51,11 +60,14 @@ func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []
 	}
 
 	for depth := 1; depth <= opt.Depth; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Stage 1: every frontier member derives its move list. Each
 		// member is handled by exactly one worker (bestReseeds probes the
 		// member's own incremental scorer).
 		moveLists := make([][]move, len(frontier))
-		opt.forEach(len(frontier), func(i int) {
+		opt.forEach(ctx, len(frontier), func(i int) {
 			st := frontier[i]
 			var ms []move
 			for _, sq := range p.addCandidates(st) {
@@ -80,12 +92,15 @@ func runBeam(p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []
 			}
 		}
 		states := make([]*State, len(jobs))
-		opt.forEach(len(jobs), func(i int) {
+		opt.forEach(ctx, len(jobs), func(i int) {
 			st, err := p.apply(jobs[i].origin, jobs[i].m)
 			if err == nil {
 				states[i] = st
 			}
 		})
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err // partial expansion: discard, don't merge it
+		}
 		p.proposals += len(jobs)
 
 		// Merge: dedup by key in deterministic job order, then keep the

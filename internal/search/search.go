@@ -25,6 +25,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -221,20 +222,27 @@ func (o Options) workers() int {
 // forEach runs fn(0..n-1), fanning out over the shared pool (when one is
 // attached) or a bounded per-call worker set when the options ask for
 // parallelism. fn must write its outcome by index so the result is
-// independent of scheduling.
-func (o Options) forEach(n int, fn func(int)) {
+// independent of scheduling. A cancelled ctx stops index dispatch —
+// in-flight bodies finish, the rest are skipped — and the caller is
+// expected to notice ctx.Err() and discard the partial batch; a live ctx
+// leaves the run bit-identical to an uncancelled one.
+func (o Options) forEach(ctx context.Context, n int, fn func(int)) {
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
 	workers := o.workers()
 	if workers > n {
 		workers = n
 	}
 	if !o.Parallel || workers < 2 {
 		for i := 0; i < n; i++ {
+			if canceled() {
+				return
+			}
 			fn(i)
 		}
 		return
 	}
 	if o.Pool != nil {
-		o.Pool.ForEach(n, fn)
+		_ = o.Pool.ForEachCtx(ctx, n, fn)
 		return
 	}
 	var next atomic.Int64
@@ -244,6 +252,9 @@ func (o Options) forEach(n int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -318,7 +329,17 @@ type Result struct {
 // the best design found. cache may be nil; passing a shared
 // yield.NoiseCache lets several runs (or a surrounding sweep) reuse the
 // common-random-numbers matrices. progress may be nil.
-func Run(c *circuit.Circuit, opt Options, cache *yield.NoiseCache, progress func(Progress)) (*Result, error) {
+//
+// ctx is a cooperative cancellation signal: a cancelled run stops within
+// one proposal batch (annealing step / beam depth) or Monte-Carlo trial
+// chunk, discards all partial state and returns ctx.Err(). A nil or
+// never-cancelled ctx leaves the result bit-identical to every prior
+// release — cancellation checks never touch the RNG stream or the
+// scoring order.
+func Run(ctx context.Context, c *circuit.Circuit, opt Options, cache *yield.NoiseCache, progress func(Progress)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -330,15 +351,21 @@ func Run(c *circuit.Circuit, opt Options, cache *yield.NoiseCache, progress func
 	if err != nil {
 		return nil, err
 	}
+	// The Monte-Carlo tier inherits the signal, so a cancel lands within
+	// one trial chunk even mid-evaluation.
+	ev.sim.Ctx = ctx
 	var best *evaluated
 	var trace []TracePoint
 	switch opt.Strategy {
 	case Beam:
-		best, trace, err = runBeam(p, ev, progress)
+		best, trace, err = runBeam(ctx, p, ev, progress)
 	default:
-		best, trace, err = runAnneal(p, ev, progress)
+		best, trace, err = runAnneal(ctx, p, ev, progress)
 	}
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if best == nil {

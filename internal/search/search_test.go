@@ -1,6 +1,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -88,11 +90,11 @@ func TestSearchParallelMatchesSerial(t *testing.T) {
 			parallel.Parallel = true
 			parallel.Workers = 4
 
-			sres, err := Run(c, serial, yield.NewNoiseCache(), nil)
+			sres, err := Run(context.Background(), c, serial, yield.NewNoiseCache(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pres, err := Run(c, parallel, yield.NewNoiseCache(), nil)
+			pres, err := Run(context.Background(), c, parallel, yield.NewNoiseCache(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,11 +117,11 @@ func TestSearchIncrementalMatchesFullEval(t *testing.T) {
 			full := testOptions(strategy)
 			full.FullEval = true
 
-			ires, err := Run(c, inc, yield.NewNoiseCache(), nil)
+			ires, err := Run(context.Background(), c, inc, yield.NewNoiseCache(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			fres, err := Run(c, full, yield.NewNoiseCache(), nil)
+			fres, err := Run(context.Background(), c, full, yield.NewNoiseCache(), nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -141,7 +143,7 @@ func TestSearchYieldIsExact(t *testing.T) {
 	for _, strategy := range Strategies() {
 		opt := testOptions(strategy)
 		cache := yield.NewNoiseCache()
-		res, err := Run(c, opt, cache, nil)
+		res, err := Run(context.Background(), c, opt, cache, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +180,7 @@ func TestSearchImprovesOnFiveFreqSeed(t *testing.T) {
 			bestSeedE = s.Expected
 		}
 	}
-	res, err := Run(c, opt, yield.NewNoiseCache(), nil)
+	res, err := Run(context.Background(), c, opt, yield.NewNoiseCache(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,4 +265,59 @@ func TestOptionsValidate(t *testing.T) {
 	if err := DefaultOptions().Validate(); err != nil {
 		t.Errorf("default options rejected: %v", err)
 	}
+}
+
+// TestRunCanceledMidFlight: cancelling the context mid-run aborts both
+// strategies with context.Canceled instead of running to completion, and
+// a pre-cancelled context never starts.
+func TestRunCanceledMidFlight(t *testing.T) {
+	for _, strategy := range Strategies() {
+		t.Run(string(strategy), func(t *testing.T) {
+			c := testCircuit(t)
+			opt := testOptions(strategy)
+			opt.Steps = 100000 // far more work than the cancel allows
+			opt.Depth = 100000
+			opt.MaxEvals = 0
+
+			ctx, cancel := context.WithCancel(context.Background())
+			calls := 0
+			res, err := Run(ctx, c, opt, yield.NewNoiseCache(), func(Progress) {
+				if calls++; calls == 3 {
+					cancel()
+				}
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res != nil {
+				t.Fatal("cancelled run returned a result")
+			}
+			if calls >= 100000 {
+				t.Fatalf("run kept going after cancel (%d progress calls)", calls)
+			}
+
+			pre, preCancel := context.WithCancel(context.Background())
+			preCancel()
+			if _, err := Run(pre, c, opt, yield.NewNoiseCache(), nil); !errors.Is(err, context.Canceled) {
+				t.Fatalf("pre-cancelled run: err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestRunNilContextMatchesBackground: a nil ctx is accepted and behaves
+// like context.Background — same bits as an explicit background run.
+func TestRunNilContextMatchesBackground(t *testing.T) {
+	c := testCircuit(t)
+	opt := testOptions(Anneal)
+	var nilCtx context.Context // a nil ctx must behave like Background
+	a, err := Run(nilCtx, c, opt, yield.NewNoiseCache(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), c, opt, yield.NewNoiseCache(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, a, b)
 }

@@ -1,20 +1,21 @@
 // Package server wraps experiments.Runner in a long-lived HTTP/JSON
 // service (the qserve binary): clients submit sweep and search jobs,
-// watch per-job streamed progress, and fetch finished outcomes, while
-// every job — whichever client submitted it — shares one runner (one
-// yield.NoiseCache, one worker pool) and one optional run store, so
-// overlapping work is simulated once and repeated work is served from
-// disk without any computation.
+// watch per-job streamed progress, cancel running work, and fetch
+// finished outcomes, while every job — whichever client submitted it —
+// shares one runner (one yield.NoiseCache, one worker pool) and one
+// optional run store, so overlapping work is simulated once and repeated
+// work is served from disk without any computation.
 //
 // The API is JSON over HTTP:
 //
-//	POST /v1/jobs                {"kind":"sweep"|"search","spec":{...}}
-//	GET  /v1/jobs                list all jobs, submission order
-//	GET  /v1/jobs/{id}           job status
-//	GET  /v1/jobs/{id}/result    the outcome (404 until done)
-//	GET  /v1/jobs/{id}/events    streamed progress, one JSON line per event
-//	GET  /v1/stats               queue, job and cache counters
-//	GET  /healthz                liveness
+//	POST   /v1/jobs                {"kind":"sweep"|"search","spec":{...}}
+//	GET    /v1/jobs                list all jobs, submission order
+//	GET    /v1/jobs/{id}           job status
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/jobs/{id}/result    the outcome (404 until done)
+//	GET    /v1/jobs/{id}/events    streamed progress, one JSON line per event
+//	GET    /v1/stats               queue, job and cache counters
+//	GET    /healthz                liveness
 //
 // Jobs are content-addressed: the id is the run-store key of the
 // normalised spec (experiments.JobKey), so submitting the same work
@@ -22,11 +23,25 @@
 // restarted server serves previously stored runs instantly. The queue is
 // bounded; submissions beyond capacity are rejected with 503 so callers
 // back off instead of piling up.
+//
+// Cancellation is cooperative: DELETE on a queued job retires it
+// immediately, DELETE on a running job cancels its context and the
+// evaluation engine stops within one proposal batch / Monte-Carlo trial
+// chunk, reporting status "canceled". Cancelled outcomes are never
+// persisted, so a later resubmission recomputes them.
+//
+// With a job-metadata journal configured (Config.Journal), every
+// lifecycle transition is recorded next to the run store: a restarted
+// server lists prior jobs with their final statuses, serves done ones
+// from the store, and marks jobs that were still queued or running when
+// the process died as "interrupted".
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -43,6 +58,10 @@ type Config struct {
 	Runner *experiments.Runner
 	// Store persists finished runs and serves repeats; optional.
 	Store *runstore.Store
+	// Journal records job metadata across restarts; optional. Jobs found
+	// in it at startup are restored into the listing: terminal ones with
+	// their final status, in-flight ones as "interrupted".
+	Journal *runstore.Journal
 	// QueueSize bounds the number of jobs waiting to run; <= 0 means 16.
 	QueueSize int
 	// Executors is the number of jobs running concurrently; <= 0 means 1
@@ -57,26 +76,55 @@ type Config struct {
 }
 
 // Server is the HTTP job service. Create with New, serve via Handler,
-// stop with Close.
+// stop with Shutdown (bounded) or Close (waits for all work).
 type Server struct {
-	cfg   Config
-	queue chan *job
+	cfg Config
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// queue holds admitted jobs awaiting an executor, FIFO. A slice
+	// (not a channel) so that cancelling a queued job frees its slot
+	// immediately — dead entries never count against QueueSize.
+	queue []*job
+	// qcond wakes executors when the queue grows or the server closes.
+	qcond  *sync.Cond
 	jobs   map[string]*job
 	order  []string
 	closed bool
+	// finished counts jobs in a terminal state, maintained on every
+	// transition so eviction never has to rescan the whole job list.
+	finished int
 
 	wg sync.WaitGroup
 }
 
 // Job lifecycle states.
 const (
-	statusQueued  = "queued"
-	statusRunning = "running"
-	statusDone    = "done"
-	statusFailed  = "failed"
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+	// statusInterrupted marks a job the journal shows as queued or
+	// running when the previous process died: its work was lost, a
+	// resubmission requeues it.
+	statusInterrupted = "interrupted"
 )
+
+// terminalStatus reports whether a job in this state will never run
+// again (and so counts against the retention bound).
+func terminalStatus(st string) bool {
+	switch st {
+	case statusDone, statusFailed, statusCanceled, statusInterrupted:
+		return true
+	}
+	return false
+}
+
+// retryableStatus reports whether a resubmission of the same content
+// address should replace the job rather than dedupe onto it.
+func retryableStatus(st string) bool {
+	return st == statusFailed || st == statusCanceled || st == statusInterrupted
+}
 
 // job is one submitted unit of work and its observable state.
 type job struct {
@@ -86,21 +134,50 @@ type job struct {
 	spec    json.RawMessage
 	parsed  experiments.Job
 
+	// ctx is cancelled by DELETE or server shutdown; the runner observes
+	// it within one proposal batch / trial chunk. Restored jobs have no
+	// ctx (they never run again).
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu        sync.Mutex
 	status    string
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
 	cached    bool
-	errMsg    string
-	outcome   []byte
-	events    []experiments.Event
+	// restored marks a job rebuilt from the journal: its outcome lives
+	// in the run store only, keyed by the job id.
+	restored bool
+	errMsg   string
+	outcome  []byte
+	events   []experiments.Event
 
 	// done is closed after the final event is appended, waking streamers.
 	done chan struct{}
+	// wake is closed and replaced on every event append, so streamers
+	// block until there is something new instead of polling on a timer.
+	wake chan struct{}
 }
 
-// New builds the server and starts its executors.
+// appendEventLocked appends a progress event and wakes blocked
+// streamers. Callers hold j.mu.
+func (j *job) appendEventLocked(e experiments.Event) {
+	j.events = append(j.events, e)
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// publish appends a progress event. Events may arrive from multiple
+// goroutines when the runner is parallel.
+func (j *job) publish(e experiments.Event) {
+	j.mu.Lock()
+	j.appendEventLocked(e)
+	j.mu.Unlock()
+}
+
+// New builds the server, restores journaled job metadata, and starts
+// the executors.
 func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("server: Config.Runner is required")
@@ -115,10 +192,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetainJobs = 256
 	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueSize),
-		jobs:  map[string]*job{},
+		cfg:  cfg,
+		jobs: map[string]*job{},
 	}
+	s.qcond = sync.NewCond(&s.mu)
+	s.restoreFromJournal()
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -126,41 +204,185 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops accepting submissions, waits for queued and running jobs
-// to finish, and returns. Safe to call once.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
+// restoreFromJournal rebuilds the job listing from the journal's folded
+// records: terminal jobs keep their final status (done outcomes are
+// re-served from the run store on demand), jobs the previous process
+// left queued or running become "interrupted" — and that transition is
+// journaled, so the record reflects what this server reports.
+func (s *Server) restoreFromJournal() {
+	if s.cfg.Journal == nil {
 		return
 	}
-	s.closed = true
-	close(s.queue)
-	s.mu.Unlock()
-	s.wg.Wait()
+	for _, rec := range s.cfg.Journal.Restored() {
+		j := &job{
+			id:        rec.ID,
+			kind:      rec.Kind,
+			summary:   rec.Summary,
+			spec:      append(json.RawMessage(nil), rec.Spec...),
+			status:    rec.Status,
+			submitted: rec.Submitted,
+			started:   rec.Started,
+			finished:  rec.Finished,
+			errMsg:    rec.Err,
+			restored:  true,
+			done:      make(chan struct{}),
+			wake:      make(chan struct{}),
+		}
+		switch rec.Status {
+		case statusDone:
+			j.events = []experiments.Event{{Message: "job done (restored from journal; outcome in run store)"}}
+		case statusFailed, statusCanceled, statusInterrupted:
+			j.events = []experiments.Event{{Message: "job " + rec.Status + " (restored from journal)"}}
+		default: // queued or running when the process died
+			j.status = statusInterrupted
+			if j.finished.IsZero() {
+				j.finished = time.Now().UTC()
+			}
+			j.events = []experiments.Event{{Message: "job interrupted by server restart; resubmit to recompute"}}
+			s.journalAppendLocked(j)
+		}
+		close(j.done) // restored jobs never run again
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.finished++
+	}
+	s.evictFinishedLocked()
 }
 
-// executor drains the queue until Close.
+// journalAppendLocked records the job's current state in the journal,
+// best-effort: metadata loss never fails a job. Callers either hold
+// j.mu or own the job exclusively (submission before the job is
+// reachable, restore); per-job record order follows from that.
+func (s *Server) journalAppendLocked(j *job) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	_ = s.cfg.Journal.Append(runstore.JobRecord{
+		ID:        j.id,
+		Kind:      j.kind,
+		Summary:   j.summary,
+		Spec:      j.spec,
+		Status:    j.status,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Err:       j.errMsg,
+	})
+}
+
+// Close stops accepting submissions, waits for queued and running jobs
+// to finish — however long that takes — and returns. Safe to call more
+// than once. Use Shutdown for a bounded stop.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
+
+// Shutdown stops accepting submissions and drains queued and running
+// jobs until ctx expires; past the deadline every job still queued or
+// running is cooperatively cancelled (recorded as "canceled") and
+// Shutdown returns once the executors have stopped — within one
+// proposal batch / trial chunk of the cancel, not after the full
+// remaining work. The return value is nil on a clean drain and
+// ctx.Err() when jobs had to be cancelled. Safe to call more than once
+// and concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.qcond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed with work possibly still in flight: cancel it all.
+	// Queued jobs retire immediately; running jobs stop at the next
+	// batch/chunk boundary, so the trailing wait is bounded.
+	s.mu.Lock()
+	pending := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		pending = append(pending, j)
+	}
+	s.mu.Unlock()
+	canceledAny := false
+	for _, j := range pending {
+		if s.cancelJob(j) {
+			canceledAny = true
+		}
+	}
+	<-drained
+	if !canceledAny {
+		// The drain actually finished at ~the deadline: every job was
+		// already terminal, nothing was cut short — that is a clean stop.
+		return nil
+	}
+	return ctx.Err()
+}
+
+// executor drains the queue until Close/Shutdown. Jobs admitted before
+// the close are still run (unless the shutdown deadline cancels them).
 func (s *Server) executor() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.popJob()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
+	}
+}
+
+// popJob blocks until a job is queued or the server has closed with an
+// empty queue (nil).
+func (s *Server) popJob() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.qcond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	return j
+}
+
+// removeQueuedLocked drops j from the waiting queue, freeing its
+// admission slot. A job already popped by an executor is simply absent.
+// Callers hold s.mu.
+func (s *Server) removeQueuedLocked(j *job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
 	}
 }
 
 // runJob executes one job through the shared runner and store.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
+	if j.status != statusQueued {
+		// Cancelled while waiting in the queue: already terminal.
+		j.mu.Unlock()
+		return
+	}
 	j.status = statusRunning
 	j.started = time.Now().UTC()
+	ctx := j.ctx
+	s.journalAppendLocked(j)
 	j.mu.Unlock()
 
 	// RunResolvedJob, not RunJob: the job was resolved and keyed at
 	// submission; re-resolving here could pick up a warm-start hint from
 	// runs stored since and file the outcome under a different key than
 	// the announced job id.
-	out, cached, err := s.cfg.Runner.RunResolvedJob(j.parsed, s.cfg.Store, j.publish)
+	out, cached, err := s.cfg.Runner.RunResolvedJob(ctx, j.parsed, s.cfg.Store, j.publish)
 	var payload []byte
 	if err == nil {
 		payload, err = marshalOutcome(out)
@@ -169,21 +391,72 @@ func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	j.finished = time.Now().UTC()
 	j.cached = cached
-	if err != nil {
-		j.status = statusFailed
-		j.errMsg = err.Error()
-		j.events = append(j.events, experiments.Event{Message: "job failed", Err: err.Error()})
-	} else {
+	switch {
+	case err == nil:
 		j.status = statusDone
 		j.outcome = payload
 		msg := "job done"
 		if cached {
 			msg = "job done (served from run store)"
 		}
-		j.events = append(j.events, experiments.Event{Message: msg})
+		j.appendEventLocked(experiments.Event{Message: msg})
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		// Cancellation is a client decision, not a failure; partial
+		// results were discarded by the engine and never persisted.
+		j.status = statusCanceled
+		j.appendEventLocked(experiments.Event{Message: "job canceled"})
+	default:
+		j.status = statusFailed
+		j.errMsg = err.Error()
+		j.appendEventLocked(experiments.Event{Message: "job failed", Err: err.Error()})
 	}
-	j.mu.Unlock()
+	s.journalAppendLocked(j)
 	close(j.done)
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+	s.markFinished()
+}
+
+// markFinished bumps the terminal-job counter the eviction scan reads.
+func (s *Server) markFinished() {
+	s.mu.Lock()
+	s.finished++
+	s.mu.Unlock()
+}
+
+// cancelJob cooperatively cancels one job. A queued job retires
+// immediately with status "canceled" and frees its queue slot; a
+// running job has its context cancelled and the executor records the
+// terminal state when the engine stops (within one proposal batch /
+// trial chunk). Terminal jobs are left untouched. Returns whether a
+// cancellation was initiated. Lock order is s.mu, then j.mu, as
+// everywhere else.
+func (s *Server) cancelJob(j *job) bool {
+	s.mu.Lock()
+	j.mu.Lock()
+	switch j.status {
+	case statusQueued:
+		s.removeQueuedLocked(j)
+		j.status = statusCanceled
+		j.finished = time.Now().UTC()
+		j.appendEventLocked(experiments.Event{Message: "job canceled"})
+		s.journalAppendLocked(j)
+		close(j.done)
+		s.finished++
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return true
+	case statusRunning:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
 }
 
 func marshalOutcome(out experiments.Outcome) ([]byte, error) {
@@ -192,14 +465,6 @@ func marshalOutcome(out experiments.Outcome) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
-}
-
-// publish appends a progress event. Events may arrive from multiple
-// goroutines when the runner is parallel; streamers poll the slice.
-func (j *job) publish(e experiments.Event) {
-	j.mu.Lock()
-	j.events = append(j.events, e)
-	j.mu.Unlock()
 }
 
 // Handler returns the HTTP API.
@@ -211,6 +476,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -231,6 +497,7 @@ type jobStatus struct {
 	Spec      json.RawMessage `json:"spec,omitempty"` // as submitted
 	Status    string          `json:"status"`
 	Cached    bool            `json:"cached,omitempty"`
+	Restored  bool            `json:"restored,omitempty"` // metadata from the journal, outcome in the store
 	Submitted time.Time       `json:"submitted"`
 	Started   *time.Time      `json:"started,omitempty"`
 	Finished  *time.Time      `json:"finished,omitempty"`
@@ -251,6 +518,7 @@ func (j *job) view() jobStatus {
 		Spec:      j.spec,
 		Status:    j.status,
 		Cached:    j.cached,
+		Restored:  j.restored,
 		Submitted: j.submitted,
 		Err:       j.errMsg,
 		Events:    len(j.events),
@@ -270,6 +538,13 @@ func (j *job) view() jobStatus {
 		}
 	}
 	return v
+}
+
+// statusNow returns the job's current lifecycle state.
+func (j *job) statusNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -302,60 +577,96 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
 		return
 	}
+	replacing := false
 	if existing, ok := s.jobs[key]; ok {
 		// Content-addressed dedupe: the same work is the same job. A
-		// failed job is replaced so callers can retry.
-		if st := existing.view().Status; st != statusFailed {
+		// failed, canceled or interrupted job is replaced so callers can
+		// retry — as is a restored "done" job whose outcome the run
+		// store can no longer produce (otherwise it would dedupe forever
+		// onto a result that can never be served).
+		if st := existing.statusNow(); !retryableStatus(st) && !s.unservableRestored(existing, st) {
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, existing.view())
 			return
 		}
+		replacing = true
 	}
+	if len(s.queue) >= s.cfg.QueueSize {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue full (%d waiting); retry later", s.cfg.QueueSize))
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:        key,
 		kind:      parsed.Kind(),
 		summary:   parsed.Normalize(s.cfg.Runner.Options()).Summary(),
 		spec:      append(json.RawMessage(nil), req.Spec...),
 		parsed:    parsed,
+		ctx:       ctx,
+		cancel:    cancel,
 		status:    statusQueued,
 		submitted: time.Now().UTC(),
 		done:      make(chan struct{}),
+		wake:      make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("job queue full (%d waiting); retry later", cap(s.queue)))
-		return
-	}
+	// Journaled before an executor can see it (the queue append and the
+	// executor's pop both happen under s.mu), so the "running" record
+	// can never overtake the "queued" one.
+	s.journalAppendLocked(j)
+	s.queue = append(s.queue, j)
+	s.qcond.Signal()
 	if _, ok := s.jobs[key]; !ok {
 		s.order = append(s.order, key)
 	}
 	s.jobs[key] = j
+	if replacing {
+		s.finished-- // a terminal job left the books; its slot is queued again
+	}
 	s.evictFinishedLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// unservableRestored reports whether j is a journal-restored done job
+// whose outcome the run store can no longer produce (pruned, evicted
+// or missing): its result endpoint can only ever 404, so a resubmission
+// must replace and recompute it instead of deduping onto a dead record.
+// The probe is an index-existence check (Store.Has), not a payload
+// read — the common resubmit-after-restart case costs a map lookup, so
+// holding s.mu across it is fine. An entry that exists but fails
+// verification is evicted by the result fetch, after which this probe
+// reports it missing and the next resubmission recomputes. Callers hold
+// s.mu.
+func (s *Server) unservableRestored(j *job, st string) bool {
+	if st != statusDone {
+		return false
+	}
+	j.mu.Lock()
+	dead := j.restored && j.outcome == nil
+	j.mu.Unlock()
+	if !dead {
+		return false
+	}
+	return s.cfg.Store == nil || !s.cfg.Store.Has(j.id)
+}
+
 // evictFinishedLocked drops the oldest finished jobs beyond the
 // retention bound, so a long-lived server's memory stays proportional to
 // RetainJobs rather than to its lifetime. Queued and running jobs are
-// never evicted. Callers hold s.mu.
+// never evicted. The terminal-job counter (maintained on every state
+// transition) gates the scan, so submissions that are under the bound —
+// the common case — pay one comparison instead of a rescan of every job.
+// Callers hold s.mu.
 func (s *Server) evictFinishedLocked() {
-	finished := 0
-	for _, id := range s.order {
-		if st := s.jobs[id].view().Status; st == statusDone || st == statusFailed {
-			finished++
-		}
-	}
-	for i := 0; i < len(s.order) && finished > s.cfg.RetainJobs; {
+	for i := 0; i < len(s.order) && s.finished > s.cfg.RetainJobs; {
 		id := s.order[i]
-		if st := s.jobs[id].view().Status; st == statusDone || st == statusFailed {
+		if terminalStatus(s.jobs[id].statusNow()) {
 			delete(s.jobs, id)
 			s.order = append(s.order[:i], s.order[i+1:]...)
-			finished--
+			s.finished--
 			continue
 		}
 		i++
@@ -390,6 +701,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancel implements DELETE /v1/jobs/{id}: cooperative
+// cancellation. Idempotent — cancelling a terminal job returns its
+// state unchanged with 200, so retries and races are harmless.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.view())
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -400,11 +723,27 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	switch status {
 	case statusDone:
+		if outcome == nil {
+			// Restored from the journal: the payload lives in the run
+			// store under the job id (the id IS the store key).
+			if s.cfg.Store != nil {
+				if payload, _, err := s.cfg.Store.Get(j.id); err == nil && payload != nil {
+					outcome = payload
+				}
+			}
+			if outcome == nil {
+				writeError(w, http.StatusNotFound,
+					fmt.Errorf("outcome no longer available; resubmit the job to recompute"))
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		w.Write(outcome)
 	case statusFailed:
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))
+	case statusCanceled, statusInterrupted:
+		writeError(w, http.StatusGone, fmt.Errorf("job was %s; resubmit to recompute", status))
 	default:
 		writeError(w, http.StatusNotFound, fmt.Errorf("job is %s; result not ready", status))
 	}
@@ -412,7 +751,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's progress as one JSON object per line
 // (application/x-ndjson), replaying buffered events first and following
-// live ones until the job completes or the client disconnects.
+// live ones until the job completes or the client disconnects. Delivery
+// is notification-driven: the streamer blocks on the job's wake channel
+// (closed and replaced on every append), so idle streams cost nothing
+// between events instead of waking on a poll timer.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -425,26 +767,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 
 	next := 0
-	emit := func() bool {
+	// emit drains events[next:] and returns the wake channel captured in
+	// the same critical section, so an append between the drain and the
+	// select below still fires the captured channel — no lost wakeups.
+	emit := func() (chan struct{}, bool) {
 		j.mu.Lock()
 		pending := j.events[next:]
 		next = len(j.events)
+		wake := j.wake
 		j.mu.Unlock()
 		for _, e := range pending {
 			if err := enc.Encode(e); err != nil {
-				return false
+				return nil, false
 			}
 		}
 		if len(pending) > 0 && flusher != nil {
 			flusher.Flush()
 		}
-		return true
+		return wake, true
 	}
 
-	ticker := time.NewTicker(100 * time.Millisecond)
-	defer ticker.Stop()
 	for {
-		if !emit() {
+		wake, ok := emit()
+		if !ok {
 			return
 		}
 		select {
@@ -453,7 +798,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-r.Context().Done():
 			return
-		case <-ticker.C:
+		case <-wake:
 		}
 	}
 }
@@ -499,10 +844,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cache := s.cfg.Runner.NoiseCache()
 	hits, misses := cache.Stats()
 	pool := s.cfg.Runner.Pool()
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
 	v := statsView{
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
-		Jobs:          map[string]int{statusQueued: 0, statusRunning: 0, statusDone: 0, statusFailed: 0},
+		QueueDepth:    depth,
+		QueueCapacity: s.cfg.QueueSize,
+		Jobs: map[string]int{
+			statusQueued: 0, statusRunning: 0, statusDone: 0,
+			statusFailed: 0, statusCanceled: 0, statusInterrupted: 0,
+		},
 		NoiseCache: noiseCacheView{
 			counterView: counterView{Hits: hits, Misses: misses},
 			Entries:     cache.Len(),
@@ -514,7 +865,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	for _, id := range s.order {
-		v.Jobs[s.jobs[id].view().Status]++
+		v.Jobs[s.jobs[id].statusNow()]++
 	}
 	s.mu.Unlock()
 	if st := s.cfg.Store; st != nil {

@@ -3,9 +3,12 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -313,53 +316,66 @@ func TestEventStream(t *testing.T) {
 }
 
 // TestQueueBounded: submissions beyond queue capacity are rejected with
-// 503 instead of piling up. The server is built without executors so the
-// queue cannot drain under the test.
+// 503 instead of piling up — and cancelling a queued job frees its slot
+// immediately, so dead entries never count against the bound. The single
+// executor is pinned on a long search so the queue cannot drain.
 func TestQueueBounded(t *testing.T) {
-	s := &Server{
-		cfg:   Config{Runner: experiments.NewRunner(tinyOptions()), QueueSize: 1},
-		queue: make(chan *job, 1),
-		jobs:  map[string]*job{},
-	}
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-
-	// Distinct benchmarks make distinct content addresses.
-	bodies := []string{
-		`{"kind":"sweep","spec":{"benchmarks":["dc1_220"],"configs":["eff-full"],"sigmas":[0.03]}}`,
-		`{"kind":"sweep","spec":{"benchmarks":["z4_268"],"configs":["eff-full"],"sigmas":[0.03]}}`,
-	}
-	codes := make([]int, len(bodies))
-	for i, body := range bodies {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		codes[i] = resp.StatusCode
-	}
-	if codes[0] != http.StatusAccepted {
-		t.Fatalf("first submission: %d, want 202", codes[0])
-	}
-	if codes[1] != http.StatusServiceUnavailable {
-		t.Fatalf("overflow submission: %d, want 503", codes[1])
-	}
-
-	// The rejected job is not registered: its id 404s rather than showing
-	// a phantom queued job.
-	var listing struct {
-		Jobs []jobStatus `json:"jobs"`
-	}
-	resp, err := http.Get(ts.URL + "/v1/jobs")
+	s, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), QueueSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		s.Shutdown(ctx) // cancel whatever is still running
+	})
+
+	running := submit(t, ts.URL, longSearchBody)
+	waitStatus(t, ts.URL, running.ID, statusRunning)
+
+	// Distinct benchmarks make distinct content addresses.
+	fills := `{"kind":"sweep","spec":{"benchmarks":["dc1_220"],"configs":["eff-full"],"sigmas":[0.03]}}`
+	overflow := `{"kind":"sweep","spec":{"benchmarks":["z4_268"],"configs":["eff-full"],"sigmas":[0.03]}}`
+	queued := submit(t, ts.URL, fills)
+	if queued.Status != statusQueued {
+		t.Fatalf("filler job is %q, want queued", queued.Status)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(overflow))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(listing.Jobs) != 1 {
-		t.Fatalf("listing holds %d jobs, want 1", len(listing.Jobs))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow submission: %d, want 503", resp.StatusCode)
+	}
+
+	// The rejected job is not registered: the listing shows only the
+	// running and the queued job, no phantom third.
+	var listing struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Jobs) != 2 {
+		t.Fatalf("listing holds %d jobs, want 2", len(listing.Jobs))
+	}
+
+	// Cancelling the queued job frees the slot: the overflow submission
+	// is now admitted instead of 503ing against a dead entry.
+	if v := cancelJobHTTP(t, ts.URL, queued.ID); v.Status != statusCanceled {
+		t.Fatalf("queued job cancel left status %q", v.Status)
+	}
+	admitted := submit(t, ts.URL, overflow)
+	if admitted.Status != statusQueued {
+		t.Fatalf("post-cancel submission is %q, want queued", admitted.Status)
 	}
 }
 
@@ -478,5 +494,446 @@ func TestFinishedJobEviction(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("evicted job still served: %d", resp.StatusCode)
+	}
+}
+
+// longSearchBody is a search far larger than any test waits for — the
+// cancellation and shutdown tests rely on it not finishing on its own.
+const longSearchBody = `{"kind":"search","spec":{"benchmark":"sym6_145","strategy":"anneal","steps":200000,"max_evals":2}}`
+
+func waitStatus(t *testing.T, base, id, want string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	var v jobStatus
+	for time.Now().Before(deadline) {
+		v = getStatus(t, base, id)
+		if v.Status == want {
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck at %q, want %q", id, v.Status, want)
+	return jobStatus{}
+}
+
+func cancelJobHTTP(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	var v jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCancelRunningJob is the tentpole acceptance check: DELETE on a
+// running Monte-Carlo search stops it mid-flight — observed via the
+// events stream ending in "job canceled" — and nothing is persisted.
+func TestCancelRunningJob(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, store, 4)
+
+	v := submit(t, ts.URL, longSearchBody)
+	waitStatus(t, ts.URL, v.ID, statusRunning)
+
+	start := time.Now()
+	cancelJobHTTP(t, ts.URL, v.ID)
+	final := waitStatus(t, ts.URL, v.ID, statusCanceled)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+	if final.Err != "" {
+		t.Fatalf("cancelled job carries an error: %q", final.Err)
+	}
+
+	// The events stream terminates with the cancellation event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var last experiments.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+	}
+	if last.Message != "job canceled" {
+		t.Fatalf("stream ended with %+v, want job canceled", last)
+	}
+
+	// Cancelled work is never persisted; the result endpoint reports 410.
+	if store.Len() != 0 {
+		t.Fatalf("cancelled job stored %d entries", store.Len())
+	}
+	rresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusGone {
+		t.Fatalf("result of cancelled job: %d, want 410", rresp.StatusCode)
+	}
+
+	// A resubmission replaces the cancelled job and runs again.
+	re := submit(t, ts.URL, longSearchBody)
+	if re.ID != v.ID {
+		t.Fatalf("resubmission changed the content address: %s vs %s", re.ID, v.ID)
+	}
+	if re.Status != statusQueued && re.Status != statusRunning {
+		t.Fatalf("resubmitted job is %q", re.Status)
+	}
+	cancelJobHTTP(t, ts.URL, re.ID)
+	waitStatus(t, ts.URL, re.ID, statusCanceled)
+}
+
+// TestCancelQueuedJob: a job cancelled while waiting in the queue
+// retires immediately without ever running, and the executor skips it.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, nil, 8)
+
+	running := submit(t, ts.URL, longSearchBody)
+	waitStatus(t, ts.URL, running.ID, statusRunning)
+
+	queued := submit(t, ts.URL, sweepBody) // single executor is busy
+	if queued.Status != statusQueued {
+		t.Fatalf("second job is %q, want queued", queued.Status)
+	}
+	v := cancelJobHTTP(t, ts.URL, queued.ID)
+	if v.Status != statusCanceled {
+		t.Fatalf("cancelled queued job is %q", v.Status)
+	}
+	if v.Started != nil {
+		t.Fatal("cancelled queued job has a start time")
+	}
+
+	// Idempotent: cancelling again (or after completion) changes nothing.
+	if v := cancelJobHTTP(t, ts.URL, queued.ID); v.Status != statusCanceled {
+		t.Fatalf("re-cancel changed status to %q", v.Status)
+	}
+
+	cancelJobHTTP(t, ts.URL, running.ID)
+	waitStatus(t, ts.URL, running.ID, statusCanceled)
+}
+
+// TestShutdownCancelsAfterDeadline is the shutdown-hang regression test
+// at the package level: with a long Monte-Carlo job running, Shutdown
+// with an expired deadline returns within the cancellation bound (one
+// proposal batch / trial chunk), not after the job's full remaining
+// work, and the job is recorded as canceled.
+func TestShutdownCancelsAfterDeadline(t *testing.T) {
+	s, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v := submit(t, ts.URL, longSearchBody)
+	waitStatus(t, ts.URL, v.ID, statusRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.Shutdown(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown err = %v, want DeadlineExceeded (jobs were cancelled)", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("Shutdown blocked for %s with a 100ms deadline", elapsed)
+	}
+	s.mu.Lock()
+	st := s.jobs[v.ID].statusNow()
+	s.mu.Unlock()
+	if st != statusCanceled {
+		t.Fatalf("job after shutdown is %q, want canceled", st)
+	}
+
+	// A clean drain returns nil: nothing left to cancel.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("idempotent Shutdown: %v", err)
+	}
+}
+
+// TestJournalRestartListsPriorJobs: a server restarted over the same
+// store + journal lists prior jobs with their final statuses, serves
+// done outcomes from the store without recomputing, and marks jobs that
+// were in flight when the process died as interrupted.
+func TestJournalRestartListsPriorJobs(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "jobs.ndjson")
+	store1, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal1, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store1, Journal: journal1, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	done := submit(t, ts1.URL, sweepBody)
+	waitDone(t, ts1.URL, done.ID)
+	canceled := submit(t, ts1.URL, longSearchBody)
+	waitStatus(t, ts1.URL, canceled.ID, statusRunning)
+	cancelJobHTTP(t, ts1.URL, canceled.ID)
+	waitStatus(t, ts1.URL, canceled.ID, statusCanceled)
+
+	ts1.Close()
+	s1.Close()
+	if err := journal1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash with a job still in flight: append its queued
+	// record the way a dying server would have left it.
+	crashJournal, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crashJournal.Append(runstore.JobRecord{
+		ID: "deadbeef", Kind: "sweep", Summary: "crashed sweep",
+		Status: "running", Submitted: time.Now().UTC(), Started: time.Now().UTC(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	crashJournal.Close()
+
+	store2, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal2, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store2, Journal: journal2, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		journal2.Close()
+	})
+
+	var listing struct {
+		Jobs []jobStatus `json:"jobs"`
+	}
+	resp, err := http.Get(ts2.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byID := map[string]jobStatus{}
+	for _, j := range listing.Jobs {
+		byID[j.ID] = j
+	}
+	if len(listing.Jobs) != 3 {
+		t.Fatalf("restarted server lists %d jobs, want 3: %+v", len(listing.Jobs), listing.Jobs)
+	}
+	if got := byID[done.ID]; got.Status != statusDone || !got.Restored {
+		t.Fatalf("done job restored as %+v", got)
+	}
+	if got := byID[canceled.ID]; got.Status != statusCanceled {
+		t.Fatalf("canceled job restored as %+v", got)
+	}
+	if got := byID["deadbeef"]; got.Status != statusInterrupted {
+		t.Fatalf("in-flight job restored as %+v", got)
+	}
+
+	// The done job's outcome is served from the store — zero simulation.
+	rresp, err := http.Get(ts2.URL + "/v1/jobs/" + done.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("restored result: %s", rresp.Status)
+	}
+	res, err := experiments.ReadSweepJSON(rresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("restored result is empty")
+	}
+	if hits, misses := s2.cfg.Runner.NoiseCacheStats(); hits+misses != 0 {
+		t.Fatalf("restored result simulated: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestEvictionNeverDropsActiveJobs pins the eviction invariant under the
+// finished-job counter: only terminal jobs are evicted, oldest first,
+// and queued/running jobs survive any retention pressure.
+func TestEvictionNeverDropsActiveJobs(t *testing.T) {
+	s := &Server{
+		cfg:  Config{RetainJobs: 1},
+		jobs: map[string]*job{},
+	}
+	add := func(id, status string) {
+		j := &job{id: id, status: status, done: make(chan struct{}), wake: make(chan struct{})}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if terminalStatus(status) {
+			s.finished++
+		}
+	}
+	add("done1", statusDone)
+	add("run1", statusRunning)
+	add("fail1", statusFailed)
+	add("queue1", statusQueued)
+	add("cancel1", statusCanceled)
+	add("done2", statusDone)
+
+	s.mu.Lock()
+	s.evictFinishedLocked()
+	s.mu.Unlock()
+
+	if s.finished != 1 {
+		t.Fatalf("finished counter %d after eviction, want 1", s.finished)
+	}
+	for _, id := range []string{"run1", "queue1"} {
+		if _, ok := s.jobs[id]; !ok {
+			t.Fatalf("eviction dropped active job %s", id)
+		}
+	}
+	// Oldest terminal jobs went first; the newest terminal one survives.
+	if _, ok := s.jobs["done2"]; !ok {
+		t.Fatal("eviction dropped the newest finished job instead of the oldest")
+	}
+	for _, id := range []string{"done1", "fail1", "cancel1"} {
+		if _, ok := s.jobs[id]; ok {
+			t.Fatalf("stale terminal job %s survived eviction", id)
+		}
+	}
+	if len(s.order) != 3 {
+		t.Fatalf("order holds %d ids, want 3", len(s.order))
+	}
+}
+
+// TestPublishWakesStreamers pins the notification path that replaced the
+// polling ticker: a blocked streamer is woken by the append itself.
+func TestPublishWakesStreamers(t *testing.T) {
+	j := &job{done: make(chan struct{}), wake: make(chan struct{})}
+	j.mu.Lock()
+	wake := j.wake
+	j.mu.Unlock()
+	go j.publish(experiments.Event{Message: "x"})
+	select {
+	case <-wake:
+	case <-time.After(5 * time.Second):
+		t.Fatal("append did not wake the streamer")
+	}
+	j.mu.Lock()
+	if len(j.events) != 1 || j.wake == wake {
+		t.Fatalf("append bookkeeping wrong: %d events", len(j.events))
+	}
+	j.mu.Unlock()
+}
+
+// TestRestoredDoneJobWithLostOutcomeIsRetryable: a journal-restored done
+// job whose payload the run store can no longer produce must not dedupe
+// resubmissions forever — the resubmission replaces it and recomputes.
+func TestRestoredDoneJobWithLostOutcomeIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "jobs.ndjson")
+	store1, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal1, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store1, Journal: journal1, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	done := submit(t, ts1.URL, sweepBody)
+	waitDone(t, ts1.URL, done.ID)
+	ts1.Close()
+	s1.Close()
+	journal1.Close()
+
+	// Lose the stored outcome (operator pruning, disk corruption...).
+	if err := store1.Discard(done.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal2, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store2, Journal: journal2, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		journal2.Close()
+	})
+
+	// The restored job claims done, but its result is gone.
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + done.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("lost-outcome result: %d, want 404", resp.StatusCode)
+	}
+
+	// Resubmitting must replace the dead record and recompute, not
+	// dedupe onto it with 200/done.
+	re := submit(t, ts2.URL, sweepBody)
+	if re.ID != done.ID {
+		t.Fatalf("resubmission changed the content address: %s vs %s", re.ID, done.ID)
+	}
+	if re.Status != statusQueued && re.Status != statusRunning {
+		t.Fatalf("resubmission deduped onto the dead job (status %q)", re.Status)
+	}
+	final := waitDone(t, ts2.URL, re.ID)
+	if final.Cached {
+		t.Fatal("recomputed job claims it was served from the store")
+	}
+	rresp, err := http.Get(ts2.URL + "/v1/jobs/" + done.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("recomputed result: %s", rresp.Status)
 	}
 }

@@ -16,6 +16,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,18 +56,51 @@ func (p *Pool) InUse() int { return len(p.sem) }
 // fn must write its outcome by index so the result is independent of
 // scheduling. A nil pool runs everything inline.
 func (p *Pool) ForEach(n int, fn func(int)) {
+	p.ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach under a cancellation signal: once ctx is
+// cancelled, no further index is handed out — in-flight fn calls run to
+// completion, the remaining indices are never dispatched, and the call
+// returns ctx.Err(). A nil or never-cancelled ctx makes ForEachCtx
+// behave exactly like ForEach (every index runs, nil is returned), so
+// the determinism contract is untouched on the uncancelled path.
+// Callers that may be cancelled must treat a non-nil return as "results
+// are incomplete" and abort rather than read their result slots.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return ctx.Err()
+	}
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	if p == nil || n == 1 {
 		for i := 0; i < n; i++ {
+			if canceled() {
+				break
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	work := func() {
 		for {
+			if canceled() {
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
@@ -91,4 +125,5 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 	}
 	work()
 	wg.Wait()
+	return ctx.Err()
 }

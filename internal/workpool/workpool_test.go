@@ -1,6 +1,8 @@
 package workpool
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -78,6 +80,61 @@ func TestNestedForEachDoesNotDeadlock(t *testing.T) {
 	})
 	if got := total.Load(); got != 8*16 {
 		t.Fatalf("nested run executed %d inner bodies, want %d", got, 8*16)
+	}
+}
+
+// TestForEachCtxUncancelledMatchesForEach: with a live context every
+// index runs exactly once and nil comes back — the determinism contract
+// is untouched on the uncancelled path.
+func TestForEachCtxUncancelledMatchesForEach(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 7, 100} {
+		counts := make([]atomic.Int32, n)
+		if err := p.ForEachCtx(context.Background(), n, func(i int) { counts[i].Add(1) }); err != nil {
+			t.Fatalf("n=%d: err %v", n, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachCtxStopsOnCancel: once the context is cancelled mid-run,
+// no further index is dispatched and the call reports context.Canceled.
+func TestForEachCtxStopsOnCancel(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 10000
+	err := p.ForEachCtx(ctx, n, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d indices ran despite cancellation", n)
+	}
+}
+
+// TestForEachCtxPreCancelled: a context cancelled before the call runs
+// nothing (workers check before their first index).
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	for _, p := range []*Pool{nil, New(4)} {
+		ran.Store(0)
+		if err := p.ForEachCtx(ctx, 64, func(int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if got := ran.Load(); got != 0 {
+			t.Fatalf("%d indices ran under a pre-cancelled context", got)
+		}
 	}
 }
 

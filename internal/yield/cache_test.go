@@ -3,6 +3,7 @@ package yield
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"qproc/internal/arch"
 )
@@ -244,5 +245,109 @@ func BenchmarkEstimateCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Estimate(a)
+	}
+}
+
+// TestCacheConcurrentLimitPurgeRace pins the race the accounting path at
+// Noise's post-generation block documents: concurrent Noise calls on
+// overlapping keys while SetLimit shrinks/unshrinks the bound and Purge
+// drops everything. Run under -race in CI. The invariants: the byte
+// accounting never goes negative, an entry evicted (or purged) while its
+// generation was in flight is never re-accounted, and every returned
+// matrix is bit-identical to a fresh generation.
+func TestCacheConcurrentLimitPurgeRace(t *testing.T) {
+	c := NewNoiseCache()
+	sims := make([]*Simulator, 0, 6)
+	for _, sigma := range []float64{0.02, 0.03, 0.04} {
+		for _, trials := range []int{64, 128} {
+			s := New(7)
+			s.Sigma, s.Trials = sigma, trials
+			s.Cache = c
+			sims = append(sims, s)
+		}
+	}
+	const n = 9 // qubit count; overlapping keys come from shared sims
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer Noise on overlapping keys and verify the bytes.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := sims[(g+i)%len(sims)]
+				mat := c.Noise(s, n)
+				if len(mat) != s.Trials || len(mat[0]) != n {
+					t.Errorf("matrix shape %dx%d, want %dx%d", len(mat), len(mat[0]), s.Trials, n)
+					return
+				}
+				if b := c.Bytes(); b < 0 {
+					t.Errorf("cache byte accounting went negative: %d", b)
+					return
+				}
+			}
+		}(g)
+	}
+	// One goroutine flaps the limit (evicting under readers), another
+	// purges (dropping in-flight entries).
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		limits := []int64{0, 1 << 10, 1 << 20, 1}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				c.SetLimit(0)
+				return
+			default:
+				c.SetLimit(limits[i%len(limits)])
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Purge()
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if b := c.Bytes(); b < 0 {
+		t.Fatalf("final byte accounting negative: %d", b)
+	}
+	// After the dust settles, a purge leaves the books at exactly zero —
+	// entries whose generation completed after their eviction must not
+	// have been re-accounted.
+	c.Purge()
+	if b := c.Bytes(); b != 0 {
+		t.Fatalf("bytes after purge: %d, want 0", b)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("entries after purge: %d, want 0", c.Len())
+	}
+	// Served matrices stayed bit-identical through all of it.
+	for _, s := range sims {
+		got := c.Noise(s, n)
+		want := s.GenNoise(n)
+		for ti := range want {
+			for q := range want[ti] {
+				if got[ti][q] != want[ti][q] {
+					t.Fatalf("matrix for σ=%g trials=%d differs at [%d][%d]", s.Sigma, s.Trials, ti, q)
+				}
+			}
+		}
 	}
 }

@@ -11,6 +11,7 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -60,6 +61,13 @@ type Simulator struct {
 	// same simulated fabrications without regenerating them. Estimates
 	// are bit-identical with and without a cache.
 	Cache *NoiseCache
+	// Ctx, when non-nil, is a cooperative cancellation signal: once it is
+	// cancelled, trial-chunk dispatch stops — in-flight chunks finish,
+	// remaining chunks are skipped — so a long estimate returns within
+	// one chunk of the cancel. The partial result is garbage by design;
+	// callers that cancel must check Ctx.Err() and discard it. A nil or
+	// live Ctx leaves every estimate bit-identical to an uncancelled run.
+	Ctx context.Context
 }
 
 // New returns a Simulator with the paper's evaluation configuration:
@@ -196,14 +204,22 @@ func (s *Simulator) effectiveWorkers(rows int) int {
 
 // forChunks dispatches n chunk bodies: through the shared pool when one
 // is attached, else via one goroutine per chunk (n is already bounded by
-// the effective worker count).
+// the effective worker count). A cancelled Ctx stops dispatch; chunks
+// already running finish, so the caller observes cancellation within one
+// chunk.
 func (s *Simulator) forChunks(n int, fn func(int)) {
 	if s.Pool != nil {
-		s.Pool.ForEach(n, fn)
+		// The error is deliberately dropped: cancellation is observed by
+		// the caller through Ctx.Err(), and partial chunk results are
+		// discarded at that level.
+		_ = s.Pool.ForEachCtx(s.Ctx, n, fn)
 		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
+		if s.canceled() {
+			break
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -211,6 +227,12 @@ func (s *Simulator) forChunks(n int, fn func(int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// canceled reports whether the simulator's cancellation signal has
+// fired; a nil Ctx never cancels.
+func (s *Simulator) canceled() bool {
+	return s.Ctx != nil && s.Ctx.Err() != nil
 }
 
 // Subgraph extracts the induced coupling subgraph on the qubit set keep
