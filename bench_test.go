@@ -24,6 +24,7 @@ import (
 	"qproc/internal/mapper"
 	"qproc/internal/profile"
 	"qproc/internal/search"
+	"qproc/internal/topology"
 	"qproc/internal/yield"
 )
 
@@ -255,6 +256,67 @@ func BenchmarkSearch(b *testing.B) {
 			}
 			b.ReportMetric(out.Best.Yield, "yield")
 			b.ReportMetric(float64(out.Evals), "evals")
+		})
+	}
+	// The chimera family exercises the graph-policy path end-to-end: no
+	// bus sites, policy-driven regions, annealing over frequencies and
+	// aux variants alone.
+	b.Run("anneal-chimera", func(b *testing.B) {
+		opt := benchOptions()
+		opt.Parallel = true
+		var out *experiments.SearchOutcome
+		for i := 0; i < b.N; i++ {
+			r := experiments.NewRunner(opt)
+			var err error
+			out, err = r.Search(context.Background(), experiments.SearchSpec{
+				Benchmark: "sym6_145",
+				Strategy:  search.Anneal,
+				Topology:  "chimera(2,2,4)",
+				Steps:     60,
+				MaxEvals:  10,
+			}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(out.Best.Yield, "yield")
+		b.ReportMetric(float64(out.Evals), "evals")
+	})
+}
+
+// BenchmarkEstimate measures the Monte-Carlo yield estimator on the
+// per-family base layouts — the coupler sub-bench is the tunable-coupler
+// regression gate (pairwise-only graph, distance-1 regions).
+func BenchmarkEstimate(b *testing.B) {
+	bench, err := gen.Get("sym6_145")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bench.Build().Decompose()
+	for _, topo := range []string{"square", "coupler"} {
+		b.Run(topo, func(b *testing.B) {
+			fam, err := topology.Parse(topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flow := core.NewFlow(1)
+			flow.FreqLocalTrials = 150
+			if !topology.IsSquare(fam) {
+				flow.Family = fam
+			}
+			ds, err := flow.SeriesConfig(c, core.ConfigEffFull, -1, 0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := ds[0].Arch
+			sim := yield.New(1)
+			sim.Trials = 1000
+			var y float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y = sim.Estimate(a)
+			}
+			b.ReportMetric(y, "yield")
 		})
 	}
 }

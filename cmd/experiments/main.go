@@ -42,6 +42,7 @@ import (
 	"qproc/internal/gen"
 	"qproc/internal/runstore"
 	"qproc/internal/search"
+	"qproc/internal/topology"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		auxFlag = flag.String("aux", "", "comma-separated auxiliary qubit counts for -sweep/-search (default 0)")
 		sigmas  = flag.String("sigmas", "", "comma-separated fabrication σ values in GHz for -sweep (default 0.030)")
 		configs = flag.String("configs", "", "comma-separated configurations for -sweep (default all five)")
+		topo    = flag.String("topology", "", "topology family for -sweep/-search: square (default), chimera(m,n,k), coupler")
 		out     = flag.String("out", "", "write -sweep/-search JSON to this file (default stdout)")
 		store   = flag.String("store", "", "content-addressed run store directory: repeated -sweep/-search runs are served from it, searches warm-start from stored sweeps")
 
@@ -90,6 +92,12 @@ func main() {
 	if *store != "" && !*sweep && *searchMode == "" {
 		check(fmt.Errorf("-store applies only to -sweep/-search mode"))
 	}
+	if *topo != "" && !*sweep && *searchMode == "" {
+		check(fmt.Errorf("-topology applies only to -sweep/-search mode"))
+	}
+	if _, err := topology.Parse(*topo); err != nil {
+		check(err)
+	}
 
 	opt := experiments.DefaultOptions()
 	if *quick {
@@ -111,12 +119,12 @@ func main() {
 				check(fmt.Errorf("-%s does not apply to -search mode", f.Name))
 			}
 		})
-		runSearch(cliutil.SignalContext(), r, *searchMode, *bench, *auxFlag, *sigmas, *out, *store, searchKnobs{
+		runSearch(cliutil.SignalContext(), r, *searchMode, *bench, *topo, *auxFlag, *sigmas, *out, *store, searchKnobs{
 			maxEvals: *maxEvals, steps: *steps, proposals: *proposals,
 			beamWidth: *beamWidth, depth: *depth, perfWeight: *perfWeight,
 		})
 	case *sweep:
-		runSweep(cliutil.SignalContext(), r, *sweepB, *auxFlag, *sigmas, *configs, *out, *store)
+		runSweep(cliutil.SignalContext(), r, *sweepB, *topo, *auxFlag, *sigmas, *configs, *out, *store)
 	case *fig == 4:
 		s, err := experiments.Fig4()
 		check(err)
@@ -211,8 +219,8 @@ func printEvent(start time.Time, e experiments.Event) {
 // runSweep parses the sweep axes, runs the design-space sweep (through
 // the run store when one is configured) with progress on stderr, and
 // writes the JSON result.
-func runSweep(ctx context.Context, r *experiments.Runner, benches, aux, sigmas, configs, out, storeDir string) {
-	spec := experiments.SweepSpec{Benchmarks: cliutil.SplitList(benches)}
+func runSweep(ctx context.Context, r *experiments.Runner, benches, topo, aux, sigmas, configs, out, storeDir string) {
+	spec := experiments.SweepSpec{Benchmarks: cliutil.SplitList(benches), Topology: topo}
 	auxCounts, err := cliutil.ParseInts("aux", aux, 0)
 	check(err)
 	spec.AuxCounts = auxCounts
@@ -249,7 +257,7 @@ type searchKnobs struct {
 // the run store when one is configured — repeated runs are served from
 // it and cold runs warm-start from stored sweeps) with per-step progress
 // on stderr, and writes the JSON outcome.
-func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, aux, sigmas, out, storeDir string, k searchKnobs) {
+func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, topo, aux, sigmas, out, storeDir string, k searchKnobs) {
 	if bench == "" {
 		check(fmt.Errorf("-search needs -bench (one of %v)", gen.Names()))
 	}
@@ -265,6 +273,7 @@ func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, aux,
 	spec := experiments.SearchSpec{
 		Benchmark:  bench,
 		Strategy:   st,
+		Topology:   topo,
 		AuxCounts:  auxCounts,
 		MaxEvals:   k.maxEvals,
 		Steps:      k.steps,

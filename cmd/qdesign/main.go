@@ -26,6 +26,7 @@ import (
 	"qproc/internal/qasm"
 	"qproc/internal/runstore"
 	"qproc/internal/search"
+	"qproc/internal/topology"
 	"qproc/internal/yield"
 )
 
@@ -42,6 +43,7 @@ func main() {
 		jsonTo = flag.String("json", "", "write the selected design as JSON")
 		quiet  = flag.Bool("q", false, "suppress the rendered lattice")
 
+		topo       = flag.String("topology", "", "topology family: square (default), chimera(m,n,k), coupler")
 		searchMode = flag.String("search", "", "guided design-space search: anneal or beam")
 		maxEvals   = flag.Int("max-evals", 0, "cap on full Monte-Carlo evaluations for -search (0 = unlimited)")
 		steps      = flag.Int("steps", 0, "annealing steps for -search anneal (0 = default)")
@@ -59,6 +61,11 @@ func main() {
 	fatalIf(cliutil.NonNegative("steps", *steps))
 	fatalIf(cliutil.NonNegative("beam-width", *beamWidth))
 	fatalIf(cliutil.NonNegative("depth", *depth))
+
+	family, err := topology.Parse(*topo)
+	if err != nil {
+		fatal(err)
+	}
 
 	c, err := load(*name, *file)
 	if err != nil {
@@ -78,7 +85,7 @@ func main() {
 			}
 		})
 		args := searchArgs{
-			mode: *searchMode, seed: *seed, maxAux: *aux, maxBuses: *maxB,
+			mode: *searchMode, topology: *topo, seed: *seed, maxAux: *aux, maxBuses: *maxB,
 			maxEvals: *maxEvals, steps: *steps, beamWidth: *beamWidth, depth: *depth,
 			jsonTo: *jsonTo, quiet: *quiet,
 		}
@@ -97,6 +104,9 @@ func main() {
 
 	flow := core.NewFlow(*seed)
 	flow.FreqLocalTrials = *trials
+	if !topology.IsSquare(family) {
+		flow.Family = family
+	}
 
 	var designs []*core.Design
 	switch core.Config(*config) {
@@ -131,7 +141,7 @@ func main() {
 
 // searchArgs carries the -search mode flags.
 type searchArgs struct {
-	mode                              string
+	mode, topology                    string
 	seed                              int64
 	maxAux, maxBuses                  int
 	maxEvals, steps, beamWidth, depth int
@@ -161,6 +171,7 @@ func runSearchStored(name, storeDir string, args searchArgs) {
 	spec := experiments.SearchSpec{
 		Benchmark: name,
 		Strategy:  strategy,
+		Topology:  args.topology,
 		MaxEvals:  args.maxEvals,
 		Steps:     args.steps,
 		BeamWidth: args.beamWidth,
@@ -200,6 +211,11 @@ func runSearch(c *circuit.Circuit, args searchArgs) {
 	opt := search.DefaultOptions()
 	opt.Strategy = strategy
 	opt.Seed = args.seed
+	if f, err := topology.Parse(args.topology); err != nil {
+		fatal(err)
+	} else if !topology.IsSquare(f) {
+		opt.Family = f
+	}
 	opt.MaxBuses = args.maxBuses
 	opt.MaxEvals = args.maxEvals
 	if args.steps > 0 {

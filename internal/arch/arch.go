@@ -1,13 +1,17 @@
 // Package arch models a superconducting quantum processor architecture:
-// physical qubits placed on a 2D lattice, resonator buses connecting them,
-// and per-qubit design frequencies.
+// physical qubits placed on the nodes of a coupling graph, resonator buses
+// connecting them, and per-qubit design frequencies.
 //
 // Per Section 2.2 of the paper, two bus types are modelled. A 2-qubit bus
-// connects two edge-adjacent qubits. A 4-qubit bus occupies a unit square
-// and couples all qubits on its corners pairwise (K4 coupling graph); when
-// only three corners hold qubits it degenerates to a 3-qubit bus (K3,
-// Figure 7b). Two edge-sharing squares may not both carry multi-qubit buses
-// (the prohibited condition, Figure 7a).
+// connects two coupled qubits. A multi-qubit bus occupies a *site* — for
+// the paper's square lattice, a unit square — and couples all qubits on
+// its member nodes pairwise (K4 coupling graph); when only three members
+// hold qubits it degenerates to a 3-qubit bus (K3, Figure 7b). Which sites
+// exist, which qubits they couple and which sites exclude each other is
+// family geometry, supplied by a BusPolicy: the default square policy
+// implements the paper's unit squares and the prohibited condition of two
+// edge-sharing squares (Figure 7a), while graph families (Chimera,
+// tunable-coupler grids) carry explicit edge lists and no bus sites.
 package arch
 
 import (
@@ -21,19 +25,48 @@ import (
 type BusKind uint8
 
 const (
-	// TwoQubitBus couples one edge-adjacent qubit pair.
+	// TwoQubitBus couples one qubit pair.
 	TwoQubitBus BusKind = iota
-	// MultiQubitBus is a square resonator coupling the 3 or 4 qubits on
-	// its corners pairwise.
+	// MultiQubitBus is a site resonator coupling the 3 or 4 qubits on its
+	// member nodes pairwise.
 	MultiQubitBus
 )
 
-// String names the bus kind.
+// String names the bus kind. A MultiQubitBus may couple 3 or 4 qubits
+// depending on site occupancy, so the kind alone cannot name the count —
+// use Bus.Label for the per-bus "3-qubit"/"4-qubit" spelling.
 func (k BusKind) String() string {
 	if k == TwoQubitBus {
 		return "2-qubit"
 	}
-	return "4-qubit"
+	return "multi-qubit"
+}
+
+// Site identifies a candidate multi-qubit-bus location by an opaque 2D
+// id, assigned by the architecture's bus policy. For the square family it
+// is the south-west corner of the unit square.
+type Site struct {
+	X, Y int
+}
+
+// String renders the site id.
+func (s Site) String() string { return fmt.Sprintf("site(%d,%d)", s.X, s.Y) }
+
+// Less orders sites canonically by (Y, X), matching lattice.Coord.Less.
+func (s Site) Less(t Site) bool {
+	if s.Y != t.Y {
+		return s.Y < t.Y
+	}
+	return s.X < t.X
+}
+
+// SiteOf converts a lattice square to its site id (square family).
+func SiteOf(sq lattice.Square) Site { return Site{X: sq.Origin.X, Y: sq.Origin.Y} }
+
+// Square converts a site id back to the lattice square it names under the
+// square family.
+func (s Site) Square() lattice.Square {
+	return lattice.Square{Origin: lattice.Coord{X: s.X, Y: s.Y}}
 }
 
 // Bus is one resonator.
@@ -42,16 +75,93 @@ type Bus struct {
 	// Qubits are the physical qubit ids the bus couples: exactly 2 for
 	// TwoQubitBus, 3 or 4 for MultiQubitBus, ascending.
 	Qubits []int
-	// Square is the lattice square a MultiQubitBus occupies; unused for
+	// Site is the bus site a MultiQubitBus occupies; unused for
 	// TwoQubitBus.
-	Square lattice.Square
+	Site Site
 }
 
+// Label names the bus by its actual coupled-qubit count — "2-qubit",
+// "3-qubit" or "4-qubit". A MultiQubitBus on a three-occupied-corner
+// square is a 3-qubit bus (Figure 7b), which BusKind.String alone cannot
+// report.
+func (b Bus) Label() string { return fmt.Sprintf("%d-qubit", len(b.Qubits)) }
+
+// BusPolicy supplies the family-specific multi-qubit-bus geometry: which
+// sites exist, which qubits each site couples, which sites exclude each
+// other, and which qubit pairs may carry a 2-qubit bus.
+type BusPolicy interface {
+	// CandidateSites enumerates every site of the architecture's node set
+	// with enough members to carry a multi-qubit bus, in canonical order.
+	CandidateSites(a *Architecture) []Site
+	// SiteMembers returns the qubit ids on the occupied member nodes of
+	// site s, in the site's canonical member order. Nil when the policy
+	// does not model multi-qubit bus sites.
+	SiteMembers(a *Architecture, s Site) []int
+	// Conflicts lists the sites that may not carry a bus alongside s (the
+	// family's prohibited condition). Nil when sites never conflict.
+	Conflicts(s Site) []Site
+	// PairCoupled reports whether qubits p and q may share a 2-qubit bus.
+	PairCoupled(a *Architecture, p, q int) bool
+}
+
+// squarePolicy is the paper's geometry: sites are unit squares with at
+// least three occupied corners, members are the corner qubits, and
+// edge-sharing squares conflict (the prohibited condition).
+type squarePolicy struct{}
+
+func (squarePolicy) CandidateSites(a *Architecture) []Site {
+	sqs := a.Occupied().Squares(3)
+	out := make([]Site, len(sqs))
+	for i, sq := range sqs {
+		out[i] = SiteOf(sq)
+	}
+	return out
+}
+
+func (squarePolicy) SiteMembers(a *Architecture, s Site) []int {
+	out := make([]int, 0, 4)
+	for _, c := range s.Square().Corners() {
+		if q, ok := a.QubitAt(c); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func (squarePolicy) Conflicts(s Site) []Site {
+	nbrs := s.Square().Neighbors()
+	out := make([]Site, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = SiteOf(n)
+	}
+	return out
+}
+
+func (squarePolicy) PairCoupled(a *Architecture, p, q int) bool {
+	return lattice.Adjacent(a.Coords[p], a.Coords[q])
+}
+
+// graphPolicy is the permissive policy of explicit-edge graph families
+// (and of architectures decoded from files whose family this process does
+// not know): no multi-qubit bus sites, any pair may be coupled — the edge
+// list is authoritative.
+type graphPolicy struct{}
+
+func (graphPolicy) CandidateSites(*Architecture) []Site      { return nil }
+func (graphPolicy) SiteMembers(*Architecture, Site) []int    { return nil }
+func (graphPolicy) Conflicts(Site) []Site                    { return nil }
+func (graphPolicy) PairCoupled(*Architecture, int, int) bool { return true }
+
 // Architecture is a complete processor design. The zero value is unusable;
-// construct with New.
+// construct with New or NewGraph.
 type Architecture struct {
 	Name string
-	// Coords[q] is the lattice node of physical qubit q.
+	// Family names the topology family the design belongs to; empty means
+	// the paper's square lattice.
+	Family string
+	// Coords[q] is the lattice node of physical qubit q. Graph families
+	// use the coordinates as a deterministic drawing embedding only; their
+	// coupling comes from the explicit bus list.
 	Coords []lattice.Coord
 	// Freqs[q] is the pre-fabrication design frequency of qubit q in GHz.
 	// Nil until frequency allocation has run.
@@ -60,13 +170,14 @@ type Architecture struct {
 	Buses []Bus
 
 	byCoord map[lattice.Coord]int
+	policy  BusPolicy
 }
 
-// New builds an architecture with one qubit per coordinate (qubit q at
-// coords[q]) and a 2-qubit bus on every lattice edge between occupied
-// nodes, the paper's starting point after layout design (Section 4.2:
-// "2-qubit buses can be directly generated on the edges that connect two
-// occupied nodes"). Duplicate coordinates are an error.
+// New builds a square-family architecture with one qubit per coordinate
+// (qubit q at coords[q]) and a 2-qubit bus on every lattice edge between
+// occupied nodes, the paper's starting point after layout design
+// (Section 4.2: "2-qubit buses can be directly generated on the edges
+// that connect two occupied nodes"). Duplicate coordinates are an error.
 func New(name string, coords []lattice.Coord) (*Architecture, error) {
 	a := &Architecture{
 		Name:    name,
@@ -100,6 +211,64 @@ func MustNew(name string, coords []lattice.Coord) *Architecture {
 	return a
 }
 
+// NewGraph builds an explicit-edge architecture of a non-square topology
+// family: one qubit per coordinate and a 2-qubit bus per listed edge, in
+// list order. The coordinates serve as a deterministic embedding (for
+// rendering and tie-breaks); the edge list alone defines the coupling.
+// policy may be nil, leaving the permissive graph policy (no multi-qubit
+// bus sites).
+func NewGraph(name, family string, coords []lattice.Coord, edges [][2]int, policy BusPolicy) (*Architecture, error) {
+	if family == "" {
+		return nil, fmt.Errorf("arch %q: NewGraph needs a family name (use New for the square family)", name)
+	}
+	a := &Architecture{
+		Name:    name,
+		Family:  family,
+		Coords:  append([]lattice.Coord(nil), coords...),
+		byCoord: make(map[lattice.Coord]int, len(coords)),
+		policy:  policy,
+	}
+	for q, c := range a.Coords {
+		if prev, dup := a.byCoord[c]; dup {
+			return nil, fmt.Errorf("arch %q: qubits %d and %d share node %v", name, prev, q, c)
+		}
+		a.byCoord[c] = q
+	}
+	seen := make(map[Edge]bool, len(edges))
+	for i, e := range edges {
+		p, q := e[0], e[1]
+		if p > q {
+			p, q = q, p
+		}
+		if p < 0 || q >= len(coords) || p == q {
+			return nil, fmt.Errorf("arch %q: edge %d (%d,%d) invalid for %d qubits", name, i, e[0], e[1], len(coords))
+		}
+		if seen[Edge{p, q}] {
+			return nil, fmt.Errorf("arch %q: duplicate edge (%d,%d)", name, p, q)
+		}
+		seen[Edge{p, q}] = true
+		a.Buses = append(a.Buses, Bus{Kind: TwoQubitBus, Qubits: []int{p, q}})
+	}
+	return a, nil
+}
+
+// busPolicy resolves the effective bus policy: an installed one, else the
+// square geometry for the square family, else the permissive graph
+// policy.
+func (a *Architecture) busPolicy() BusPolicy {
+	if a.policy != nil {
+		return a.policy
+	}
+	if a.Family == "" || a.Family == "square" {
+		return squarePolicy{}
+	}
+	return graphPolicy{}
+}
+
+// SetPolicy installs a family bus policy (topology families construct
+// architectures through NewGraph and may attach richer site geometry).
+func (a *Architecture) SetPolicy(p BusPolicy) { a.policy = p }
+
 // NumQubits returns the number of physical qubits.
 func (a *Architecture) NumQubits() int { return len(a.Coords) }
 
@@ -118,94 +287,126 @@ func (a *Architecture) Occupied() lattice.Set {
 	return s
 }
 
-// MultiBusAt reports whether a multi-qubit bus occupies square sq.
-func (a *Architecture) MultiBusAt(sq lattice.Square) bool {
+// BusAtSite reports whether a multi-qubit bus occupies site s.
+func (a *Architecture) BusAtSite(s Site) bool {
 	for _, b := range a.Buses {
-		if b.Kind == MultiQubitBus && b.Square == sq {
+		if b.Kind == MultiQubitBus && b.Site == s {
 			return true
 		}
 	}
 	return false
 }
 
-// MultiBusSquares returns the squares carrying multi-qubit buses, in
-// creation order.
-func (a *Architecture) MultiBusSquares() []lattice.Square {
-	var out []lattice.Square
+// MultiBusAt reports whether a multi-qubit bus occupies square sq.
+func (a *Architecture) MultiBusAt(sq lattice.Square) bool { return a.BusAtSite(SiteOf(sq)) }
+
+// BusSites returns the sites carrying multi-qubit buses, in creation
+// order.
+func (a *Architecture) BusSites() []Site {
+	var out []Site
 	for _, b := range a.Buses {
 		if b.Kind == MultiQubitBus {
-			out = append(out, b.Square)
+			out = append(out, b.Site)
 		}
 	}
 	return out
 }
 
-// CanApplyMultiBus reports whether square sq is eligible for a multi-qubit
-// bus: at least three corners occupied, no multi-qubit bus already on sq,
-// and no multi-qubit bus on an edge-sharing neighbour square (the
-// prohibited condition).
-func (a *Architecture) CanApplyMultiBus(sq lattice.Square) bool {
-	occ := 0
-	for _, c := range sq.Corners() {
-		if _, ok := a.byCoord[c]; ok {
-			occ++
+// MultiBusSquares returns the squares carrying multi-qubit buses, in
+// creation order (square-family view of BusSites).
+func (a *Architecture) MultiBusSquares() []lattice.Square {
+	var out []lattice.Square
+	for _, b := range a.Buses {
+		if b.Kind == MultiQubitBus {
+			out = append(out, b.Site.Square())
 		}
 	}
-	if occ < 3 {
+	return out
+}
+
+// CandidateSites enumerates every site of the family with enough members
+// to carry a multi-qubit bus, occupied or not, in canonical order — the
+// universe bus-placement moves draw from. Graph families without bus
+// sites return nil.
+func (a *Architecture) CandidateSites() []Site {
+	return a.busPolicy().CandidateSites(a)
+}
+
+// SiteQubits returns the qubit ids site s couples, in the site's
+// canonical member order.
+func (a *Architecture) SiteQubits(s Site) []int {
+	return a.busPolicy().SiteMembers(a, s)
+}
+
+// CanApplyBusAt reports whether site s is eligible for a multi-qubit bus:
+// at least three members occupied, no multi-qubit bus already on s, and
+// no multi-qubit bus on a conflicting site (the family's prohibited
+// condition).
+func (a *Architecture) CanApplyBusAt(s Site) bool {
+	pol := a.busPolicy()
+	if len(pol.SiteMembers(a, s)) < 3 {
 		return false
 	}
-	if a.MultiBusAt(sq) {
+	if a.BusAtSite(s) {
 		return false
 	}
-	for _, n := range sq.Neighbors() {
-		if a.MultiBusAt(n) {
+	for _, n := range pol.Conflicts(s) {
+		if a.BusAtSite(n) {
 			return false
 		}
 	}
 	return true
 }
 
-// ApplyMultiBus converts square sq to a multi-qubit bus: the 2-qubit buses
-// on its perimeter edges are absorbed into (replaced by) the square
-// resonator, so every coupled pair remains coupled exactly once. It returns
-// an error when sq is ineligible.
-func (a *Architecture) ApplyMultiBus(sq lattice.Square) error {
-	if !a.CanApplyMultiBus(sq) {
-		return fmt.Errorf("arch %q: square %v ineligible for a multi-qubit bus", a.Name, sq)
+// CanApplyMultiBus reports whether square sq is eligible for a
+// multi-qubit bus (square-family view of CanApplyBusAt).
+func (a *Architecture) CanApplyMultiBus(sq lattice.Square) bool {
+	return a.CanApplyBusAt(SiteOf(sq))
+}
+
+// ApplyBusAt converts site s to a multi-qubit bus: the 2-qubit buses
+// between its member qubits are absorbed into (replaced by) the site
+// resonator, so every coupled pair remains coupled exactly once. It
+// returns an error when s is ineligible.
+func (a *Architecture) ApplyBusAt(s Site) error {
+	if !a.CanApplyBusAt(s) {
+		return fmt.Errorf("arch %q: %v ineligible for a multi-qubit bus", a.Name, s)
 	}
-	var qubits []int
-	for _, c := range sq.Corners() {
-		if q, ok := a.byCoord[c]; ok {
-			qubits = append(qubits, q)
-		}
-	}
+	pol := a.busPolicy()
+	qubits := append([]int(nil), pol.SiteMembers(a, s)...)
 	sort.Ints(qubits)
 	member := make(map[int]bool, len(qubits))
 	for _, q := range qubits {
 		member[q] = true
 	}
-	// Remove the perimeter 2-qubit buses now covered by the square.
+	// Remove the member-pair 2-qubit buses now covered by the site.
 	kept := a.Buses[:0]
 	for _, b := range a.Buses {
 		if b.Kind == TwoQubitBus && member[b.Qubits[0]] && member[b.Qubits[1]] &&
-			lattice.Adjacent(a.Coords[b.Qubits[0]], a.Coords[b.Qubits[1]]) {
+			pol.PairCoupled(a, b.Qubits[0], b.Qubits[1]) {
 			continue
 		}
 		kept = append(kept, b)
 	}
-	a.Buses = append(kept, Bus{Kind: MultiQubitBus, Qubits: qubits, Square: sq})
+	a.Buses = append(kept, Bus{Kind: MultiQubitBus, Qubits: qubits, Site: s})
 	return nil
 }
 
-// MaxMultiBuses applies multi-qubit buses greedily in canonical square
-// order until no square is eligible, reproducing IBM's "as many 4-qubit
-// buses as possible" baseline variants (Figure 9 (2) and (4): four buses on
-// the 2×8 chip, six on the 4×5 chip). It returns the number applied.
+// ApplyMultiBus converts square sq to a multi-qubit bus (square-family
+// view of ApplyBusAt).
+func (a *Architecture) ApplyMultiBus(sq lattice.Square) error {
+	return a.ApplyBusAt(SiteOf(sq))
+}
+
+// MaxMultiBuses applies multi-qubit buses greedily in canonical site
+// order until no site is eligible, reproducing IBM's "as many 4-qubit
+// buses as possible" baseline variants (Figure 9 (2) and (4): four buses
+// on the 2×8 chip, six on the 4×5 chip). It returns the number applied.
 func (a *Architecture) MaxMultiBuses() int {
 	n := 0
-	for _, sq := range a.Occupied().Squares(3) {
-		if a.CanApplyMultiBus(sq) {
-			if err := a.ApplyMultiBus(sq); err != nil {
+	for _, s := range a.CandidateSites() {
+		if a.CanApplyBusAt(s) {
+			if err := a.ApplyBusAt(s); err != nil {
 				panic(err) // unreachable: eligibility just checked
 			}
 			n++
@@ -221,7 +422,7 @@ type Edge struct {
 
 // Edges returns the coupling graph of the architecture as a deduplicated,
 // sorted edge list. 2-qubit buses contribute their pair; multi-qubit buses
-// contribute all corner pairs (K3/K4).
+// contribute all member pairs (K3/K4).
 func (a *Architecture) Edges() []Edge {
 	seen := map[Edge]bool{}
 	var out []Edge
@@ -288,8 +489,10 @@ func (a *Architecture) SetFrequencies(f []float64) error {
 func (a *Architecture) Clone() *Architecture {
 	c := &Architecture{
 		Name:    a.Name,
+		Family:  a.Family,
 		Coords:  append([]lattice.Coord(nil), a.Coords...),
 		byCoord: make(map[lattice.Coord]int, len(a.Coords)),
+		policy:  a.policy,
 	}
 	if a.Freqs != nil {
 		c.Freqs = append([]float64(nil), a.Freqs...)
@@ -306,10 +509,11 @@ func (a *Architecture) Clone() *Architecture {
 }
 
 // Validate checks the structural invariants of the design: unique
-// coordinates, in-range bus members, multi-bus squares matching their
-// qubits' coordinates, no duplicate couplings, and no adjacent multi-bus
-// squares.
+// coordinates, in-range bus members, multi-bus sites matching their
+// policy's member qubits, no duplicate couplings, and no conflicting bus
+// sites (the family's prohibited condition).
 func (a *Architecture) Validate() error {
+	pol := a.busPolicy()
 	seenCoord := map[lattice.Coord]int{}
 	for q, c := range a.Coords {
 		if p, dup := seenCoord[c]; dup {
@@ -329,7 +533,7 @@ func (a *Architecture) Validate() error {
 		seenEdge[e] = true
 		return nil
 	}
-	squares := map[lattice.Square]bool{}
+	sites := map[Site]bool{}
 	for i, b := range a.Buses {
 		for _, q := range b.Qubits {
 			if q < 0 || q >= a.NumQubits() {
@@ -341,7 +545,7 @@ func (a *Architecture) Validate() error {
 			if len(b.Qubits) != 2 {
 				return fmt.Errorf("arch %q: 2-qubit bus %d has %d qubits", a.Name, i, len(b.Qubits))
 			}
-			if !lattice.Adjacent(a.Coords[b.Qubits[0]], a.Coords[b.Qubits[1]]) {
+			if !pol.PairCoupled(a, b.Qubits[0], b.Qubits[1]) {
 				return fmt.Errorf("arch %q: 2-qubit bus %d joins non-adjacent nodes", a.Name, i)
 			}
 			if err := addEdge(b.Qubits[0], b.Qubits[1]); err != nil {
@@ -351,19 +555,21 @@ func (a *Architecture) Validate() error {
 			if len(b.Qubits) < 3 || len(b.Qubits) > 4 {
 				return fmt.Errorf("arch %q: multi-qubit bus %d has %d qubits", a.Name, i, len(b.Qubits))
 			}
-			corners := map[lattice.Coord]bool{}
-			for _, c := range b.Square.Corners() {
-				corners[c] = true
-			}
-			for _, q := range b.Qubits {
-				if !corners[a.Coords[q]] {
-					return fmt.Errorf("arch %q: bus %d qubit %d not on square %v", a.Name, i, q, b.Square)
+			if ms := pol.SiteMembers(a, b.Site); ms != nil {
+				member := make(map[int]bool, len(ms))
+				for _, q := range ms {
+					member[q] = true
+				}
+				for _, q := range b.Qubits {
+					if !member[q] {
+						return fmt.Errorf("arch %q: bus %d qubit %d not on %v", a.Name, i, q, b.Site)
+					}
 				}
 			}
-			if squares[b.Square] {
-				return fmt.Errorf("arch %q: square %v carries two buses", a.Name, b.Square)
+			if sites[b.Site] {
+				return fmt.Errorf("arch %q: %v carries two buses", a.Name, b.Site)
 			}
-			squares[b.Square] = true
+			sites[b.Site] = true
 			for x := 0; x < len(b.Qubits); x++ {
 				for y := x + 1; y < len(b.Qubits); y++ {
 					if err := addEdge(b.Qubits[x], b.Qubits[y]); err != nil {
@@ -375,10 +581,10 @@ func (a *Architecture) Validate() error {
 			return fmt.Errorf("arch %q: bus %d has unknown kind %d", a.Name, i, b.Kind)
 		}
 	}
-	for sq := range squares {
-		for _, n := range sq.Neighbors() {
-			if squares[n] {
-				return fmt.Errorf("arch %q: adjacent squares %v and %v both carry multi-qubit buses", a.Name, sq, n)
+	for s := range sites {
+		for _, n := range pol.Conflicts(s) {
+			if sites[n] {
+				return fmt.Errorf("arch %q: conflicting sites %v and %v both carry multi-qubit buses", a.Name, s, n)
 			}
 		}
 	}
@@ -397,7 +603,7 @@ func (a *Architecture) Validate() error {
 
 // String summarises the design.
 func (a *Architecture) String() string {
-	multi := len(a.MultiBusSquares())
+	multi := len(a.BusSites())
 	return fmt.Sprintf("%s: %d qubits, %d connections, %d multi-qubit buses",
 		a.Name, a.NumQubits(), a.NumConnections(), multi)
 }

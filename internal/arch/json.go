@@ -12,7 +12,11 @@ import (
 // the CLI tools (qdesign emits it, qyield and qmap consume it) and
 // embedded in larger artefacts (search outcomes, server responses).
 type jsonArch struct {
-	Name   string    `json:"name"`
+	Name string `json:"name"`
+	// Family is the topology family; omitted for the paper's square
+	// lattice, so pre-family files and square-family files are
+	// byte-identical.
+	Family string    `json:"family,omitempty"`
 	Coords [][2]int  `json:"coords"`
 	Freqs  []float64 `json:"freqs,omitempty"`
 	Buses  []jsonBus `json:"buses"`
@@ -26,7 +30,7 @@ type jsonBus struct {
 
 // toJSON renders the architecture in its serialised shape.
 func (a *Architecture) toJSON() jsonArch {
-	out := jsonArch{Name: a.Name, Freqs: a.Freqs}
+	out := jsonArch{Name: a.Name, Family: a.Family, Freqs: a.Freqs}
 	for _, c := range a.Coords {
 		out.Coords = append(out.Coords, [2]int{c.X, c.Y})
 	}
@@ -36,7 +40,7 @@ func (a *Architecture) toJSON() jsonArch {
 			jb.Kind = "2q"
 		} else {
 			jb.Kind = "multi"
-			jb.Square = [2]int{b.Square.Origin.X, b.Square.Origin.Y}
+			jb.Square = [2]int{b.Site.X, b.Site.Y}
 		}
 		out.Buses = append(out.Buses, jb)
 	}
@@ -54,6 +58,9 @@ func fromJSON(in jsonArch) (*Architecture, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Non-square families validate under the permissive graph policy: the
+	// file's bus list is the authoritative coupling graph.
+	a.Family = in.Family
 	// Replace the auto-generated buses with the serialised ones so the
 	// file is authoritative.
 	a.Buses = nil
@@ -64,7 +71,7 @@ func fromJSON(in jsonArch) (*Architecture, error) {
 			b.Kind = TwoQubitBus
 		case "multi":
 			b.Kind = MultiQubitBus
-			b.Square = lattice.Square{Origin: lattice.Coord{X: jb.Square[0], Y: jb.Square[1]}}
+			b.Site = Site{X: jb.Square[0], Y: jb.Square[1]}
 		default:
 			return nil, fmt.Errorf("arch: bus %d has unknown kind %q", i, jb.Kind)
 		}

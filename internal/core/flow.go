@@ -26,6 +26,7 @@ import (
 	"qproc/internal/lattice"
 	"qproc/internal/layout"
 	"qproc/internal/profile"
+	"qproc/internal/topology"
 )
 
 // Config identifies one of the five experiment configurations of
@@ -65,6 +66,19 @@ type Flow struct {
 	// FreqLocalTrials is the Monte-Carlo budget per candidate frequency
 	// during Algorithm 3.
 	FreqLocalTrials int
+	// Family selects the topology family the flow designs for; nil means
+	// the paper's square lattice. Non-square families have no 4-qubit bus
+	// sites, so their series stop at k = 0, and only the series
+	// configurations (eff-full, eff-5-freq) support them.
+	Family topology.Family
+}
+
+// family resolves the effective topology family.
+func (f *Flow) family() topology.Family {
+	if f.Family == nil {
+		return topology.Square{}
+	}
+	return f.Family
 }
 
 // NewFlow returns a Flow with the default parameters.
@@ -88,11 +102,16 @@ type Design struct {
 	AuxQubits int
 }
 
-// allocator builds the Algorithm 3 allocator for this flow.
+// allocator builds the Algorithm 3 allocator for this flow. Non-square
+// families install their frequency-region policy; the square family
+// keeps the allocator's built-in distance-2 region.
 func (f *Flow) allocator() *freq.Allocator {
 	al := freq.NewAllocator(f.Seed)
 	if f.FreqLocalTrials > 0 {
 		al.LocalTrials = f.FreqLocalTrials
+	}
+	if !topology.IsSquare(f.Family) {
+		al.Region = f.Family.Region
 	}
 	return al
 }
@@ -160,6 +179,13 @@ func (f *Flow) SeriesConfig(c *circuit.Circuit, cfg Config, maxBuses, aux, sampl
 			return nil, fmt.Errorf("core: configuration %s does not support auxiliary qubits", cfg)
 		}
 	}
+	if !topology.IsSquare(f.Family) {
+		switch cfg {
+		case ConfigEffFull, ConfigEff5Freq:
+		default:
+			return nil, fmt.Errorf("core: configuration %s supports the square family only, not %s", cfg, f.Family.Name())
+		}
+	}
 	switch cfg {
 	case ConfigIBM:
 		return f.Baselines(c), nil
@@ -183,19 +209,9 @@ func (f *Flow) BaseLayout(c *circuit.Circuit, aux int) (*arch.Architecture, *pro
 	if aux < 0 {
 		return nil, nil, fmt.Errorf("core: negative aux qubit count %d", aux)
 	}
-	p, err := f.Profile(c)
+	base, p, err := f.family().BaseLayout(c, aux)
 	if err != nil {
-		return nil, nil, err
-	}
-	coords := layout.Place(p)
-	if aux > 0 {
-		auxCoords := layout.AddAux(coords, aux)
-		coords = append(coords, auxCoords...)
-		p = p.WithAux(len(auxCoords))
-	}
-	base, err := arch.New("", layout.Normalize(coords))
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: layout: %w", err)
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	return base, p, nil
 }
@@ -205,11 +221,16 @@ func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]
 	if err != nil {
 		return nil, err
 	}
-	// Select on a scratch copy to learn the square order.
-	scratch := base.Clone()
-	selected, err := bus.Select(scratch, p, maxBuses)
-	if err != nil {
-		return nil, fmt.Errorf("core: bus selection: %w", err)
+	// Select on a scratch copy to learn the square order. Families
+	// without multi-qubit bus sites (their CandidateSites is empty) stop
+	// at the k = 0 design.
+	var selected []lattice.Square
+	if topology.IsSquare(f.Family) {
+		scratch := base.Clone()
+		selected, err = bus.Select(scratch, p, maxBuses)
+		if err != nil {
+			return nil, fmt.Errorf("core: bus selection: %w", err)
+		}
 	}
 	var designs []*Design
 	for k := 0; k <= len(selected); k++ {
@@ -229,6 +250,9 @@ func (f *Flow) series(c *circuit.Circuit, maxBuses int, cfg Config, aux int) ([]
 // reveal the yield/performance distribution random connection designs
 // achieve (Section 5.4.2).
 func (f *Flow) SeriesRandomBus(c *circuit.Circuit, maxBuses, samples int) ([]*Design, error) {
+	if !topology.IsSquare(f.Family) {
+		return nil, fmt.Errorf("core: configuration %s supports the square family only, not %s", ConfigEffRdBus, f.Family.Name())
+	}
 	p, err := f.Profile(c)
 	if err != nil {
 		return nil, err
@@ -260,6 +284,9 @@ func (f *Flow) SeriesRandomBus(c *circuit.Circuit, maxBuses, samples int) ([]*De
 // either 2-qubit buses only or maximal 4-qubit buses, frequencied with
 // the 5-frequency scheme (the two data points per benchmark in Fig. 10).
 func (f *Flow) LayoutOnly(c *circuit.Circuit) ([]*Design, error) {
+	if !topology.IsSquare(f.Family) {
+		return nil, fmt.Errorf("core: configuration %s supports the square family only, not %s", ConfigEffLayoutOnly, f.Family.Name())
+	}
 	p, err := f.Profile(c)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"qproc/internal/core"
+	"qproc/internal/gen"
+)
+
+// The constants below were captured from the pre-topology-refactor tree
+// (square-lattice-only code paths) and pin the refactor's bit-identity
+// contract: the square family must produce byte-identical architectures,
+// identical job fingerprints for legacy specs, and identical sweep and
+// search results.
+
+func goldenSHA(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// TestGoldenJobKeys pins the content addresses of legacy (topology-free)
+// specs: stored runs from before the refactor must still be found.
+func TestGoldenJobKeys(t *testing.T) {
+	opt := QuickOptions()
+	sweepSpec := SweepSpec{
+		Benchmarks: []string{"sym6_145"},
+		Configs:    []core.Config{core.ConfigIBM, core.ConfigEffFull},
+		Sigmas:     []float64{0.03},
+	}
+	searchSpec := SearchSpec{
+		Benchmark: "sym6_145",
+		Strategy:  "anneal",
+		MaxEvals:  4,
+		Steps:     40,
+		Proposals: 4,
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"sweep", SweepJob{Spec: sweepSpec}, "d2d83bdfd957c9963ec48b8d93acb761c343aed041c6aa796a4728ab8e5db727"},
+		{"search", SearchJob{Spec: searchSpec}, "95fdff811045b7b39b50e9d809a0fa32812be5da6a55902786b11ce2a9c51cb1"},
+		{"sweep-default", SweepJob{}, "9a590575bc1c6a3114319630d93c04ad6990a9398d1f504a58d1b63d185898af"},
+	}
+	for _, c := range cases {
+		got, err := JobKey(c.job, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("JobKey(%s) = %s, want %s", c.name, got, c.want)
+		}
+	}
+
+	// Spelling the square family out is the same work as omitting it.
+	sq := sweepSpec
+	sq.Topology = "square"
+	if got, err := JobKey(SweepJob{Spec: sq}, opt); err != nil || got != cases[0].want {
+		t.Errorf("JobKey(sweep, topology=square) = %s (%v), want %s", got, err, cases[0].want)
+	}
+	sqs := searchSpec
+	sqs.Topology = "square"
+	if got, err := JobKey(SearchJob{Spec: sqs}, opt); err != nil || got != cases[1].want {
+		t.Errorf("JobKey(search, topology=square) = %s (%v), want %s", got, err, cases[1].want)
+	}
+	// A non-square family is different work and must not collide.
+	ch := searchSpec
+	ch.Topology = "chimera(2,2,4)"
+	if got, err := JobKey(SearchJob{Spec: ch}, opt); err != nil || got == cases[1].want {
+		t.Errorf("JobKey(search, topology=chimera) = %s (%v), want a distinct key", got, err)
+	}
+}
+
+// TestGoldenArchSeries pins the serialised architectures of the
+// eff-full and eff-5-freq series byte-for-byte (via JSON hash): layout,
+// bus application order, frequency allocation and JSON encoding must
+// all be unchanged for the square family.
+func TestGoldenArchSeries(t *testing.T) {
+	want := map[string][]string{
+		"eff-full/aux=0": {
+			"e8037531557425c745050f9e8d61e2fc86375bcc37d2a285a8d956f4bc416521",
+			"653c887e6500aa1e4f135420551d616ef869946f08d59697beff53f2c7b358f7",
+			"b5eff6966e94ef54f443b20107995d557fb6396248a2a1ab5187326c8e99579b",
+		},
+		"eff-full/aux=1": {
+			"6f0b43f194c87cf2e71bc9290c466b3fb02ec2612f5f8e115aad3004a085e2f9",
+			"f07d34d892ceb5ffbae66fe53bc0852a2504a4f11fffaab47064e03bc6f9e192",
+			"2007f946bad9de8d7c7291c8b95c7b66eb8395bff2c4d9597f79c6c7743d4f65",
+		},
+		"eff-5-freq/aux=0": {
+			"40b770a630186def91520804ebbb5f6dcde3853bc5b082dd30bc8e25df73baf4",
+			"a20bb1e3d31dd692b90143ce3caa761177259f054710eb83115e8aa6bccaa9b0",
+			"be8e16bfdcf70671c2e91735c2e17807d6e6854ac12b7dc8ad10eecf8094b36b",
+		},
+	}
+	b, err := gen.Get("sym6_145")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Build()
+	for _, tc := range []struct {
+		cfg core.Config
+		aux int
+	}{{core.ConfigEffFull, 0}, {core.ConfigEffFull, 1}, {core.ConfigEff5Freq, 0}} {
+		flow := core.NewFlow(1)
+		flow.FreqLocalTrials = 300
+		ds, err := flow.SeriesConfig(c, tc.cfg, -1, tc.aux, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := fmt.Sprintf("%s/aux=%d", tc.cfg, tc.aux)
+		if len(ds) != len(want[key]) {
+			t.Fatalf("%s: %d designs, want %d", key, len(ds), len(want[key]))
+		}
+		for i, d := range ds {
+			if got := goldenSHA(t, d.Arch); got != want[key][i] {
+				t.Errorf("%s k=%d: arch hash %s, want %s", key, i, got, want[key][i])
+			}
+		}
+	}
+}
+
+// TestGoldenSearchOutcomes pins the guided search end-to-end on the
+// square family: yields, analytic scores and the winning architectures
+// are bit-identical to the pre-refactor engine.
+func TestGoldenSearchOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full search runs in -short mode")
+	}
+	r := NewRunner(QuickOptions())
+	cases := []struct {
+		spec                  SearchSpec
+		yield, expected, arch string
+	}{
+		{
+			SearchSpec{Benchmark: "sym6_145", Strategy: "anneal", MaxEvals: 4, Steps: 40, Proposals: 4},
+			"0.3795", "1.002793192",
+			"89093e5555891e055155cbab9cc93365cae43f932470a3b140157729b822fe3e",
+		},
+		{
+			SearchSpec{Benchmark: "sym6_145", Strategy: "beam", MaxEvals: 4, BeamWidth: 4, Depth: 3},
+			"0.385", "1.000137428",
+			"7eb09f3b0a41e6ddaf8dfcaa1a0517a756219967f0545ea0c37973936a1039c7",
+		},
+	}
+	for _, c := range cases {
+		out, err := r.Search(context.Background(), c.spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%.10g", out.Best.Yield); got != c.yield {
+			t.Errorf("%s: yield %s, want %s", c.spec.Strategy, got, c.yield)
+		}
+		if got := fmt.Sprintf("%.10g", out.Expected); got != c.expected {
+			t.Errorf("%s: expected %s, want %s", c.spec.Strategy, got, c.expected)
+		}
+		if got := goldenSHA(t, out.Arch); got != c.arch {
+			t.Errorf("%s: arch hash %s, want %s", c.spec.Strategy, got, c.arch)
+		}
+	}
+}
+
+// TestGoldenSweepPoints pins a small sweep's yields and gate counts,
+// and checks that spelling the topology as "square" changes nothing.
+func TestGoldenSweepPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep runs in -short mode")
+	}
+	want := []struct {
+		label, yield string
+		gates        int
+	}{
+		{"k=0", "0.3445", 310},
+		{"k=1", "0.1995", 280},
+		{"k=2", "0.152", 283},
+	}
+	for _, topo := range []string{"", "square"} {
+		r := NewRunner(QuickOptions())
+		sw, err := r.Sweep(context.Background(), SweepSpec{
+			Benchmarks: []string{"sym6_145"},
+			Configs:    []core.Config{core.ConfigEffFull},
+			Topology:   topo,
+			Sigmas:     []float64{0.03},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sw.Points) != len(want) {
+			t.Fatalf("topology=%q: %d points, want %d", topo, len(sw.Points), len(want))
+		}
+		for i, p := range sw.Points {
+			if p.Label != want[i].label || fmt.Sprintf("%.10g", p.Yield) != want[i].yield || p.GateCount != want[i].gates {
+				t.Errorf("topology=%q point %d: %s yield=%.10g gates=%d, want %s yield=%s gates=%d",
+					topo, i, p.Label, p.Yield, p.GateCount, want[i].label, want[i].yield, want[i].gates)
+			}
+		}
+	}
+}

@@ -89,8 +89,12 @@ func (j SweepJob) Normalize(opt Options) Job {
 
 func (j SweepJob) Summary() string {
 	s := j.Spec
-	return fmt.Sprintf("sweep %v × %d configs × aux %v × %d sigmas",
+	out := fmt.Sprintf("sweep %v × %d configs × aux %v × %d sigmas",
 		s.Benchmarks, len(s.Configs), s.AuxCounts, len(s.Sigmas))
+	if s.Topology != "" {
+		out += " on " + s.Topology
+	}
+	return out
 }
 
 func (j SweepJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error) {
@@ -117,7 +121,11 @@ func (j SearchJob) Normalize(opt Options) Job {
 
 func (j SearchJob) Summary() string {
 	s := j.Spec
-	return fmt.Sprintf("search %s %s aux %v", s.Strategy, s.Benchmark, s.AuxCounts)
+	out := fmt.Sprintf("search %s %s aux %v", s.Strategy, s.Benchmark, s.AuxCounts)
+	if s.Topology != "" {
+		out += " on " + s.Topology
+	}
+	return out
 }
 
 func (j SearchJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error) {

@@ -8,6 +8,7 @@ import (
 	"qproc/internal/arch"
 	"qproc/internal/gen"
 	"qproc/internal/search"
+	"qproc/internal/topology"
 	"qproc/internal/yield"
 )
 
@@ -17,8 +18,13 @@ import (
 type SearchSpec struct {
 	Benchmark string          `json:"benchmark"`
 	Strategy  search.Strategy `json:"strategy"`
-	AuxCounts []int           `json:"aux_counts"`
-	Sigma     float64         `json:"sigma"`
+	// Topology names the topology family the search designs for: "",
+	// "square", "chimera(m,n,k)" or "coupler". Empty and "square" are the
+	// paper's square lattice and canonicalise to "" (so legacy specs and
+	// square-spelled specs share a job fingerprint).
+	Topology  string  `json:"topology,omitempty"`
+	AuxCounts []int   `json:"aux_counts"`
+	Sigma     float64 `json:"sigma"`
 	// MaxBuses caps the 4-qubit bus squares per design: nil inherits the
 	// runner's option, negative means no cap, and 0 is a real cap
 	// (forbid multi-qubit buses).
@@ -55,6 +61,10 @@ func (s SearchSpec) withDefaults(opt Options) (SearchSpec, search.Options) {
 		s.Strategy = search.Anneal
 	}
 	so.Strategy = s.Strategy
+	s.Topology = topology.Canon(s.Topology)
+	if f, err := topology.Parse(s.Topology); err == nil && !topology.IsSquare(f) {
+		so.Family = f
+	}
 	if len(s.AuxCounts) == 0 {
 		s.AuxCounts = []int{0}
 	}
@@ -161,6 +171,9 @@ func ReadSearchJSON(r io.Reader) (*SearchOutcome, error) {
 func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(SearchProgress)) (*SearchOutcome, error) {
 	b, err := gen.Get(spec.Benchmark)
 	if err != nil {
+		return nil, fmt.Errorf("experiments: search: %w", err)
+	}
+	if _, err := topology.Parse(spec.Topology); err != nil {
 		return nil, fmt.Errorf("experiments: search: %w", err)
 	}
 	c := b.Build()

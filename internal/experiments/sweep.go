@@ -9,6 +9,7 @@ import (
 	"qproc/internal/core"
 	"qproc/internal/gen"
 	"qproc/internal/mapper"
+	"qproc/internal/topology"
 	"qproc/internal/yield"
 )
 
@@ -19,12 +20,20 @@ import (
 type SweepSpec struct {
 	Benchmarks []string      `json:"benchmarks"`
 	Configs    []core.Config `json:"configs"`
-	AuxCounts  []int         `json:"aux_counts"`
-	Sigmas     []float64     `json:"sigmas"`
+	// Topology names the topology family every design of the sweep is
+	// generated on: "", "square", "chimera(m,n,k)" or "coupler". Empty
+	// and "square" are the paper's square lattice and canonicalise to ""
+	// (so legacy specs keep their job fingerprints). Non-square families
+	// evaluate the eff-full and eff-5-freq series only; the other
+	// configurations are square-lattice constructs and are skipped.
+	Topology  string    `json:"topology,omitempty"`
+	AuxCounts []int     `json:"aux_counts"`
+	Sigmas    []float64 `json:"sigmas"`
 }
 
 // withDefaults fills the empty axes.
 func (s SweepSpec) withDefaults() SweepSpec {
+	s.Topology = topology.Canon(s.Topology)
 	if len(s.Benchmarks) == 0 {
 		s.Benchmarks = gen.Names()
 	}
@@ -125,6 +134,9 @@ func (r *Runner) Sweep(ctx context.Context, spec SweepSpec, progress func(SweepP
 		ctx = context.Background()
 	}
 	spec = spec.withDefaults()
+	if _, err := topology.Parse(spec.Topology); err != nil {
+		return nil, fmt.Errorf("experiments: sweep: %w", err)
+	}
 	for _, name := range spec.Benchmarks {
 		if _, err := gen.Get(name); err != nil {
 			return nil, fmt.Errorf("experiments: sweep: %w", err)
@@ -194,7 +206,14 @@ func (r *Runner) runGroup(ctx context.Context, bench string, aux int, spec Sweep
 		return fail(err)
 	}
 	c := b.Build()
+	fam, err := topology.Parse(spec.Topology)
+	if err != nil {
+		return fail(err)
+	}
 	flow := r.flow()
+	if !topology.IsSquare(fam) {
+		flow.Family = fam
+	}
 
 	// Generate and map every design once: neither step depends on σ.
 	type mapped struct {
@@ -205,6 +224,13 @@ func (r *Runner) runGroup(ctx context.Context, bench string, aux int, spec Sweep
 	}
 	var designs []mapped
 	for _, cfg := range spec.Configs {
+		if !topology.IsSquare(fam) {
+			switch cfg {
+			case core.ConfigEffFull, core.ConfigEff5Freq:
+			default:
+				continue // square-lattice constructs: square family only
+			}
+		}
 		if aux > 0 {
 			switch cfg {
 			case core.ConfigEffFull, core.ConfigEff5Freq:

@@ -76,6 +76,13 @@ type Allocator struct {
 	Seed int64
 	// Params are the collision-model constants.
 	Params collision.Params
+	// Region optionally overrides the frequency-interaction region a
+	// candidate is scored against: it must return qubit q plus every
+	// qubit whose frequency can interact with q's, sorted ascending.
+	// Topology families with non-standard interaction reach (e.g.
+	// tunable couplers) install their policy here; nil keeps the paper's
+	// distance-2 region.
+	Region func(adj [][]int, q int) []int
 }
 
 // NewAllocator returns an Allocator with the paper's physical constants,
@@ -164,7 +171,7 @@ func (al *Allocator) Assign(a *arch.Architecture) error {
 // when incumbent is NaN (initial assignment) ties break to the lowest
 // candidate.
 func (al *Allocator) bestCandidate(adj [][]int, freqs []float64, assigned []bool, qi int, incumbent float64) float64 {
-	region := localRegion(adj, qi, assigned)
+	region := al.regionOf(adj, qi, assigned)
 	sub := yield.Subgraph(adj, region)
 	subFreqs := make([]float64, len(region))
 	qiIdx := -1
@@ -212,6 +219,26 @@ func (al *Allocator) bestCandidate(adj [][]int, freqs []float64, assigned []bool
 		}
 		return best
 	}
+}
+
+// regionOf resolves the local region of qi under the allocator's region
+// policy, restricted to qi plus the already-assigned qubits. A nil
+// assigned slice means "all assigned".
+func (al *Allocator) regionOf(adj [][]int, qi int, assigned []bool) []int {
+	if al.Region == nil {
+		return localRegion(adj, qi, assigned)
+	}
+	full := al.Region(adj, qi)
+	if assigned == nil {
+		return full
+	}
+	out := make([]int, 0, len(full))
+	for _, q := range full {
+		if q == qi || assigned[q] {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // centerQubit returns the qubit whose lattice node is closest to the

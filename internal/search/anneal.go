@@ -113,15 +113,15 @@ func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Pro
 func (p *Problem) randomMove(rng *rand.Rand, st *State) move {
 	kind := rng.Intn(10)
 	switch {
-	case kind < 3: // add a bus square
+	case kind < 3: // add a bus
 		if cands := p.addCandidates(st); len(cands) > 0 {
-			return move{kind: moveAddBus, sq: cands[rng.Intn(len(cands))]}
+			return move{kind: moveAddBus, site: cands[rng.Intn(len(cands))]}
 		}
-	case kind < 5: // remove a bus square
-		if len(st.Squares) > 0 {
-			return move{kind: moveRemoveBus, old: st.Squares[rng.Intn(len(st.Squares))]}
+	case kind < 5: // remove a bus
+		if len(st.Sites) > 0 {
+			return move{kind: moveRemoveBus, old: st.Sites[rng.Intn(len(st.Sites))]}
 		}
-	case kind < 6: // shift: move a bus to a different square
+	case kind < 6: // shift: move a bus to a different site
 		if m, ok := p.randomShift(rng, st); ok {
 			return m
 		}
@@ -142,25 +142,25 @@ func (p *Problem) randomMove(rng *rand.Rand, st *State) move {
 	}
 }
 
-// randomShift draws a shift move: a random selected square is removed and
-// a random square eligible in its absence is added.
+// randomShift draws a shift move: a random selected site is removed and
+// a random site eligible in its absence is added.
 func (p *Problem) randomShift(rng *rand.Rand, st *State) (move, bool) {
-	if len(st.Squares) == 0 {
+	if len(st.Sites) == 0 {
 		return move{}, false
 	}
-	victim := st.Squares[rng.Intn(len(st.Squares))]
-	rest := removeSquare(st.Squares, victim)
+	victim := st.Sites[rng.Intn(len(st.Sites))]
+	rest := removeSite(st.Sites, victim)
 	// Re-derive eligibility without the victim on a scratch architecture.
 	scratch := p.bases[st.Aux].arch.Clone()
-	for _, sq := range rest {
-		if err := scratch.ApplyMultiBus(sq); err != nil {
+	for _, s := range rest {
+		if err := scratch.ApplyBusAt(s); err != nil {
 			return move{}, false // unreachable: subset of a valid set
 		}
 	}
 	var eligible []move
-	for _, sq := range p.bases[st.Aux].squares {
-		if sq != victim && scratch.CanApplyMultiBus(sq) {
-			eligible = append(eligible, move{kind: moveShiftBus, old: victim, sq: sq})
+	for _, s := range p.bases[st.Aux].sites {
+		if s != victim && scratch.CanApplyBusAt(s) {
+			eligible = append(eligible, move{kind: moveShiftBus, old: victim, site: s})
 		}
 	}
 	if len(eligible) == 0 {

@@ -70,11 +70,11 @@ func runBeam(ctx context.Context, p *Problem, ev *evaluator, progress func(Progr
 		opt.forEach(ctx, len(frontier), func(i int) {
 			st := frontier[i]
 			var ms []move
-			for _, sq := range p.addCandidates(st) {
-				ms = append(ms, move{kind: moveAddBus, sq: sq})
+			for _, s := range p.addCandidates(st) {
+				ms = append(ms, move{kind: moveAddBus, site: s})
 			}
-			for _, sq := range st.Squares {
-				ms = append(ms, move{kind: moveRemoveBus, old: sq})
+			for _, s := range st.Sites {
+				ms = append(ms, move{kind: moveRemoveBus, old: s})
 			}
 			ms = append(ms, p.bestReseeds(st)...)
 			moveLists[i] = ms

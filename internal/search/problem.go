@@ -11,21 +11,23 @@ import (
 	"qproc/internal/collision"
 	"qproc/internal/core"
 	"qproc/internal/freq"
-	"qproc/internal/lattice"
+	"qproc/internal/topology"
 )
 
 // freqCandidates is the shared (immutable) candidate frequency grid.
 var freqCandidates = freq.Candidates()
 
 // baseLayout is one auxiliary-qubit variant of the program's layout: the
-// bus-free architecture, the candidate bus squares, and the two frequency
+// bus-free architecture, the candidate bus sites, and the two frequency
 // seeds a search may start a state from.
 type baseLayout struct {
 	aux  int
 	arch *arch.Architecture
-	// squares lists every lattice square with >= 3 occupied corners, in
-	// canonical order — the universe bus moves draw from.
-	squares []lattice.Square
+	// sites lists every candidate multi-qubit-bus site of the family, in
+	// canonical order — the universe bus moves draw from. Empty for
+	// families without bus sites (chimera, coupler), whose searches move
+	// over frequencies and aux variants alone.
+	sites []arch.Site
 	// seedAlloc is the Algorithm 3 assignment on the bus-free layout
 	// (identical to the k=0 eff-full design of the exhaustive series);
 	// seedFive is IBM's regular 5-frequency scheme.
@@ -36,6 +38,10 @@ type baseLayout struct {
 type Problem struct {
 	opt  Options
 	circ *circuit.Circuit
+	// family is the effective topology family (square when the options
+	// name none); region is its frequency-interaction region policy.
+	family topology.Family
+	region func(adj [][]int, q int) []int
 	// auxCounts is opt.AuxCounts deduplicated, original order kept.
 	auxCounts []int
 	bases     map[int]*baseLayout
@@ -48,7 +54,16 @@ type Problem struct {
 // newProblem builds the per-aux base layouts and frequency seeds.
 func newProblem(c *circuit.Circuit, opt Options) (*Problem, error) {
 	p := &Problem{opt: opt, circ: c, bases: map[int]*baseLayout{}}
+	p.family = opt.Family
+	if p.family == nil {
+		p.family = topology.Square{}
+	}
+	p.region = freq.Region
+	if !topology.IsSquare(p.family) {
+		p.region = p.family.Region
+	}
 	flow := core.NewFlow(opt.Seed)
+	flow.Family = opt.Family
 	for _, aux := range opt.AuxCounts {
 		if _, dup := p.bases[aux]; dup {
 			continue
@@ -62,10 +77,13 @@ func newProblem(c *circuit.Circuit, opt Options) (*Problem, error) {
 		// same design the exhaustive series evaluates at k=0.
 		al := freq.NewAllocator(opt.Seed)
 		al.Params = opt.Params
+		if !topology.IsSquare(p.family) {
+			al.Region = p.family.Region
+		}
 		p.bases[aux] = &baseLayout{
 			aux:       aux,
 			arch:      base,
-			squares:   base.Occupied().Squares(3),
+			sites:     base.CandidateSites(),
 			seedAlloc: al.Allocate(base),
 			seedFive:  arch.FiveFreqScheme(base),
 		}
@@ -75,14 +93,14 @@ func newProblem(c *circuit.Circuit, opt Options) (*Problem, error) {
 }
 
 // State is one point of the design space: an aux layout variant, a set of
-// 4-qubit bus squares, and a frequency assignment. States are immutable
+// multi-qubit bus sites, and a frequency assignment. States are immutable
 // once returned by newState/apply.
 type State struct {
 	Aux int
-	// Squares is canonically sorted; the prohibited condition makes
+	// Sites is canonically sorted; the prohibited condition makes
 	// application order irrelevant.
-	Squares []lattice.Square
-	Arch    *arch.Architecture
+	Sites []arch.Site
+	Arch  *arch.Architecture
 	// Expected is the analytic expected collision count at the search σ —
 	// the surrogate score every proposal is ranked by.
 	Expected float64
@@ -90,7 +108,7 @@ type State struct {
 	inc *collision.Incremental
 	key string
 	// topoKey identifies the coupling topology alone (aux variant + bus
-	// squares): states sharing it have identical adjacency lists, which
+	// sites): states sharing it have identical adjacency lists, which
 	// is what lets the evaluator re-estimate frequency-only promotions
 	// incrementally.
 	topoKey string
@@ -99,30 +117,30 @@ type State struct {
 // Freqs returns the state's frequency assignment.
 func (st *State) Freqs() []float64 { return st.inc.Freqs() }
 
-// Key is the canonical identity of the state: aux variant, bus squares
+// Key is the canonical identity of the state: aux variant, bus sites
 // and grid frequencies. Used for deduplication and deterministic
 // tie-breaking.
 func (st *State) Key() string { return st.key }
 
-func sortSquares(sqs []lattice.Square) {
-	sort.Slice(sqs, func(i, j int) bool { return sqs[i].Origin.Less(sqs[j].Origin) })
+func sortSites(sites []arch.Site) {
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Less(sites[j]) })
 }
 
-// newState assembles and scores a state. squares and freqs are retained
-// (callers pass fresh copies); squares are re-sorted in place. It fails
-// when the square set violates eligibility or the prohibited condition.
-func (p *Problem) newState(aux int, squares []lattice.Square, freqs []float64) (*State, error) {
+// newState assembles and scores a state. sites and freqs are retained
+// (callers pass fresh copies); sites are re-sorted in place. It fails
+// when the site set violates eligibility or the prohibited condition.
+func (p *Problem) newState(aux int, sites []arch.Site, freqs []float64) (*State, error) {
 	base, ok := p.bases[aux]
 	if !ok {
 		return nil, fmt.Errorf("search: aux=%d is not a configured layout variant", aux)
 	}
-	if p.opt.MaxBuses >= 0 && len(squares) > p.opt.MaxBuses {
-		return nil, fmt.Errorf("search: %d bus squares exceed MaxBuses=%d", len(squares), p.opt.MaxBuses)
+	if p.opt.MaxBuses >= 0 && len(sites) > p.opt.MaxBuses {
+		return nil, fmt.Errorf("search: %d bus sites exceed MaxBuses=%d", len(sites), p.opt.MaxBuses)
 	}
-	sortSquares(squares)
+	sortSites(sites)
 	a := base.arch.Clone()
-	for _, sq := range squares {
-		if err := a.ApplyMultiBus(sq); err != nil {
+	for _, s := range sites {
+		if err := a.ApplyBusAt(s); err != nil {
 			return nil, fmt.Errorf("search: %w", err)
 		}
 	}
@@ -132,25 +150,25 @@ func (p *Problem) newState(aux int, squares []lattice.Square, freqs []float64) (
 	inc := collision.NewIncremental(a.AdjList(), freqs, p.opt.Sigma, p.opt.Params)
 	st := &State{
 		Aux:      aux,
-		Squares:  squares,
+		Sites:    sites,
 		Arch:     a,
 		Expected: inc.Score(),
 		inc:      inc,
-		topoKey:  topoKey(aux, squares),
+		topoKey:  topoKey(aux, sites),
 	}
 	st.key = stateKey(st.topoKey, freqs)
 	return st, nil
 }
 
 // topoKey canonically names a coupling topology: the aux layout variant
-// plus the sorted bus squares. Equal topoKeys imply equal adjacency
-// lists (the squares are applied to the same base layout in the same
+// plus the sorted bus sites. Equal topoKeys imply equal adjacency
+// lists (the sites are applied to the same base layout in the same
 // canonical order).
-func topoKey(aux int, squares []lattice.Square) string {
+func topoKey(aux int, sites []arch.Site) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "aux=%d|", aux)
-	for _, sq := range squares {
-		fmt.Fprintf(&b, "%d,%d;", sq.Origin.X, sq.Origin.Y)
+	for _, s := range sites {
+		fmt.Fprintf(&b, "%d,%d;", s.X, s.Y)
 	}
 	return b.String()
 }
@@ -204,7 +222,7 @@ func (p *Problem) seedStates() ([]*State, error) {
 
 // warmState builds the Options.WarmStart seed: starting from the
 // Algorithm 3 assignment on the hinted aux variant, the analytically
-// best eligible bus square is added greedily until the hinted budget
+// best eligible bus site is added greedily until the hinted budget
 // (clamped by MaxBuses and eligibility) is reached. Nil when no hint is
 // configured or the hint names an unconfigured aux variant.
 func (p *Problem) warmState() (*State, error) {
@@ -225,12 +243,12 @@ func (p *Problem) warmState() (*State, error) {
 	if p.opt.MaxBuses >= 0 && target > p.opt.MaxBuses {
 		target = p.opt.MaxBuses
 	}
-	for len(st.Squares) < target {
+	for len(st.Sites) < target {
 		var next *State
-		for _, sq := range p.addCandidates(st) {
-			cand, err := p.apply(st, move{kind: moveAddBus, sq: sq})
+		for _, s := range p.addCandidates(st) {
+			cand, err := p.apply(st, move{kind: moveAddBus, site: s})
 			if err != nil {
-				continue // square became ineligible under the current set
+				continue // site became ineligible under the current set
 			}
 			p.proposals++
 			if next == nil || cand.Expected < next.Expected ||
@@ -239,7 +257,7 @@ func (p *Problem) warmState() (*State, error) {
 			}
 		}
 		if next == nil {
-			break // no eligible square left below the budget
+			break // no eligible site left below the budget
 		}
 		st = next
 	}
@@ -277,13 +295,13 @@ func bestFreqFor(inc *collision.Incremental, q int) (best float64, bestE float64
 }
 
 // repairState re-scores st after repairing the regions around the seed
-// qubits (their coupling distance <= 2 neighbourhoods), excluding the
-// qubits in keep (whose frequencies a move just pinned).
-func (st *State) repairState(seeds []int, keep map[int]bool) {
+// qubits (their family frequency-interaction neighbourhoods), excluding
+// the qubits in keep (whose frequencies a move just pinned).
+func (p *Problem) repairState(st *State, seeds []int, keep map[int]bool) {
 	adj := st.inc.Adj()
 	region := map[int]bool{}
 	for _, q := range seeds {
-		for _, r := range freq.Region(adj, q) {
+		for _, r := range p.region(adj, q) {
 			if !keep[r] {
 				region[r] = true
 			}
@@ -303,15 +321,10 @@ func (st *State) repairState(seeds []int, keep map[int]bool) {
 	st.key = stateKey(st.topoKey, fr)
 }
 
-// cornerQubits returns the qubit ids on the corners of sq in st's layout.
-func (p *Problem) cornerQubits(aux int, sq lattice.Square) []int {
-	var out []int
-	for _, c := range sq.Corners() {
-		if q, ok := p.bases[aux].arch.QubitAt(c); ok {
-			out = append(out, q)
-		}
-	}
-	return out
+// siteQubits returns the qubit ids a bus at site s would join in the
+// aux variant's layout.
+func (p *Problem) siteQubits(aux int, s arch.Site) []int {
+	return p.bases[aux].arch.SiteQubits(s)
 }
 
 // moveKind enumerates the neighbour move types.
@@ -329,10 +342,10 @@ const (
 // data so they can be drawn serially and applied concurrently.
 type move struct {
 	kind moveKind
-	// sq is the square to add (moveAddBus, moveShiftBus).
-	sq lattice.Square
-	// old is the square to remove (moveRemoveBus, moveShiftBus).
-	old lattice.Square
+	// site is the bus site to add (moveAddBus, moveShiftBus).
+	site arch.Site
+	// old is the bus site to remove (moveRemoveBus, moveShiftBus).
+	old arch.Site
 	// aux and five select the seed state of an aux jump.
 	aux  int
 	five bool
@@ -346,36 +359,36 @@ type move struct {
 func (p *Problem) apply(st *State, m move) (*State, error) {
 	switch m.kind {
 	case moveAddBus:
-		squares := append(append([]lattice.Square(nil), st.Squares...), m.sq)
-		next, err := p.newState(st.Aux, squares, st.Freqs())
+		sites := append(append([]arch.Site(nil), st.Sites...), m.site)
+		next, err := p.newState(st.Aux, sites, st.Freqs())
 		if err != nil {
 			return nil, err
 		}
-		next.repairState(p.cornerQubits(st.Aux, m.sq), nil)
+		p.repairState(next, p.siteQubits(st.Aux, m.site), nil)
 		return next, nil
 	case moveRemoveBus:
-		squares := removeSquare(st.Squares, m.old)
-		if len(squares) == len(st.Squares) {
-			return nil, fmt.Errorf("search: square %v not selected", m.old)
+		sites := removeSite(st.Sites, m.old)
+		if len(sites) == len(st.Sites) {
+			return nil, fmt.Errorf("search: %v not selected", m.old)
 		}
-		next, err := p.newState(st.Aux, squares, st.Freqs())
+		next, err := p.newState(st.Aux, sites, st.Freqs())
 		if err != nil {
 			return nil, err
 		}
-		next.repairState(p.cornerQubits(st.Aux, m.old), nil)
+		p.repairState(next, p.siteQubits(st.Aux, m.old), nil)
 		return next, nil
 	case moveShiftBus:
-		squares := removeSquare(st.Squares, m.old)
-		if len(squares) == len(st.Squares) {
-			return nil, fmt.Errorf("search: square %v not selected", m.old)
+		sites := removeSite(st.Sites, m.old)
+		if len(sites) == len(st.Sites) {
+			return nil, fmt.Errorf("search: %v not selected", m.old)
 		}
-		squares = append(squares, m.sq)
-		next, err := p.newState(st.Aux, squares, st.Freqs())
+		sites = append(sites, m.site)
+		next, err := p.newState(st.Aux, sites, st.Freqs())
 		if err != nil {
 			return nil, err
 		}
-		seeds := append(p.cornerQubits(st.Aux, m.old), p.cornerQubits(st.Aux, m.sq)...)
-		next.repairState(seeds, nil)
+		seeds := append(p.siteQubits(st.Aux, m.old), p.siteQubits(st.Aux, m.site)...)
+		p.repairState(next, seeds, nil)
 		return next, nil
 	case moveAuxJump:
 		base, ok := p.bases[m.aux]
@@ -395,39 +408,39 @@ func (p *Problem) apply(st *State, m move) (*State, error) {
 		inc.Set1(m.qubit, m.freq)
 		next := &State{
 			Aux:     st.Aux,
-			Squares: append([]lattice.Square(nil), st.Squares...),
+			Sites:   append([]arch.Site(nil), st.Sites...),
 			Arch:    st.Arch.Clone(),
 			inc:     inc,
 			topoKey: st.topoKey,
 		}
 		// Repair the perturbed region but keep the kick pinned, so the
 		// move can escape the local minimum the incumbent sits in.
-		next.repairState([]int{m.qubit}, map[int]bool{m.qubit: true})
+		p.repairState(next, []int{m.qubit}, map[int]bool{m.qubit: true})
 		return next, nil
 	}
 	return nil, fmt.Errorf("search: unknown move kind %d", m.kind)
 }
 
-func removeSquare(sqs []lattice.Square, victim lattice.Square) []lattice.Square {
-	out := make([]lattice.Square, 0, len(sqs))
-	for _, sq := range sqs {
-		if sq != victim {
-			out = append(out, sq)
+func removeSite(sites []arch.Site, victim arch.Site) []arch.Site {
+	out := make([]arch.Site, 0, len(sites))
+	for _, s := range sites {
+		if s != victim {
+			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// addCandidates lists the squares an add-bus move may target from st, in
+// addCandidates lists the sites an add-bus move may target from st, in
 // canonical order.
-func (p *Problem) addCandidates(st *State) []lattice.Square {
-	if p.opt.MaxBuses >= 0 && len(st.Squares) >= p.opt.MaxBuses {
+func (p *Problem) addCandidates(st *State) []arch.Site {
+	if p.opt.MaxBuses >= 0 && len(st.Sites) >= p.opt.MaxBuses {
 		return nil
 	}
-	var out []lattice.Square
-	for _, sq := range p.bases[st.Aux].squares {
-		if st.Arch.CanApplyMultiBus(sq) {
-			out = append(out, sq)
+	var out []arch.Site
+	for _, s := range p.bases[st.Aux].sites {
+		if st.Arch.CanApplyBusAt(s) {
+			out = append(out, s)
 		}
 	}
 	return out

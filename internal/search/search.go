@@ -37,6 +37,7 @@ import (
 	"qproc/internal/core"
 	"qproc/internal/lattice"
 	"qproc/internal/mapper"
+	"qproc/internal/topology"
 	"qproc/internal/workpool"
 	"qproc/internal/yield"
 )
@@ -130,6 +131,11 @@ type Options struct {
 	// the space — typically the best point of a prior exhaustive sweep.
 	// Nil starts cold.
 	WarmStart *WarmStart
+	// Family selects the topology family the search designs for. Nil
+	// means the paper's square lattice. Families without multi-qubit bus
+	// sites (chimera, coupler) restrict the move set to aux jumps and
+	// frequency re-seeds automatically.
+	Family topology.Family
 }
 
 // WarmStart names the design-space region a search should start from:
@@ -387,14 +393,18 @@ func (p *Problem) finish(ev *evaluator, best *evaluated, trace []TracePoint) (*R
 		}
 	}
 	a := st.Arch.Clone()
-	a.Name = fmt.Sprintf("%s/search-%s-%dbus", p.circ.Name, p.opt.Strategy, len(st.Squares))
+	a.Name = fmt.Sprintf("%s/search-%s-%dbus", p.circ.Name, p.opt.Strategy, len(st.Sites))
 	checked, skipped := ev.condStats()
+	squares := make([]lattice.Square, len(st.Sites))
+	for i, s := range st.Sites {
+		squares[i] = s.Square()
+	}
 	return &Result{
 		Strategy: p.opt.Strategy,
 		Best: &core.Design{
 			Arch:      a,
-			Buses:     len(st.Squares),
-			Squares:   append([]lattice.Square(nil), st.Squares...),
+			Buses:     len(st.Sites),
+			Squares:   squares,
 			Config:    core.ConfigSearch,
 			AuxQubits: st.Aux,
 		},

@@ -214,7 +214,7 @@ func TestStateRepairNeverWorsens(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		clone.repairState([]int{0}, nil)
+		p.repairState(clone, []int{0}, nil)
 		if clone.Expected > before+1e-12 {
 			t.Fatalf("repair worsened E: %g -> %g", before, clone.Expected)
 		}

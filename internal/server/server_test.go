@@ -937,3 +937,87 @@ func TestRestoredDoneJobWithLostOutcomeIsRetryable(t *testing.T) {
 		t.Fatalf("recomputed result: %s", rresp.Status)
 	}
 }
+
+// chimeraSearchBody is a tiny chimera-family search: the topology field
+// must survive submission, the run store, and a journal restart.
+const chimeraSearchBody = `{"kind":"search","spec":{"benchmark":"sym6_145","strategy":"anneal","topology":"chimera(2,2,4)","steps":6,"proposals":2,"max_evals":1}}`
+
+// TestChimeraTopologySurvivesStoreAndJournal is the topology-field
+// round-trip: a chimera search is submitted, finishes, and after a
+// server restart from the journal the restored job still carries the
+// topology in its spec and serves the stored outcome with the family
+// intact — no recomputation.
+func TestChimeraTopologySurvivesStoreAndJournal(t *testing.T) {
+	dir := t.TempDir()
+	journalPath := filepath.Join(dir, "jobs.ndjson")
+	store1, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal1, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store1, Journal: journal1, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	done := submit(t, ts1.URL, chimeraSearchBody)
+	if !strings.Contains(string(done.Spec), `"chimera(2,2,4)"`) {
+		t.Fatalf("submitted job view lost the topology: %s", done.Spec)
+	}
+	waitDone(t, ts1.URL, done.ID)
+	ts1.Close()
+	s1.Close()
+	journal1.Close()
+
+	store2, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal2, err := runstore.OpenJournal(journalPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Runner: experiments.NewRunner(tinyOptions()), Store: store2, Journal: journal2, QueueSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		s2.Close()
+		journal2.Close()
+	})
+
+	restored := getStatus(t, ts2.URL, done.ID)
+	if restored.Status != statusDone || !restored.Restored {
+		t.Fatalf("chimera job restored as %+v", restored)
+	}
+	if !strings.Contains(string(restored.Spec), `"chimera(2,2,4)"`) {
+		t.Fatalf("journal-restored job lost the topology: %s", restored.Spec)
+	}
+
+	resp, err := http.Get(ts2.URL + "/v1/jobs/" + done.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored chimera result: %s", resp.Status)
+	}
+	out, err := experiments.ReadSearchJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Spec.Topology != "chimera(2,2,4)" {
+		t.Fatalf("stored outcome topology %q, want chimera(2,2,4)", out.Spec.Topology)
+	}
+	if out.Arch == nil || out.Arch.Family != "chimera(2,2,4)" {
+		t.Fatalf("stored winning architecture is not chimera-tagged: %+v", out.Arch)
+	}
+	if hits, misses := s2.cfg.Runner.NoiseCacheStats(); hits+misses != 0 {
+		t.Fatalf("restored chimera result simulated: %d hits, %d misses", hits, misses)
+	}
+}
