@@ -284,33 +284,65 @@ func BenchmarkSearch(b *testing.B) {
 	})
 }
 
-// BenchmarkEstimate measures the Monte-Carlo yield estimator on the
-// per-family base layouts — the coupler sub-bench is the tunable-coupler
-// regression gate (pairwise-only graph, distance-1 regions).
-func BenchmarkEstimate(b *testing.B) {
+// benchFamilyArch generates the eff-full base design of sym6_145 on the
+// named topology family — the shared testbed of the estimate benches.
+func benchFamilyArch(b *testing.B, topo string) *arch.Architecture {
+	b.Helper()
 	bench, err := gen.Get("sym6_145")
 	if err != nil {
 		b.Fatal(err)
 	}
 	c := bench.Build().Decompose()
+	fam, err := topology.Parse(topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flow := core.NewFlow(1)
+	flow.FreqLocalTrials = 150
+	if !topology.IsSquare(fam) {
+		flow.Family = fam
+	}
+	ds, err := flow.SeriesConfig(c, core.ConfigEffFull, -1, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds[0].Arch
+}
+
+// BenchmarkEstimate measures the Monte-Carlo yield estimator on the
+// per-family base layouts — the coupler sub-bench is the tunable-coupler
+// regression gate (pairwise-only graph, distance-1 regions). The plain
+// sub-benches keep the historical configuration (1000 trials, noise
+// redrawn per estimate) so the series stays comparable across PRs; the
+// batch- sub-benches measure the production configuration — the paper's
+// 10 000-trial budget against a warmed noise cache, which is how the
+// experiments runner always invokes the estimator — isolating the batch
+// kernel sweep itself.
+func BenchmarkEstimate(b *testing.B) {
 	for _, topo := range []string{"square", "coupler"} {
 		b.Run(topo, func(b *testing.B) {
-			fam, err := topology.Parse(topo)
-			if err != nil {
-				b.Fatal(err)
-			}
-			flow := core.NewFlow(1)
-			flow.FreqLocalTrials = 150
-			if !topology.IsSquare(fam) {
-				flow.Family = fam
-			}
-			ds, err := flow.SeriesConfig(c, core.ConfigEffFull, -1, 0, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			a := ds[0].Arch
+			a := benchFamilyArch(b, topo)
 			sim := yield.New(1)
 			sim.Trials = 1000
+			var y float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y = sim.Estimate(a)
+			}
+			b.ReportMetric(y, "yield")
+		})
+	}
+	for _, topo := range []string{"square", "chimera(2,2,4)", "coupler"} {
+		name := map[string]string{
+			"square": "batch-square", "chimera(2,2,4)": "batch-chimera", "coupler": "batch-coupler",
+		}[topo]
+		b.Run(name, func(b *testing.B) {
+			a := benchFamilyArch(b, topo)
+			sim := yield.New(1)
+			sim.Trials = yield.DefaultTrials
+			sim.Parallel = false
+			sim.Cache = yield.NewNoiseCache()
+			sim.Estimate(a) // warm the noise entry
 			var y float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -311,3 +311,62 @@ func TestPreviewMatchesSetRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCountSurvivorsMatchesChecker is the batch one-shot differential:
+// CountSurvivors over column-major noise must agree exactly with a
+// scalar per-trial Checker.Collides loop — across random graphs and
+// design assignments, trial counts straddling every word boundary (the
+// trailing-word masking invariant), and arbitrary word-aligned chunk
+// splits (the invariant the parallel estimate relies on).
+func TestCountSurvivorsMatchesChecker(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(41))
+	trialCounts := []int{1, 63, 64, 65, 127, 128, 200}
+	for round := 0; round < 40; round++ {
+		n := 2 + rng.Intn(10)
+		adj := randomGraph(rng, n)
+		design := randomFreqs(rng, n)
+		k := NewKernel(adj, p)
+		ch := NewChecker(adj, design, p)
+		trials := trialCounts[round%len(trialCounts)]
+		if round >= len(trialCounts)*2 {
+			trials = 1 + rng.Intn(300)
+		}
+		cols := make([][]float64, n)
+		for q := range cols {
+			cols[q] = make([]float64, trials)
+			for ti := range cols[q] {
+				cols[q][ti] = rng.NormFloat64() * 0.03
+			}
+		}
+		want := 0
+		post := make([]float64, n)
+		for ti := 0; ti < trials; ti++ {
+			for q := range post {
+				post[q] = design[q] + cols[q][ti]
+			}
+			if !ch.Collides(post) {
+				want++
+			}
+		}
+		if got := k.CountSurvivors(design, cols, 0, trials); got != want {
+			t.Fatalf("round %d: CountSurvivors=%d, checker loop=%d\nadj=%v design=%v trials=%d",
+				round, got, want, adj, design, trials)
+		}
+		// Word-aligned chunk splits must sum to the whole-range count.
+		for _, cut := range []int{64, 128} {
+			if cut >= trials {
+				continue
+			}
+			got := k.CountSurvivors(design, cols, 0, cut) +
+				k.CountSurvivors(design, cols, cut, trials)
+			if got != want {
+				t.Fatalf("round %d: chunked at %d sum=%d, want %d", round, cut, got, want)
+			}
+		}
+		// Empty and inverted ranges count zero survivors.
+		if got := k.CountSurvivors(design, cols, 0, 0); got != 0 {
+			t.Fatalf("round %d: empty range counted %d", round, got)
+		}
+	}
+}

@@ -1,8 +1,14 @@
 package collision
 
+import (
+	"math/bits"
+	"sort"
+)
+
 // Kernel is the edge-bundle compilation of the collision conditions for
-// one coupling graph, the structural core of the incremental Monte-Carlo
-// estimator (yield.TrialState). Where Checker fixes the gate orientation
+// one coupling graph, the structural core of both Monte-Carlo batch
+// paths: the incremental estimator (yield.TrialState) and the one-shot
+// batch estimate (CountSurvivors). Where Checker fixes the gate orientation
 // at compile time from one design-frequency assignment, Kernel compiles
 // only the topology — per undirected edge, the two endpoints and the
 // spectator candidate list of either orientation — and resolves the
@@ -37,6 +43,9 @@ type Kernel struct {
 // NewKernel compiles the edge bundles of the coupling graph adj.
 func NewKernel(adj [][]int, p Params) *Kernel {
 	k := &Kernel{params: p, halfDelta: p.Delta / 2, deps: make([][]int32, len(adj))}
+	// mark is the per-edge dedup scratch for dependent recording, reset
+	// between edges; a flat bool slice avoids a map allocation per edge.
+	mark := make([]bool, len(adj))
 	for a, nbrs := range adj {
 		for _, b := range nbrs {
 			if b <= a {
@@ -59,14 +68,18 @@ func NewKernel(adj [][]int, p Params) *Kernel {
 			}
 			// Dependents: endpoints plus every spectator candidate of
 			// either orientation, each edge recorded once per qubit.
-			seen := map[int32]bool{int32(a): true, int32(b): true}
+			mark[a], mark[b] = true, true
 			k.deps[a] = append(k.deps[a], e)
 			k.deps[b] = append(k.deps[b], e)
 			for _, i := range k.specs[k.offA[e]:] {
-				if !seen[i] {
-					seen[i] = true
+				if !mark[i] {
+					mark[i] = true
 					k.deps[i] = append(k.deps[i], e)
 				}
+			}
+			mark[a], mark[b] = false, false
+			for _, i := range k.specs[k.offA[e]:] {
+				mark[i] = false
 			}
 		}
 	}
@@ -159,6 +172,228 @@ func (k *Kernel) EdgeFailsBits(e int, design []float64, cols [][]float64, lo, hi
 	if nbit > 0 {
 		out[wi] = word
 	}
+}
+
+// CountSurvivors counts the trials in [lo, hi) that survive every edge
+// bundle of the kernel under the design frequencies — the batch one-shot
+// form of the Monte-Carlo verdict loop. cols is the noise matrix in
+// column-major (structure-of-arrays) form, cols[q][t] = trial t's noise
+// on qubit q, the same layout EdgeFailsBits reads; each trial's
+// post-fabrication frequency is formed as design[q] + cols[q][t], the
+// single addition the row-major reference loop performs.
+//
+// The sweep is edge-major over a bit-packed survivor mask (bit t−lo set
+// = trial t has not yet failed any bundle), with four invariants:
+//
+//   - Trailing-word masking: bits at and beyond hi−lo are never set, so
+//     word-at-a-time operations cannot count phantom trials past the end
+//     of a partial final word.
+//   - Lethal-first ordering: bundles are swept most-lethal-first, ranked
+//     by how close the design frequencies sit to a condition boundary
+//     (lethalOrder), so doomed trials die on their first or second
+//     bundle and the masks thin out as early as possible.
+//   - Dead-word skip: a mask word whose survivors are all gone costs one
+//     compare per remaining bundle — the bundle's verdicts for those 64
+//     trials are provably irrelevant (a failed trial cannot un-fail).
+//   - Chunk early-out: once no survivor remains anywhere in [lo, hi),
+//     the remaining bundles are skipped entirely.
+//
+// Skipping only ever avoids evaluating trials already known to fail, and
+// a trial's verdict is an order-independent OR over bundles, so the
+// returned count — and therefore the yield — is bit-identical to
+// evaluating every bundle on every trial in any order, which in turn
+// equals the scalar NewChecker(adj, design, p).Collides verdict per
+// trial (TestCountSurvivorsMatchesChecker enforces the equivalence).
+// The condition arithmetic matches Checker.Collides operation for
+// operation.
+//
+// CountSurvivors keeps no state on the kernel, so concurrent chunks may
+// share one compiled kernel.
+func (k *Kernel) CountSurvivors(design []float64, cols [][]float64, lo, hi int) int {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	words := (n + 63) / 64
+	surv := make([]uint64, words)
+	for i := range surv {
+		surv[i] = ^uint64(0)
+	}
+	if tail := uint(n % 64); tail != 0 {
+		surv[words-1] = 1<<tail - 1
+	}
+	alive := n
+	t1, t2, t3 := k.params.T1, k.params.T2, k.params.T3
+	t5, t6, t7 := k.params.T5, k.params.T6, k.params.T7
+	delta, halfDelta := k.params.Delta, k.halfDelta
+	var specD []float64
+	var specC [][]float64
+	for _, e := range k.lethalOrder(design) {
+		if alive == 0 {
+			break
+		}
+		ctl, tgt, specs := k.Orient(int(e), design)
+		dj, dk := design[ctl], design[tgt]
+		cj, ck := cols[ctl][lo:hi], cols[tgt][lo:hi]
+		// Hoist the spectators' design frequencies and noise columns once
+		// per bundle; the buffers are reused across bundles.
+		if cap(specD) < len(specs) {
+			specD = make([]float64, len(specs))
+			specC = make([][]float64, len(specs))
+		}
+		specD = specD[:len(specs)]
+		specC = specC[:len(specs)]
+		for si, s := range specs {
+			specD[si] = design[s]
+			specC[si] = cols[s][lo:hi]
+		}
+		for wi, w := range surv {
+			if w == 0 {
+				continue
+			}
+			base := wi * 64
+			if bits.OnesCount64(w) >= denseWordThreshold {
+				// Dense word: nearly every trial is still alive, so a
+				// straight scan over the contiguous column slices beats
+				// extracting bits one by one — failed trials are also
+				// evaluated, but masking the fail word with w below keeps
+				// them dead, so skipping semantics are unchanged.
+				end := base + 64
+				if end > n {
+					end = n
+				}
+				// Re-slicing ck to cj's length lets the compiler drop the
+				// bounds check on the paired load.
+				cjw := cj[base:end]
+				ckw := ck[base:end][:len(cjw)]
+				var failw uint64
+				for o, cv := range cjw {
+					fj, fk := dj+cv, dk+ckw[o]
+					fkd := fk - delta
+					fails := abs(fj-fk) < t1 ||
+						abs(fj-(fk-halfDelta)) < t2 ||
+						abs(fj-fkd) < t3 ||
+						fj > fkd
+					if !fails {
+						i := base + o
+						for si := range specC {
+							fi := specD[si] + specC[si][i]
+							if abs(fi-fk) < t5 ||
+								abs(fi-fkd) < t6 ||
+								abs(2*fj+delta-(fk+fi)) < t7 {
+								fails = true
+								break
+							}
+						}
+					}
+					if fails {
+						failw |= 1 << uint(o)
+					}
+				}
+				if failw &= w; failw != 0 {
+					surv[wi] = w &^ failw
+					alive -= bits.OnesCount64(failw)
+				}
+				continue
+			}
+			for m := w; m != 0; {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				i := base + b
+				fj, fk := dj+cj[i], dk+ck[i]
+				fkd := fk - delta
+				fails := abs(fj-fk) < t1 ||
+					abs(fj-(fk-halfDelta)) < t2 ||
+					abs(fj-fkd) < t3 ||
+					fj > fkd
+				if !fails {
+					for si := range specC {
+						fi := specD[si] + specC[si][i]
+						if abs(fi-fk) < t5 ||
+							abs(fi-fkd) < t6 ||
+							abs(2*fj+delta-(fk+fi)) < t7 {
+							fails = true
+							break
+						}
+					}
+				}
+				if fails {
+					w &^= 1 << uint(b)
+					alive--
+				}
+			}
+			surv[wi] = w
+		}
+	}
+	return alive
+}
+
+// denseWordThreshold is the survivor population at or above which a mask
+// word is swept by straight scan instead of bit extraction: with nearly
+// all 64 trials alive, sequential reads of the contiguous columns are
+// cheaper than a TrailingZeros walk, even counting the few wasted
+// evaluations of dead trials.
+const denseWordThreshold = 48
+
+// lethalOrder returns the bundle sweep order for CountSurvivors:
+// ascending by design margin — the signed distance from the design
+// frequencies to the nearest condition boundary (negative means the
+// design point itself violates a condition, so every trial near it
+// fails). Fabrication noise is zero-mean, so a bundle whose margin is
+// small kills the most trials; sweeping those first empties the
+// survivor masks in as few bundle visits as possible. The order affects
+// running time only: a trial's verdict is an order-independent OR over
+// bundles.
+func (k *Kernel) lethalOrder(design []float64) []int32 {
+	m := len(k.edgeA)
+	order := make([]int32, m)
+	margin := make([]float64, m)
+	for e := 0; e < m; e++ {
+		order[e] = int32(e)
+		margin[e] = k.designMargin(e, design)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if margin[a] != margin[b] {
+			return margin[a] < margin[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// designMargin is the smallest signed distance from edge e's design-point
+// frequencies to any of its condition boundaries — the lethality proxy
+// behind lethalOrder. It mirrors the condition arithmetic with the
+// thresholds subtracted, so a margin below zero means the noiseless
+// design already collides on this bundle.
+func (k *Kernel) designMargin(e int, design []float64) float64 {
+	ctl, tgt, specs := k.Orient(e, design)
+	dj, dk := design[ctl], design[tgt]
+	dkd := dk - k.params.Delta
+	m := abs(dj-dk) - k.params.T1
+	if v := abs(dj-(dk-k.halfDelta)) - k.params.T2; v < m {
+		m = v
+	}
+	if v := abs(dj-dkd) - k.params.T3; v < m {
+		m = v
+	}
+	if v := dkd - dj; v < m {
+		m = v
+	}
+	for _, s := range specs {
+		di := design[s]
+		if v := abs(di-dk) - k.params.T5; v < m {
+			m = v
+		}
+		if v := abs(di-dkd) - k.params.T6; v < m {
+			m = v
+		}
+		if v := abs(2*dj+k.params.Delta-(dk+di)) - k.params.T7; v < m {
+			m = v
+		}
+	}
+	return m
 }
 
 // FailsOriented is EdgeFails with the orientation pre-resolved, so a

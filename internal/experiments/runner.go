@@ -53,6 +53,13 @@ type Options struct {
 	// least-recently-used eviction; 0 means unbounded. Eviction can only
 	// cost regeneration time, never change a result.
 	NoiseCacheBytes int64 `json:"noise_cache_bytes,omitempty"`
+	// Estimator selects the yield estimator scoring every design:
+	// ""/"batch" (one-shot batch Monte-Carlo), "incremental" (Monte-Carlo
+	// through a trial-survivor state) or "analytic" (the closed-form
+	// exp(−E[collisions]) surrogate, no sampling). The two Monte-Carlo
+	// kinds return bit-identical numbers; "analytic" is a different,
+	// sampling-noise-free figure.
+	Estimator string `json:"estimator,omitempty"`
 }
 
 // workers resolves the effective worker count.
@@ -174,6 +181,24 @@ func (r *Runner) simulator() *yield.Simulator {
 	return s
 }
 
+// estimator builds the options-selected yield.Estimator over sim.
+// Callers construct one per scoring context (per design on the parallel
+// evaluation fan-out, per σ on the serial sweep loop) so that stateful
+// kinds are never shared across goroutines.
+func (r *Runner) estimator(sim *yield.Simulator) (yield.Estimator, error) {
+	return yield.NewEstimator(r.opt.Estimator, sim)
+}
+
+// estimateArch scores a finished design's architecture through est. It
+// panics if the architecture has no frequency assignment: estimating the
+// yield of an unfrequencied design is a flow-ordering bug.
+func estimateArch(est yield.Estimator, a *arch.Architecture) float64 {
+	if a.Freqs == nil {
+		panic(fmt.Sprintf("experiments: architecture %q has no frequency assignment", a.Name))
+	}
+	return est.Estimate("", a.AdjList(), a.Freqs)
+}
+
 // forEach runs fn(0..n-1), drawing helpers from the runner's shared
 // bounded pool when the options ask for parallelism. Every index runs
 // exactly once; fn must write its result by index so that the outcome is
@@ -267,7 +292,14 @@ func (r *Runner) RunCircuit(c *circuit.Circuit) (*BenchmarkResult, error) {
 	points := make([]Point, len(jobs))
 	errs := make([]error, len(jobs))
 	r.forEach(len(jobs), func(i int) {
-		points[i], errs[i] = r.evaluate(c, jobs[i].design, sim)
+		// One estimator per design keeps stateful kinds goroutine-local;
+		// construction is a struct allocation, noise off the shared cache.
+		est, err := r.estimator(sim)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		points[i], errs[i] = r.evaluate(c, jobs[i].design, est)
 		points[i].Label = jobs[i].label
 	})
 	for _, err := range errs {
@@ -285,8 +317,9 @@ func (r *Runner) RunCircuit(c *circuit.Circuit) (*BenchmarkResult, error) {
 	return res, nil
 }
 
-// evaluate maps the program onto the design and simulates its yield.
-func (r *Runner) evaluate(c *circuit.Circuit, d *core.Design, sim *yield.Simulator) (Point, error) {
+// evaluate maps the program onto the design and scores its yield through
+// the estimator.
+func (r *Runner) evaluate(c *circuit.Circuit, d *core.Design, est yield.Estimator) (Point, error) {
 	mres, err := mapper.Map(c, d.Arch, r.opt.Mapper)
 	if err != nil {
 		return Point{}, fmt.Errorf("experiments: mapping %s onto %s: %w", c.Name, d.Arch.Name, err)
@@ -299,7 +332,7 @@ func (r *Runner) evaluate(c *circuit.Circuit, d *core.Design, sim *yield.Simulat
 		Buses:       d.Buses,
 		GateCount:   mres.GateCount,
 		Swaps:       mres.Swaps,
-		Yield:       sim.Estimate(d.Arch),
+		Yield:       estimateArch(est, d.Arch),
 	}, nil
 }
 

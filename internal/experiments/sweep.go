@@ -289,15 +289,25 @@ func (r *Runner) runGroup(ctx context.Context, bench string, aux int, spec Sweep
 		baseGates = mres.GateCount
 	}
 
-	// Score every σ; only the Monte-Carlo yield depends on it.
+	// Score every σ; only the yield estimate depends on it. The estimator
+	// is rebuilt per σ because the analytic kind bakes σ in at
+	// construction; the loop is serial, so one estimator per σ is safe
+	// for stateful kinds too.
 	var out []SweepPoint
-	for _, sigma := range spec.Sigmas {
+	for si, sigma := range spec.Sigmas {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		sim := r.simulator()
 		sim.Sigma = sigma
 		sim.Ctx = ctx
+		est, err := r.estimator(sim)
+		if err != nil {
+			for _, s := range spec.Sigmas[si:] {
+				report(s, err)
+			}
+			return nil, err
+		}
 		for _, m := range designs {
 			out = append(out, SweepPoint{
 				Point: Point{
@@ -309,7 +319,7 @@ func (r *Runner) runGroup(ctx context.Context, bench string, aux int, spec Sweep
 					Buses:       m.design.Buses,
 					GateCount:   m.gates,
 					Swaps:       m.swaps,
-					Yield:       sim.Estimate(m.design.Arch),
+					Yield:       estimateArch(est, m.design.Arch),
 					NormPerf:    float64(baseGates) / float64(m.gates),
 				},
 				AuxQubits: aux,

@@ -19,26 +19,24 @@ type evaluated struct {
 	normPerf     float64
 }
 
-// evaluator owns the expensive scoring tier: Monte-Carlo yield under the
-// common-random-numbers noise cache, plus SABRE mapping when performance
-// participates in the objective. All methods run on the serial control
-// path of a strategy; the Monte-Carlo trials themselves fan out inside
-// the simulator.
+// evaluator owns the expensive scoring tier: Monte-Carlo yield through a
+// yield.Estimator under the common-random-numbers noise cache, plus
+// SABRE mapping when performance participates in the objective. All
+// methods run on the serial control path of a strategy; the Monte-Carlo
+// trials themselves fan out inside the simulator.
 type evaluator struct {
-	p   *Problem
+	p *Problem
+	// sim is the underlying simulator the estimator scores with; Run
+	// injects its cancellation context here.
 	sim *yield.Simulator
-	// ts is the trial-survivor state of the last evaluated topology
-	// (tsTopo): consecutive promotions that only move frequencies — the
-	// common case on an annealing trajectory — are re-estimated
-	// incrementally instead of re-running the full Monte-Carlo loop.
-	// The estimate is bit-identical either way, so the evaluator's
-	// results do not depend on which promotions happened to share a
-	// topology.
-	ts     *yield.TrialState
-	tsTopo string
-	// accChecked/accSkipped accumulate condition statistics of retired
-	// trial states; condStats folds in the live one.
-	accChecked, accSkipped uint64
+	// est scores assignments: the incremental Monte-Carlo estimator by
+	// default — consecutive promotions that only move frequencies, the
+	// common case on an annealing trajectory, re-check only the
+	// conditions around the moved qubits — or the one-shot batch
+	// estimator under FullEval. Both return the same bits for the same
+	// assignment, so the evaluator's results do not depend on which
+	// promotions happened to share a topology.
+	est yield.Estimator
 	// baseGates anchors NormPerf: gates of the program on IBM baseline
 	// (1). Computed lazily, only when the mapper is needed.
 	baseGates int
@@ -58,43 +56,32 @@ func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
 	sim.Workers = p.opt.Workers
 	sim.Pool = p.opt.Pool
 	sim.Cache = cache
-	return &evaluator{p: p, sim: sim, seen: map[string]*evaluated{}}, nil
+	kind := "incremental"
+	if p.opt.FullEval {
+		kind = "batch"
+	}
+	est, err := yield.NewEstimator(kind, sim)
+	if err != nil {
+		return nil, err
+	}
+	return &evaluator{p: p, sim: sim, est: est, seen: map[string]*evaluated{}}, nil
 }
 
-// mcYield scores st's assignment by Monte-Carlo. When the previous
-// evaluation shared st's topology, only the conditions around the moved
-// qubits are re-checked (yield.TrialState); otherwise a fresh trial
-// state is built — which costs the same as the plain estimate and seeds
-// the next incremental step. FullEval forces the plain estimator; all
-// three paths return the same bits.
+// mcYield scores st's assignment through the evaluator's estimator,
+// keyed by topology so the incremental estimator can reuse its
+// trial-survivor state across promotions that share a coupling graph.
 func (ev *evaluator) mcYield(st *State) float64 {
-	if ev.p.opt.FullEval {
-		return ev.sim.Estimate(st.Arch)
-	}
-	freqs := st.Freqs()
-	if ev.ts != nil && ev.tsTopo == st.topoKey {
-		return ev.sim.ReEstimate(ev.ts, nil, freqs)
-	}
-	if ev.ts != nil {
-		c, s := ev.ts.Stats()
-		ev.accChecked += c
-		ev.accSkipped += s
-	}
-	ev.ts = ev.sim.NewTrialState(st.Arch.AdjList(), freqs)
-	ev.tsTopo = st.topoKey
-	return ev.ts.Yield()
+	return ev.est.Estimate(st.topoKey, st.Arch.AdjList(), st.Freqs())
 }
 
 // condStats reports the cumulative Monte-Carlo condition-bundle
-// evaluations performed and skipped across all trial states so far.
+// evaluations performed and skipped across all trial states so far;
+// zeros when the estimator keeps no such state (FullEval).
 func (ev *evaluator) condStats() (checked, skipped uint64) {
-	checked, skipped = ev.accChecked, ev.accSkipped
-	if ev.ts != nil {
-		c, s := ev.ts.Stats()
-		checked += c
-		skipped += s
+	if inc, ok := ev.est.(*yield.IncrementalEstimator); ok {
+		return inc.Stats()
 	}
-	return checked, skipped
+	return 0, 0
 }
 
 // budget reports whether another full evaluation is allowed.

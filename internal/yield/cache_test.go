@@ -56,10 +56,10 @@ func TestCacheKeyedByParameters(t *testing.T) {
 		s.Cache = cache
 		mutate(s)
 		m := s.noise(4)
-		if &m[0][0] == &m1[0][0] {
+		if &m.Col(0)[0] == &m1.Col(0)[0] {
 			t.Errorf("variant %d shares the base matrix", i)
 		}
-		if got := s.GenNoise(4); got[0][0] != m[0][0] {
+		if got := s.GenNoise(4); got.At(0, 0) != m.At(0, 0) {
 			t.Errorf("variant %d: cached matrix differs from GenNoise", i)
 		}
 	}
@@ -67,8 +67,8 @@ func TestCacheKeyedByParameters(t *testing.T) {
 		t.Errorf("cache holds %d matrices, want 4", cache.Len())
 	}
 	// Different n under the same parameters is also a distinct matrix.
-	if m := base.noise(5); len(m[0]) != 5 {
-		t.Errorf("n=5 matrix has %d columns", len(m[0]))
+	if m := base.noise(5); m.Qubits() != 5 {
+		t.Errorf("n=5 matrix has %d columns", m.Qubits())
 	}
 }
 
@@ -80,7 +80,7 @@ func TestCacheConcurrent(t *testing.T) {
 	s.Trials = 500
 	s.Cache = cache
 	const goroutines = 16
-	mats := make([][][]float64, goroutines)
+	mats := make([]*NoiseMatrix, goroutines)
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -91,7 +91,7 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	for g := 1; g < goroutines; g++ {
-		if &mats[g][0][0] != &mats[0][0][0] {
+		if &mats[g].Col(0)[0] != &mats[0].Col(0)[0] {
 			t.Fatalf("goroutine %d received a different matrix", g)
 		}
 	}
@@ -114,7 +114,7 @@ func TestCachePurge(t *testing.T) {
 		t.Fatalf("len after purge = %d", cache.Len())
 	}
 	// Regenerated content is identical (pure function of the key).
-	if got, want := s.noise(3)[0][0], s.GenNoise(3)[0][0]; got != want {
+	if got, want := s.noise(3).At(0, 0), s.GenNoise(3).At(0, 0); got != want {
 		t.Fatalf("regenerated %v != %v", got, want)
 	}
 }
@@ -161,7 +161,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		return s
 	}
 	s1, s2, s3 := sim(1), sim(2), sim(3)
-	first := s1.noise(4)[0][0]
+	first := s1.noise(4).At(0, 0)
 	s2.noise(4)
 	s1.noise(4) // refresh seed 1's recency: seed 2 is now LRU
 	s3.noise(4) // exceeds the bound: seed 2 must go
@@ -176,14 +176,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	// Seed 1 must have survived (seed 2 was least recently used).
 	hits0, _ := cache.Stats()
-	if got := s1.noise(4)[0][0]; got != first {
+	if got := s1.noise(4).At(0, 0); got != first {
 		t.Fatalf("surviving matrix changed: %v != %v", got, first)
 	}
 	if hits, _ := cache.Stats(); hits != hits0+1 {
 		t.Fatal("seed 1 was evicted instead of the LRU entry")
 	}
 	// The evicted matrix regenerates identically (pure function).
-	if got, want := s2.noise(4)[0][0], s2.GenNoise(4)[0][0]; got != want {
+	if got, want := s2.noise(4).At(0, 0), s2.GenNoise(4).At(0, 0); got != want {
 		t.Fatalf("regenerated entry differs: %v != %v", got, want)
 	}
 }
@@ -219,9 +219,10 @@ func TestCacheLimitKeepsEstimatesIdentical(t *testing.T) {
 }
 
 // BenchmarkEstimateUncached / BenchmarkEstimateCached demonstrate the
-// allocations the cache saves: uncached, every Estimate re-draws the
-// Trials × n Gaussian matrix; cached, the steady state allocates
-// nothing for noise. Compare with -benchmem.
+// allocations noise reuse saves: uncached, every Estimate re-draws the
+// Trials × n Gaussian matrix (the seed changes per iteration, so neither
+// the cache nor the simulator's single-entry memo can serve it); cached,
+// the steady state allocates nothing for noise. Compare with -benchmem.
 func BenchmarkEstimateUncached(b *testing.B) {
 	a := arch.NewBaseline(arch.IBM20Q4Bus)
 	s := New(1)
@@ -230,6 +231,7 @@ func BenchmarkEstimateUncached(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s.Seed = int64(i)
 		s.Estimate(a)
 	}
 }
@@ -283,8 +285,8 @@ func TestCacheConcurrentLimitPurgeRace(t *testing.T) {
 				}
 				s := sims[(g+i)%len(sims)]
 				mat := c.Noise(s, n)
-				if len(mat) != s.Trials || len(mat[0]) != n {
-					t.Errorf("matrix shape %dx%d, want %dx%d", len(mat), len(mat[0]), s.Trials, n)
+				if mat.Trials() != s.Trials || mat.Qubits() != n {
+					t.Errorf("matrix shape %dx%d, want %dx%d", mat.Trials(), mat.Qubits(), s.Trials, n)
 					return
 				}
 				if b := c.Bytes(); b < 0 {
@@ -342,9 +344,9 @@ func TestCacheConcurrentLimitPurgeRace(t *testing.T) {
 	for _, s := range sims {
 		got := c.Noise(s, n)
 		want := s.GenNoise(n)
-		for ti := range want {
-			for q := range want[ti] {
-				if got[ti][q] != want[ti][q] {
+		for ti := 0; ti < want.Trials(); ti++ {
+			for q := 0; q < want.Qubits(); q++ {
+				if got.At(ti, q) != want.At(ti, q) {
 					t.Fatalf("matrix for σ=%g trials=%d differs at [%d][%d]", s.Sigma, s.Trials, ti, q)
 				}
 			}

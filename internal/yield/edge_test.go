@@ -21,11 +21,11 @@ func TestEstimateWithNoiseTrialEdges(t *testing.T) {
 	if got := s.EstimateWithNoise(adj, freqs, nil); got != 0 {
 		t.Fatalf("0 trials: yield %v, want 0", got)
 	}
-	if got := s.EstimateWithNoise(adj, freqs, noise[:0]); got != 0 {
-		t.Fatalf("empty slice: yield %v, want 0", got)
+	if got := s.EstimateWithNoise(adj, freqs, noise.Head(0)); got != 0 {
+		t.Fatalf("empty matrix: yield %v, want 0", got)
 	}
 	for _, trials := range []int{1, ParallelThreshold - 1, ParallelThreshold} {
-		rows := noise[:trials]
+		rows := noise.Head(trials)
 		s.Parallel = false
 		serial := s.EstimateWithNoise(adj, freqs, rows)
 		if trials == 1 && serial != 0 && serial != 1 {

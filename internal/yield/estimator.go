@@ -1,0 +1,134 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"qproc/internal/collision"
+)
+
+// Estimator is the one scoring seam over the three yield estimators the
+// engine ships — one-shot batch Monte-Carlo, incremental Monte-Carlo
+// through a trial-survivor state, and the analytic closed-form
+// surrogate — so the search evaluator, the experiments runner and the
+// multi-estimator benchmark harness all consume the same interface
+// instead of hard-wiring *Simulator fields.
+//
+// topoKey canonically identifies the coupling graph: equal keys MUST
+// imply equal adjacency lists. Stateless estimators ignore it; stateful
+// ones (mc-incremental) use it to decide whether cached per-topology
+// state applies to this call. An empty key means "unkeyed" and never
+// matches cached state, so passing "" is always correct — merely slower
+// for stateful implementations.
+//
+// Implementations must be deterministic — equal (adj, freqs) inputs
+// return equal float64 results — but are not required to be safe for
+// concurrent use unless documented otherwise.
+type Estimator interface {
+	// Name identifies the estimator in harness and benchmark output.
+	Name() string
+	// Estimate scores the frequency assignment freqs over the coupling
+	// graph adj.
+	Estimate(topoKey string, adj [][]int, freqs []float64) float64
+}
+
+// BatchEstimator scores every call with the simulator's one-shot batch
+// Monte-Carlo estimate (the compiled-kernel sweep of EstimateWithNoise).
+// It is stateless across calls — topoKey is ignored — and safe for
+// concurrent use exactly when the wrapped simulator is.
+type BatchEstimator struct {
+	Sim *Simulator
+}
+
+// Name returns "mc-batch".
+func (b BatchEstimator) Name() string { return "mc-batch" }
+
+// Estimate runs the one-shot batch Monte-Carlo estimate.
+func (b BatchEstimator) Estimate(_ string, adj [][]int, freqs []float64) float64 {
+	return b.Sim.EstimateFreqs(adj, freqs)
+}
+
+// IncrementalEstimator scores through a trial-survivor state
+// (TrialState): consecutive calls sharing a non-empty topoKey
+// re-estimate incrementally — only the condition bundles within reach of
+// the moved qubits are re-checked — while a topology change rebuilds the
+// state with one full pass. Every result is bit-identical to the
+// one-shot batch estimate of the same assignment (the TrialState
+// contract), so which calls happened to share a topology never shows in
+// the numbers. Not safe for concurrent use: the cached state is mutated
+// per call.
+type IncrementalEstimator struct {
+	Sim *Simulator
+
+	st   *TrialState
+	topo string
+	// accChecked/accSkipped accumulate the condition statistics of
+	// retired trial states; Stats folds in the live one.
+	accChecked, accSkipped uint64
+}
+
+// Name returns "mc-incremental".
+func (e *IncrementalEstimator) Name() string { return "mc-incremental" }
+
+// Estimate scores freqs, incrementally when the previous call shared a
+// non-empty topoKey.
+func (e *IncrementalEstimator) Estimate(topoKey string, adj [][]int, freqs []float64) float64 {
+	if e.st != nil && topoKey != "" && e.topo == topoKey {
+		return e.Sim.ReEstimate(e.st, nil, freqs)
+	}
+	if e.st != nil {
+		c, s := e.st.Stats()
+		e.accChecked += c
+		e.accSkipped += s
+	}
+	e.st = e.Sim.NewTrialState(adj, freqs)
+	e.topo = topoKey
+	return e.st.Yield()
+}
+
+// Stats reports the cumulative bundle-trial evaluations performed and
+// the ones incremental re-estimation skipped relative to from-scratch
+// loops, across every trial state the estimator has held.
+func (e *IncrementalEstimator) Stats() (checked, skipped uint64) {
+	checked, skipped = e.accChecked, e.accSkipped
+	if e.st != nil {
+		c, s := e.st.Stats()
+		checked += c
+		skipped += s
+	}
+	return checked, skipped
+}
+
+// AnalyticEstimator scores with the sampling-noise-free closed-form
+// surrogate: exp(−E[collisions]) at the configured σ, which
+// approximates the Monte-Carlo yield when the per-condition marginals
+// are small and ranks assignments identically to the expected count.
+// Stateless and safe for concurrent use.
+type AnalyticEstimator struct {
+	Sigma  float64
+	Params collision.Params
+}
+
+// Name returns "analytic".
+func (a AnalyticEstimator) Name() string { return "analytic" }
+
+// Estimate returns exp(−ExpectedCollisions(adj, freqs, σ)).
+func (a AnalyticEstimator) Estimate(_ string, adj [][]int, freqs []float64) float64 {
+	return math.Exp(-collision.ExpectedCollisions(adj, freqs, a.Sigma, a.Params))
+}
+
+// NewEstimator returns the named estimator over the simulator's
+// configuration: "batch" (one-shot batch MC), "incremental" (MC through
+// a trial-survivor state) or "analytic" (the closed-form surrogate at
+// the simulator's σ and collision constants).
+func NewEstimator(kind string, sim *Simulator) (Estimator, error) {
+	switch kind {
+	case "", "batch":
+		return BatchEstimator{Sim: sim}, nil
+	case "incremental":
+		return &IncrementalEstimator{Sim: sim}, nil
+	case "analytic":
+		return AnalyticEstimator{Sigma: sim.Sigma, Params: sim.Params}, nil
+	}
+	return nil, fmt.Errorf("yield: unknown estimator %q (want batch, incremental or analytic)", kind)
+}

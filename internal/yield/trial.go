@@ -30,9 +30,11 @@ type TrialState struct {
 	adj    [][]int
 	freqs  []float64
 	trials int
-	// cols is the noise matrix transposed to column-major (cols[q][t] =
-	// trial t's noise on qubit q): the incremental update walks one edge
-	// across all trials, so the trial axis must be the contiguous one.
+	// cols are the noise matrix's column-major slices (cols[q][t] =
+	// trial t's noise on qubit q), shared with the NoiseMatrix (and, when
+	// one is attached, the cache) rather than copied: the incremental
+	// update walks one edge across all trials, so the trial axis must be
+	// the contiguous one — which is the matrix's native layout.
 	cols [][]float64
 	// words is the bitset stride: fail[e*words : (e+1)*words] covers all
 	// trials of edge e, 64 per word.
@@ -55,27 +57,18 @@ type TrialState struct {
 // the same inputs bit for bit.
 func (s *Simulator) NewTrialState(adj [][]int, freqs []float64) *TrialState {
 	noise := s.noise(len(freqs))
-	n := len(freqs)
 	st := &TrialState{
 		kern:   collision.NewKernel(adj, s.Params),
 		adj:    adj,
 		freqs:  append([]float64(nil), freqs...),
-		trials: len(noise),
-		words:  (len(noise) + 63) / 64,
+		trials: noise.Trials(),
+		words:  (noise.Trials() + 63) / 64,
 	}
-	// Transpose the (shared, row-major) noise matrix once; the cached
-	// columns are private to this state, so later cache eviction or
-	// purging cannot invalidate it.
-	st.cols = make([][]float64, n)
-	flat := make([]float64, n*st.trials)
-	for q := range st.cols {
-		st.cols[q] = flat[q*st.trials : (q+1)*st.trials]
-	}
-	for t, row := range noise {
-		for q, v := range row {
-			st.cols[q][t] = v
-		}
-	}
+	// The noise matrix is already column-major (structure of arrays), so
+	// the state shares its columns directly — no per-instantiation
+	// transpose. Sharing is safe: matrices are immutable, and cache
+	// eviction only drops the cache's own reference.
+	st.cols = noise.Cols()
 	st.fail = make([]uint64, st.kern.NumEdges()*st.words)
 	st.failing = make([]int32, st.trials)
 	edges := make([]int32, st.kern.NumEdges())
@@ -115,7 +108,7 @@ func (st *TrialState) Yield() float64 {
 func (st *TrialState) Stats() (checked, skipped uint64) { return st.checked, st.skipped }
 
 // Bytes returns the approximate memory footprint of the cached state:
-// the transposed noise columns, the verdict bitsets and the per-trial
+// the (shared) noise columns, the verdict bitsets and the per-trial
 // counts.
 func (st *TrialState) Bytes() int64 {
 	return int64(len(st.freqs))*int64(st.trials)*8 +

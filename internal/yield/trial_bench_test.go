@@ -71,3 +71,24 @@ func BenchmarkEstimateIncremental(b *testing.B) {
 		b.ReportMetric(y, "yield")
 	})
 }
+
+// BenchmarkNewTrialState measures trial-state construction at the
+// paper's 10 000-trial budget against a warmed noise cache — the cost a
+// search pays on every topology switch. Since the state shares the
+// cache's column-major matrix directly (no per-instantiation transpose),
+// construction is the initial full kernel pass plus the verdict-bitset
+// allocation and nothing else; compare allocations with -benchmem.
+func BenchmarkNewTrialState(b *testing.B) {
+	adj, freqs := incrementalTestbed()
+	s := yield.New(1)
+	s.Trials = yield.DefaultTrials
+	s.Sigma = 0.008
+	s.Parallel = false
+	s.Cache = yield.NewNoiseCache()
+	s.NewTrialState(adj, freqs) // warm the noise entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.NewTrialState(adj, freqs)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"qproc/internal/arch"
 	"qproc/internal/collision"
@@ -68,6 +69,17 @@ type Simulator struct {
 	// callers that cancel must check Ctx.Err() and discard it. A nil or
 	// live Ctx leaves every estimate bit-identical to an uncancelled run.
 	Ctx context.Context
+
+	// memo holds the most recently drawn noise matrix of a cache-less
+	// simulator, keyed by the generation parameters — see noise.
+	memo atomic.Pointer[noiseMemo]
+}
+
+// noiseMemo is the single-entry noise store of a cache-less simulator:
+// the matrix last drawn and the parameters it was drawn under.
+type noiseMemo struct {
+	key noiseKey
+	mat *NoiseMatrix
 }
 
 // New returns a Simulator with the paper's evaluation configuration:
@@ -99,30 +111,41 @@ func (s *Simulator) EstimateFreqs(adj [][]int, freqs []float64) float64 {
 }
 
 // noise returns the trial matrix for n qubits, consulting the cache when
-// one is attached.
-func (s *Simulator) noise(n int) [][]float64 {
+// one is attached. Without a cache it keeps the most recently drawn
+// matrix and reuses it while (Seed, Trials, Sigma, n) are unchanged: the
+// matrix is a pure function of those parameters, so repeated estimates —
+// and common-random-number comparisons of candidate assignments — skip
+// the dominant regeneration cost and stay bit-identical. Attach a
+// NoiseCache to share matrices across simulators or qubit counts; the
+// memo holds exactly one matrix per simulator.
+func (s *Simulator) noise(n int) *NoiseMatrix {
 	if s.Cache != nil {
 		return s.Cache.Noise(s, n)
 	}
-	return s.GenNoise(n)
+	key := noiseKey{seed: s.Seed, trials: s.Trials, sigma: s.Sigma, n: n}
+	if m := s.memo.Load(); m != nil && m.key == key {
+		return m.mat
+	}
+	mat := s.GenNoise(n)
+	s.memo.Store(&noiseMemo{key: key, mat: mat})
+	return mat
 }
 
 // GenNoise draws the per-trial, per-qubit frequency noise matrix
-// (Trials × n) from the simulator's seed. Reusing one noise matrix across
-// several candidate frequency assignments implements common random
-// numbers.
-func (s *Simulator) GenNoise(n int) [][]float64 {
+// (Trials × n, stored column-major) from the simulator's seed. The draw
+// order is trial-major — trial t's qubits before trial t+1's — so the
+// values are bit-identical to the historical row-major generator; only
+// the memory layout changed. Reusing one noise matrix across several
+// candidate frequency assignments implements common random numbers.
+func (s *Simulator) GenNoise(n int) *NoiseMatrix {
 	rng := rand.New(rand.NewSource(s.Seed))
-	noise := make([][]float64, s.Trials)
-	flat := make([]float64, s.Trials*n)
-	for t := range noise {
-		row := flat[t*n : (t+1)*n]
-		for q := range row {
-			row[q] = rng.NormFloat64() * s.Sigma
+	m := newNoiseMatrix(s.Trials, n)
+	for t := 0; t < s.Trials; t++ {
+		for q := 0; q < n; q++ {
+			m.cols[q][t] = rng.NormFloat64() * s.Sigma
 		}
-		noise[t] = row
 	}
-	return noise
+	return m
 }
 
 // ParallelThreshold is the trial count below which EstimateWithNoise
@@ -133,57 +156,85 @@ func (s *Simulator) GenNoise(n int) [][]float64 {
 const ParallelThreshold = 256
 
 // EstimateWithNoise returns the yield of freqs over adj under the given
-// pre-drawn noise matrix (rows = trials). The gate orientation is
-// compiled once from the design frequencies — the direction of every
-// cross-resonance gate is a design-time choice and does not move with
-// fabrication noise. Rows shorter than freqs are a programming error and
-// panic via index.
+// pre-drawn noise matrix. The gate orientation is compiled once from the
+// design frequencies — the direction of every cross-resonance gate is a
+// design-time choice and does not move with fabrication noise. A matrix
+// with fewer qubit columns than freqs is a programming error and panics
+// via index.
 //
-// Parallelism: batches of at least ParallelThreshold rows are split into
-// one chunk per effective worker (Workers clamped to the row count, so
-// surplus workers are never spawned idle) and fanned out — through the
-// shared Pool when one is attached, otherwise as per-call goroutines.
-// Chunk counts land by index and are summed in fixed order, so the
-// estimate is bit-identical to the serial loop.
-func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise [][]float64) float64 {
-	if len(noise) == 0 {
+// Zero-trials contract: a nil or zero-trial matrix simulates no
+// fabrications, and the yield of an empty sample is defined as 0 — not
+// NaN, not a panic. The contract is pinned by TestEstimateWithNoiseTrialEdges
+// so the batch path can never diverge from the reference loop on the
+// edge case.
+//
+// The estimate runs the batch collision kernel: an edge-major sweep of
+// compiled bundles over the column-major noise (collision.Kernel.
+// CountSurvivors) with bit-packed survivor masks and per-chunk early-out.
+// Verdicts are bit-identical to the retained scalar reference loop
+// (ReferenceEstimate); the differential suite enforces equality across
+// topology families, serially and in parallel.
+//
+// Parallelism: batches of at least ParallelThreshold trials are split
+// into word-aligned chunks — one per effective worker (Workers clamped
+// to the trial count, so surplus workers are never spawned idle) — and
+// fanned out through the shared Pool when one is attached, otherwise as
+// per-call goroutines. Chunk survivor counts land by index and are
+// summed in fixed order; integer sums are order-independent, so the
+// estimate is bit-identical to the serial sweep.
+func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise *NoiseMatrix) float64 {
+	trials := noise.Trials()
+	if trials == 0 {
+		return 0
+	}
+	kern := collision.NewKernel(adj, s.Params)
+	cols := noise.Cols()
+	total := 0
+	for _, c := range s.overTrialChunks(trials, func(lo, hi int) int {
+		return kern.CountSurvivors(freqs, cols, lo, hi)
+	}) {
+		total += c
+	}
+	return float64(total) / float64(trials)
+}
+
+// EstimateWithNoiseRows is the pre-SoA spelling of EstimateWithNoise
+// over a row-major matrix (rows[t][q]).
+//
+// Deprecated: transpose once with NoiseMatrixFromRows (or draw directly
+// with GenNoise) and call EstimateWithNoise; this shim re-transposes on
+// every call.
+func (s *Simulator) EstimateWithNoiseRows(adj [][]int, freqs []float64, rows [][]float64) float64 {
+	return s.EstimateWithNoise(adj, freqs, NoiseMatrixFromRows(rows))
+}
+
+// ReferenceEstimate is the retained scalar reference loop: row-major
+// trials through the compiled Checker, exactly the shape of the paper's
+// §4.3.1 description — per trial, add the noise row to the design
+// frequencies and ask whether any collision condition triggers. It is
+// deliberately unoptimised (always serial, gathers each row from the
+// column-major matrix) and exists as the differential-test oracle every
+// fast path must match bit for bit.
+func (s *Simulator) ReferenceEstimate(adj [][]int, freqs []float64, noise *NoiseMatrix) float64 {
+	trials := noise.Trials()
+	if trials == 0 {
 		return 0
 	}
 	n := len(freqs)
 	checker := collision.NewChecker(adj, freqs, s.Params)
-	countChunk := func(rows [][]float64) int {
-		post := make([]float64, n)
-		ok := 0
-		for _, row := range rows {
-			for q := 0; q < n; q++ {
-				post[q] = freqs[q] + row[q]
-			}
-			if !checker.Collides(post) {
-				ok++
-			}
+	post := make([]float64, n)
+	row := make([]float64, n)
+	ok := 0
+	for t := 0; t < trials; t++ {
+		row = noise.RowInto(row, t)
+		for q := 0; q < n; q++ {
+			post[q] = freqs[q] + row[q]
 		}
-		return ok
-	}
-	if !s.Parallel || len(noise) < ParallelThreshold {
-		return float64(countChunk(noise)) / float64(len(noise))
-	}
-	workers := s.effectiveWorkers(len(noise))
-	chunk := (len(noise) + workers - 1) / workers
-	chunks := (len(noise) + chunk - 1) / chunk
-	counts := make([]int, chunks)
-	s.forChunks(chunks, func(w int) {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(noise) {
-			hi = len(noise)
+		if !checker.Collides(post) {
+			ok++
 		}
-		counts[w] = countChunk(noise[lo:hi])
-	})
-	total := 0
-	for _, c := range counts {
-		total += c
 	}
-	return float64(total) / float64(len(noise))
+	return float64(ok) / float64(trials)
 }
 
 // effectiveWorkers resolves the trial-level fan-out width for a batch of

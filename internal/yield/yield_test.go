@@ -140,13 +140,13 @@ func TestGenNoiseShapeAndScale(t *testing.T) {
 	s := New(13)
 	s.Trials = 5000
 	noise := s.GenNoise(4)
-	if len(noise) != 5000 || len(noise[0]) != 4 {
-		t.Fatalf("noise shape %dx%d", len(noise), len(noise[0]))
+	if noise.Trials() != 5000 || noise.Qubits() != 4 {
+		t.Fatalf("noise shape %dx%d", noise.Trials(), noise.Qubits())
 	}
 	var sum, sumSq float64
 	n := 0
-	for _, row := range noise {
-		for _, v := range row {
+	for q := 0; q < noise.Qubits(); q++ {
+		for _, v := range noise.Col(q) {
 			sum += v
 			sumSq += v * v
 			n++
