@@ -71,6 +71,8 @@ func main() {
 		beamWidth  = flag.Int("beam-width", 0, "frontier size for -search beam (0 = default)")
 		depth      = flag.Int("depth", 0, "maximum depth for -search beam (0 = default)")
 		perfWeight = flag.Float64("perf-weight", 0, "blend mapped performance into the -search objective (0 = yield only)")
+		portfolio  = flag.Bool("portfolio", false, "run -search as a portfolio of concurrent diversified lanes with elite exchange")
+		lanes      = flag.Int("lanes", 0, "portfolio lane count for -portfolio (0 = default)")
 	)
 	flag.Parse()
 
@@ -82,7 +84,7 @@ func main() {
 		v    int
 	}{
 		{"max-evals", *maxEvals}, {"steps", *steps}, {"proposals", *proposals},
-		{"beam-width", *beamWidth}, {"depth", *depth},
+		{"beam-width", *beamWidth}, {"depth", *depth}, {"lanes", *lanes},
 	} {
 		if err := cliutil.NonNegative(f.name, f.v); err != nil {
 			check(err)
@@ -97,6 +99,9 @@ func main() {
 	}
 	if _, err := topology.Parse(*topo); err != nil {
 		check(err)
+	}
+	if (*portfolio || *lanes > 0) && *searchMode == "" {
+		check(fmt.Errorf("-portfolio/-lanes apply only to -search mode"))
 	}
 
 	opt := experiments.DefaultOptions()
@@ -122,6 +127,7 @@ func main() {
 		runSearch(cliutil.SignalContext(), r, *searchMode, *bench, *topo, *auxFlag, *sigmas, *out, *store, searchKnobs{
 			maxEvals: *maxEvals, steps: *steps, proposals: *proposals,
 			beamWidth: *beamWidth, depth: *depth, perfWeight: *perfWeight,
+			portfolio: *portfolio || *lanes > 0, lanes: *lanes,
 		})
 	case *sweep:
 		runSweep(cliutil.SignalContext(), r, *sweepB, *topo, *auxFlag, *sigmas, *configs, *out, *store)
@@ -251,6 +257,8 @@ func runSweep(ctx context.Context, r *experiments.Runner, benches, topo, aux, si
 type searchKnobs struct {
 	maxEvals, steps, proposals, beamWidth, depth int
 	perfWeight                                   float64
+	portfolio                                    bool
+	lanes                                        int
 }
 
 // runSearch validates the search axes, runs the guided search (through
@@ -286,8 +294,14 @@ func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, topo
 		spec.Sigma = sigmaVals[0]
 	}
 
+	var job experiments.Job = experiments.SearchJob{Spec: spec}
+	if k.portfolio {
+		job = experiments.PortfolioJob{Spec: experiments.PortfolioSpec{
+			SearchSpec: spec, Lanes: k.lanes}}
+	}
+
 	start := time.Now()
-	outcome, cached, err := r.RunJob(ctx, experiments.SearchJob{Spec: spec}, openStore(storeDir),
+	outcome, cached, err := r.RunJob(ctx, job, openStore(storeDir),
 		func(e experiments.Event) { printEvent(start, e) })
 	check(err)
 	res := outcome.(*experiments.SearchOutcome)
@@ -297,6 +311,9 @@ func runSearch(ctx context.Context, r *experiments.Runner, strategy, bench, topo
 	note := ""
 	if cached {
 		note = ", served from run store"
+	}
+	if n := len(res.Lanes); n > 0 {
+		note += fmt.Sprintf(", %d lanes, %d exchanges", n, res.Exchanges)
 	}
 	fmt.Fprintf(os.Stderr,
 		"%s: yield %.4f, perf %.3f, %d buses, aux %d — %d evals, %d proposals, %s (noise cache: %d hits, %d misses%s)\n",

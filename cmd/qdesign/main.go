@@ -20,6 +20,7 @@ import (
 	"qproc/internal/arch"
 	"qproc/internal/circuit"
 	"qproc/internal/cliutil"
+	"qproc/internal/collision"
 	"qproc/internal/core"
 	"qproc/internal/experiments"
 	"qproc/internal/gen"
@@ -49,6 +50,8 @@ func main() {
 		steps      = flag.Int("steps", 0, "annealing steps for -search anneal (0 = default)")
 		beamWidth  = flag.Int("beam-width", 0, "frontier size for -search beam (0 = default)")
 		depth      = flag.Int("depth", 0, "maximum depth for -search beam (0 = default)")
+		portfolio  = flag.Bool("portfolio", false, "run -search as a portfolio of concurrent diversified lanes with elite exchange")
+		lanes      = flag.Int("lanes", 0, "portfolio lane count for -portfolio (0 = default)")
 		store      = flag.String("store", "", "content-addressed run store for -search -name: repeated searches are served from it, cold ones warm-start from stored sweeps")
 	)
 	flag.Parse()
@@ -61,6 +64,7 @@ func main() {
 	fatalIf(cliutil.NonNegative("steps", *steps))
 	fatalIf(cliutil.NonNegative("beam-width", *beamWidth))
 	fatalIf(cliutil.NonNegative("depth", *depth))
+	fatalIf(cliutil.NonNegative("lanes", *lanes))
 
 	family, err := topology.Parse(*topo)
 	if err != nil {
@@ -76,6 +80,9 @@ func main() {
 	if *store != "" && *searchMode == "" {
 		fatal(fmt.Errorf("-store applies only to -search mode"))
 	}
+	if (*portfolio || *lanes > 0) && *searchMode == "" {
+		fatal(fmt.Errorf("-portfolio/-lanes apply only to -search mode"))
+	}
 	if *searchMode != "" {
 		// Series-only knobs must not be silently ignored in search mode.
 		flag.Visit(func(f *flag.Flag) {
@@ -87,6 +94,7 @@ func main() {
 		args := searchArgs{
 			mode: *searchMode, topology: *topo, seed: *seed, maxAux: *aux, maxBuses: *maxB,
 			maxEvals: *maxEvals, steps: *steps, beamWidth: *beamWidth, depth: *depth,
+			portfolio: *portfolio || *lanes > 0, lanes: *lanes,
 			jsonTo: *jsonTo, quiet: *quiet,
 		}
 		if *name != "" {
@@ -145,6 +153,8 @@ type searchArgs struct {
 	seed                              int64
 	maxAux, maxBuses                  int
 	maxEvals, steps, beamWidth, depth int
+	portfolio                         bool
+	lanes                             int
 	jsonTo                            string
 	quiet                             bool
 }
@@ -180,7 +190,12 @@ func runSearchStored(name, storeDir string, args searchArgs) {
 	for a := 0; a <= args.maxAux; a++ {
 		spec.AuxCounts = append(spec.AuxCounts, a)
 	}
-	outcome, cached, err := experiments.NewRunner(opt).RunJob(cliutil.SignalContext(), experiments.SearchJob{Spec: spec}, st, nil)
+	var job experiments.Job = experiments.SearchJob{Spec: spec}
+	if args.portfolio {
+		job = experiments.PortfolioJob{Spec: experiments.PortfolioSpec{
+			SearchSpec: spec, Lanes: args.lanes}}
+	}
+	outcome, cached, err := experiments.NewRunner(opt).RunJob(cliutil.SignalContext(), job, st, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -188,6 +203,9 @@ func runSearchStored(name, storeDir string, args searchArgs) {
 	note := ""
 	if cached {
 		note = " — served from run store"
+	}
+	if n := len(res.Lanes); n > 0 {
+		note += fmt.Sprintf(" — %d lanes, %d exchanges", n, res.Exchanges)
 	}
 	fmt.Printf("%s: yield %.4g (E[collisions] %.3f, %d evals, %d proposals)%s\n",
 		res.Arch, res.Best.Yield, res.Expected, res.Evals, res.Proposals, note)
@@ -230,13 +248,25 @@ func runSearch(c *circuit.Circuit, args searchArgs) {
 	for a := 1; a <= args.maxAux; a++ {
 		opt.AuxCounts = append(opt.AuxCounts, a)
 	}
-	res, err := search.Run(cliutil.SignalContext(), c, opt, yield.NewNoiseCache(), nil)
+	var res *search.Result
+	if args.portfolio {
+		// Lanes revisiting a topology share one compiled-kernel cache.
+		opt.Kernels = collision.NewKernelCache()
+		pf := search.PortfolioOptions{Lanes: args.lanes}
+		res, err = search.RunPortfolio(cliutil.SignalContext(), c, opt, pf, yield.NewNoiseCache(), nil)
+	} else {
+		res, err = search.Run(cliutil.SignalContext(), c, opt, yield.NewNoiseCache(), nil)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	d := res.Best
-	fmt.Printf("%s: yield %.4g (E[collisions] %.3f, %d evals, %d proposals)\n",
-		d.Arch, res.Yield, res.Expected, res.Evals, res.Proposals)
+	note := ""
+	if n := len(res.Lanes); n > 0 {
+		note = fmt.Sprintf(" — %d lanes, %d exchanges", n, res.Exchanges)
+	}
+	fmt.Printf("%s: yield %.4g (E[collisions] %.3f, %d evals, %d proposals)%s\n",
+		d.Arch, res.Yield, res.Expected, res.Evals, res.Proposals, note)
 	fmt.Printf("performance: %d gates (%d swaps), %.3f vs IBM baseline (1)\n",
 		res.GateCount, res.Swaps, res.NormPerf)
 	if !args.quiet {

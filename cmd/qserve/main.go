@@ -61,6 +61,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		workers  = flag.Int("workers", 0, "shared helper-pool size across all jobs and fan-out levels (0 = GOMAXPROCS)")
 		cacheMB  = flag.Int("noise-cache-mb", 0, "byte bound on the shared noise cache in MiB, LRU-evicted (0 = unbounded)")
+		kernMB   = flag.Int("kernel-cache-mb", 0, "byte bound on the shared compiled-kernel cache in MiB, LRU-evicted (0 = unbounded)")
 		serial   = flag.Bool("serial", false, "disable all parallelism")
 		drain    = flag.Duration("drain", 10*time.Second, "on SIGTERM, finish queued and running jobs for this long, then cancel the rest cooperatively")
 	)
@@ -72,6 +73,7 @@ func main() {
 	check(cliutil.Positive("retain", *retain))
 	check(cliutil.NonNegative("workers", *workers))
 	check(cliutil.NonNegative("noise-cache-mb", *cacheMB))
+	check(cliutil.NonNegative("kernel-cache-mb", *kernMB))
 	if *drain <= 0 {
 		check(fmt.Errorf("-drain must be positive, got %v", *drain))
 	}
@@ -86,6 +88,7 @@ func main() {
 	opt.Seed = *seed
 	opt.Workers = *workers
 	opt.NoiseCacheBytes = int64(*cacheMB) << 20
+	opt.KernelCacheBytes = int64(*kernMB) << 20
 	if *serial {
 		opt.Parallel = false
 	}

@@ -11,14 +11,14 @@ import (
 	"qproc/internal/runstore"
 )
 
-// Job is the unit of work the evaluation engine executes. Sweep and
-// Search are its two implementations: both normalise to a canonical,
+// Job is the unit of work the evaluation engine executes. Sweep, Search
+// and Portfolio are its implementations: all normalise to a canonical,
 // JSON-serialisable spec (so equal work hashes equally and can be looked
 // up in a run store before it is recomputed), report progress through
 // one Event type, and produce a JSON-serialisable Outcome. The CLIs and
 // the qserve service submit work exclusively in this shape.
 type Job interface {
-	// Kind names the job type: "sweep" or "search".
+	// Kind names the job type: "sweep", "search" or "portfolio".
 	Kind() string
 	// Normalize returns the job with every defaulted axis filled in under
 	// the runner options, so two specs describing the same work compare
@@ -31,8 +31,8 @@ type Job interface {
 	// ctx.Err() within one proposal batch / trial chunk; a live ctx
 	// never changes the result.
 	Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error)
-	// spec exposes the raw spec for fingerprinting. Unexported: sweeps
-	// and searches are the only job kinds this package defines.
+	// spec exposes the raw spec for fingerprinting. Unexported: this
+	// package defines the closed set of job kinds.
 	spec() any
 }
 
@@ -71,6 +71,9 @@ func (p SearchProgress) Event() Event {
 	if p.CondSkipped > 0 {
 		msg += fmt.Sprintf(", %.0f%% cond-checks skipped",
 			100*float64(p.CondSkipped)/float64(p.CondChecks+p.CondSkipped))
+	}
+	if p.LanesLive+p.LanesDone > 0 {
+		msg += fmt.Sprintf(", lanes %d live / %d done", p.LanesLive, p.LanesDone)
 	}
 	return Event{Done: p.Step, Total: p.Total, Message: msg}
 }
@@ -158,8 +161,14 @@ func ParseJob(kind string, spec json.RawMessage) (Job, error) {
 			return nil, fmt.Errorf("experiments: search spec: %w", err)
 		}
 		return SearchJob{Spec: s}, nil
+	case "portfolio":
+		var s PortfolioSpec
+		if err := decodeStrict(spec, &s); err != nil {
+			return nil, fmt.Errorf("experiments: portfolio spec: %w", err)
+		}
+		return PortfolioJob{Spec: s}, nil
 	}
-	return nil, fmt.Errorf("experiments: unknown job kind %q (have sweep, search)", kind)
+	return nil, fmt.Errorf("experiments: unknown job kind %q (have sweep, search, portfolio)", kind)
 }
 
 // decodeStrict unmarshals JSON rejecting unknown fields.
@@ -175,7 +184,8 @@ func DecodeOutcome(kind string, data []byte) (Outcome, error) {
 	switch kind {
 	case "sweep":
 		return ReadSweepJSON(bytes.NewReader(data))
-	case "search":
+	case "search", "portfolio":
+		// Portfolio outcomes are SearchOutcomes with the lane fields set.
 		return ReadSearchJSON(bytes.NewReader(data))
 	}
 	return nil, fmt.Errorf("experiments: unknown outcome kind %q", kind)

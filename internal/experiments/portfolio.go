@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"qproc/internal/gen"
+	"qproc/internal/search"
+	"qproc/internal/topology"
+)
+
+// PortfolioSpec describes a portfolio search: a base SearchSpec run as
+// several concurrent diversified lanes over the runner's shared kernel
+// cache, with elite exchange at fixed barriers. MaxEvals is the whole
+// portfolio's Monte-Carlo budget, split across lanes.
+type PortfolioSpec struct {
+	SearchSpec
+	// Lanes is the lane count; <= 0 defaults to search.DefaultLanes.
+	Lanes int `json:"lanes"`
+	// ExchangeEvery is the steps/depths between elite-exchange barriers;
+	// 0 derives a quarter of the longest lane's budget. It participates
+	// in the job fingerprint because it changes lane trajectories.
+	ExchangeEvery int `json:"exchange_every,omitempty"`
+}
+
+// withDefaults fills the empty axes on top of the embedded search spec.
+func (s PortfolioSpec) withDefaults(opt Options) (PortfolioSpec, search.Options, search.PortfolioOptions) {
+	var so search.Options
+	s.SearchSpec, so = s.SearchSpec.withDefaults(opt)
+	if s.Lanes <= 0 {
+		s.Lanes = search.DefaultLanes
+	}
+	pf := search.PortfolioOptions{Lanes: s.Lanes, ExchangeEvery: s.ExchangeEvery}
+	return s, so, pf
+}
+
+// PortfolioJob runs a portfolio of concurrent search lanes.
+type PortfolioJob struct {
+	Spec PortfolioSpec `json:"spec"`
+}
+
+func (j PortfolioJob) Kind() string { return "portfolio" }
+
+func (j PortfolioJob) Normalize(opt Options) Job {
+	j.Spec, _, _ = j.Spec.withDefaults(opt)
+	return j
+}
+
+func (j PortfolioJob) Summary() string {
+	s := j.Spec
+	out := fmt.Sprintf("portfolio %s %s ×%d lanes aux %v",
+		s.Strategy, s.Benchmark, s.Lanes, s.AuxCounts)
+	if s.Topology != "" {
+		out += " on " + s.Topology
+	}
+	return out
+}
+
+func (j PortfolioJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error) {
+	var cb func(SearchProgress)
+	if progress != nil {
+		cb = func(p SearchProgress) { progress(p.Event()) }
+	}
+	return r.Portfolio(ctx, j.Spec, cb)
+}
+
+func (j PortfolioJob) spec() any { return j.Spec }
+
+// Portfolio runs the portfolio search on one benchmark: spec.Lanes
+// deterministic lanes advancing concurrently on the runner's shared
+// worker pool, all scoring through the runner's noise cache (common
+// random numbers) and compiled-kernel cache (a topology compiled in one
+// lane is served from cache in all others), with elite exchange at
+// fixed barriers. Parallel and serial runs are bit-identical; ctx
+// cancels cooperatively under the same contract as Search.
+func (r *Runner) Portfolio(ctx context.Context, spec PortfolioSpec, progress func(SearchProgress)) (*SearchOutcome, error) {
+	b, err := gen.Get(spec.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: portfolio: %w", err)
+	}
+	if _, err := topology.Parse(spec.Topology); err != nil {
+		return nil, fmt.Errorf("experiments: portfolio: %w", err)
+	}
+	c := b.Build()
+	spec, so, pf := spec.withDefaults(r.opt)
+	so.Pool = r.pool
+	so.Kernels = r.kernels
+	pf.Counters = r.lanes
+
+	var cb func(search.Progress)
+	if progress != nil {
+		cb = func(p search.Progress) {
+			progress(SearchProgress(p))
+		}
+	}
+	res, err := search.RunPortfolio(ctx, c, so, pf, r.cache, cb)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: portfolio %s: %w", spec.Benchmark, err)
+	}
+
+	out := searchOutcome(c, spec.SearchSpec, r.opt, res)
+	out.Lanes = res.Lanes
+	out.Exchanges = res.Exchanges
+	return out, nil
+}

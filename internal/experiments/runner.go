@@ -13,9 +13,11 @@ import (
 
 	"qproc/internal/arch"
 	"qproc/internal/circuit"
+	"qproc/internal/collision"
 	"qproc/internal/core"
 	"qproc/internal/gen"
 	"qproc/internal/mapper"
+	"qproc/internal/search"
 	"qproc/internal/workpool"
 	"qproc/internal/yield"
 )
@@ -53,6 +55,11 @@ type Options struct {
 	// least-recently-used eviction; 0 means unbounded. Eviction can only
 	// cost regeneration time, never change a result.
 	NoiseCacheBytes int64 `json:"noise_cache_bytes,omitempty"`
+	// KernelCacheBytes bounds the shared compiled-kernel cache the same
+	// way; 0 means unbounded. The cache maps canonical topology keys to
+	// compiled collision kernels, so concurrent portfolio lanes (and
+	// successive jobs revisiting a topology) skip recompilation.
+	KernelCacheBytes int64 `json:"kernel_cache_bytes,omitempty"`
 	// Estimator selects the yield estimator scoring every design:
 	// ""/"batch" (one-shot batch Monte-Carlo), "incremental" (Monte-Carlo
 	// through a trial-survivor state) or "analytic" (the closed-form
@@ -136,9 +143,11 @@ func (r *BenchmarkResult) ByConfig(cfg core.Config) []Point {
 // however many jobs run concurrently on the runner, helper goroutines
 // stay within the Workers budget. A Runner is safe for concurrent use.
 type Runner struct {
-	opt   Options
-	cache *yield.NoiseCache
-	pool  *workpool.Pool
+	opt     Options
+	cache   *yield.NoiseCache
+	kernels *collision.KernelCache
+	lanes   *search.LaneCounters
+	pool    *workpool.Pool
 }
 
 // NewRunner returns a Runner with the given options.
@@ -147,7 +156,12 @@ func NewRunner(opt Options) *Runner {
 	if opt.NoiseCacheBytes > 0 {
 		cache.SetLimit(opt.NoiseCacheBytes)
 	}
-	return &Runner{opt: opt, cache: cache, pool: workpool.New(opt.workers())}
+	kernels := collision.NewKernelCache()
+	if opt.KernelCacheBytes > 0 {
+		kernels.SetLimit(opt.KernelCacheBytes)
+	}
+	return &Runner{opt: opt, cache: cache, kernels: kernels,
+		lanes: &search.LaneCounters{}, pool: workpool.New(opt.workers())}
 }
 
 // Options returns the runner's options.
@@ -162,6 +176,16 @@ func (r *Runner) NoiseCacheStats() (hits, misses uint64) { return r.cache.Stats(
 // it mid-run.
 func (r *Runner) NoiseCache() *yield.NoiseCache { return r.cache }
 
+// KernelCache exposes the shared compiled-kernel cache for stats
+// endpoints (hit/miss/eviction counters, byte accounting). Callers must
+// not purge or reconfigure it mid-run.
+func (r *Runner) KernelCache() *collision.KernelCache { return r.kernels }
+
+// LaneStats reports the runner's portfolio lanes currently advancing
+// and the lanes that have finished their budget (cumulative across all
+// portfolio jobs this runner served).
+func (r *Runner) LaneStats() (live, done int64) { return r.lanes.Snapshot() }
+
 // Pool exposes the shared helper pool for stats endpoints.
 func (r *Runner) Pool() *workpool.Pool { return r.pool }
 
@@ -175,6 +199,7 @@ func (r *Runner) simulator() *yield.Simulator {
 	s := yield.New(r.opt.Seed + 7919)
 	s.Trials = r.opt.YieldTrials
 	s.Cache = r.cache
+	s.Kernels = r.kernels
 	s.Parallel = r.opt.Parallel
 	s.Workers = r.opt.Workers
 	s.Pool = r.pool
@@ -189,14 +214,17 @@ func (r *Runner) estimator(sim *yield.Simulator) (yield.Estimator, error) {
 	return yield.NewEstimator(r.opt.Estimator, sim)
 }
 
-// estimateArch scores a finished design's architecture through est. It
-// panics if the architecture has no frequency assignment: estimating the
-// yield of an unfrequencied design is a flow-ordering bug.
+// estimateArch scores a finished design's architecture through est,
+// keyed by canonical topology so repeated evaluations of the same
+// coupling graph hit the shared compiled-kernel cache. It panics if the
+// architecture has no frequency assignment: estimating the yield of an
+// unfrequencied design is a flow-ordering bug.
 func estimateArch(est yield.Estimator, a *arch.Architecture) float64 {
 	if a.Freqs == nil {
 		panic(fmt.Sprintf("experiments: architecture %q has no frequency assignment", a.Name))
 	}
-	return est.Estimate("", a.AdjList(), a.Freqs)
+	adj := a.AdjList()
+	return est.Estimate(collision.TopoKey(adj), adj, a.Freqs)
 }
 
 // forEach runs fn(0..n-1), drawing helpers from the runner's shared

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"qproc/internal/arch"
+	"qproc/internal/circuit"
 	"qproc/internal/gen"
 	"qproc/internal/search"
 	"qproc/internal/topology"
@@ -108,6 +109,9 @@ type SearchProgress struct {
 	// re-estimation.
 	CondChecks  uint64
 	CondSkipped uint64
+	// LanesLive / LanesDone describe a portfolio run's lanes; both zero
+	// on single-lane searches.
+	LanesLive, LanesDone int
 }
 
 // SearchOutcome is the JSON-exportable result of a guided search: the
@@ -140,6 +144,12 @@ type SearchOutcome struct {
 	CondChecks  uint64              `json:"cond_checks,omitempty"`
 	CondSkipped uint64              `json:"cond_skipped,omitempty"`
 	Trace       []search.TracePoint `json:"trace"`
+	// Lanes / Exchanges are present on portfolio runs only: per-lane
+	// incumbents and traces (the raw material for Pareto extraction
+	// across lanes), and the number of elite-exchange barriers at which a
+	// broadcast happened.
+	Lanes     []search.LaneResult `json:"lanes,omitempty"`
+	Exchanges int                 `json:"exchanges,omitempty"`
 
 	// Result keeps the full search result (with the architecture) for
 	// programmatic callers; not serialised.
@@ -178,10 +188,11 @@ func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(Sear
 	}
 	c := b.Build()
 	spec, so := spec.withDefaults(r.opt)
-	// The shared pool is a runner resource, not a spec axis: it changes
-	// scheduling only, never results, so it stays out of withDefaults and
-	// the job fingerprint.
+	// The shared pool and kernel cache are runner resources, not spec
+	// axes: they change scheduling and compile reuse only, never results,
+	// so they stay out of withDefaults and the job fingerprint.
 	so.Pool = r.pool
+	so.Kernels = r.kernels
 
 	var cb func(search.Progress)
 	if progress != nil {
@@ -193,10 +204,15 @@ func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(Sear
 	if err != nil {
 		return nil, fmt.Errorf("experiments: search %s: %w", spec.Benchmark, err)
 	}
+	return searchOutcome(c, spec, r.opt, res), nil
+}
 
+// searchOutcome renders a search result in outcome form — shared by the
+// single-lane Search and the portfolio entry point.
+func searchOutcome(c *circuit.Circuit, spec SearchSpec, opt Options, res *search.Result) *SearchOutcome {
 	return &SearchOutcome{
 		Spec:    spec,
-		Options: r.opt,
+		Options: opt,
 		Best: SweepPoint{
 			Point: Point{
 				Benchmark:   c.Name,
@@ -222,5 +238,5 @@ func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(Sear
 		CondSkipped: res.CondSkipped,
 		Trace:       res.Trace,
 		Result:      res,
-	}, nil
+	}
 }

@@ -106,20 +106,35 @@ func (r *Runner) resolveJob(job Job, store *runstore.Store, progress func(Event)
 	if store == nil {
 		return job
 	}
-	sj, ok := job.(SearchJob)
-	if !ok || sj.Spec.WarmStart != nil {
-		return job
+	switch j := job.(type) {
+	case SearchJob:
+		if resolveWarmStart(&j.Spec, store, r.opt, progress) {
+			return j
+		}
+	case PortfolioJob:
+		if resolveWarmStart(&j.Spec.SearchSpec, store, r.opt, progress) {
+			return j
+		}
 	}
-	ws, src := warmStartFrom(store, sj.Spec, r.opt)
+	return job
+}
+
+// resolveWarmStart fills spec's warm-start hint from the store when it
+// has none, reporting the source; it returns whether spec changed.
+func resolveWarmStart(spec *SearchSpec, store *runstore.Store, opt Options, progress func(Event)) bool {
+	if spec.WarmStart != nil {
+		return false
+	}
+	ws, src := warmStartFrom(store, *spec, opt)
 	if ws == nil {
-		return job
+		return false
 	}
-	sj.Spec.WarmStart = ws
+	spec.WarmStart = ws
 	if progress != nil {
 		progress(Event{Message: fmt.Sprintf(
 			"warm-start aux=%d buses=%d from stored sweep %.12s", ws.Aux, ws.Buses, src)})
 	}
-	return sj
+	return true
 }
 
 // JobKeyFor is JobKey under this runner's options.

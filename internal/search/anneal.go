@@ -6,73 +6,121 @@ import (
 	"math/rand"
 )
 
-// runAnneal is batch-proposal simulated annealing. Each step draws
-// Proposals neighbour moves from the serial RNG, constructs and scores
-// the candidate states concurrently (pure functions into index slots),
-// then applies one Metropolis accept/reject to the best candidate by
-// analytic score. States whose analytic score beats everything evaluated
-// so far are promoted to a full Monte-Carlo evaluation. Every random draw
-// happens on the serial control path, so parallel and serial runs are
-// bit-identical. A cancelled ctx aborts at the next step boundary (and
-// mid-batch via forEach / mid-evaluation via the simulator), returning
-// ctx.Err() with all partial state discarded.
-func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
-	opt := p.opt
-	rng := rand.New(rand.NewSource(opt.Seed))
+// annealLane is batch-proposal simulated annealing as a resumable lane:
+// newAnnealLane seeds it and advance runs it forward to a step barrier,
+// so a single run drives it to Steps in one call while a portfolio
+// interleaves segments of several lanes with elite exchanges between.
+// Each step draws Proposals neighbour moves from the serial RNG,
+// constructs and scores the candidate states concurrently (pure
+// functions into index slots), then applies one Metropolis accept/reject
+// to the best candidate by analytic score. States whose analytic score
+// beats everything evaluated so far are promoted to a full Monte-Carlo
+// evaluation. Every random draw happens on the lane's serial control
+// path, so parallel and serial runs are bit-identical.
+type annealLane struct {
+	p        *Problem
+	ev       *evaluator
+	progress func(Progress)
+	rng      *rand.Rand
+	cur      *State
+	best     *evaluated
+	trace    []TracePoint
+	// bestExpected is the internal promotion threshold: only states that
+	// analytically beat everything evaluated so far receive a full
+	// Monte-Carlo evaluation.
+	bestExpected float64
+	step         int
+}
 
+// newAnnealLane builds the lane at step 0 and promotes its seed state.
+func newAnnealLane(p *Problem, ev *evaluator, progress func(Progress)) (*annealLane, error) {
 	seeds, err := p.seedStates()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	cur := seeds[0] // warm-start seed when configured, else aux = AuxCounts[0], Algorithm 3 frequencies
-	var best *evaluated
-	var trace []TracePoint
-	bestExpected := math.Inf(1)
-	promote := func(step int, st *State) error {
-		if st.Expected >= bestExpected {
-			return nil
-		}
-		bestExpected = st.Expected
-		e, ok, err := ev.evaluate(st)
-		if err != nil || !ok {
-			return err
-		}
-		if better(e, best) {
-			best = e
-			trace = append(trace, TracePoint{Step: step, Evals: ev.evals, Yield: e.yield, Expected: st.Expected})
-		}
+	l := &annealLane{
+		p:            p,
+		ev:           ev,
+		progress:     progress,
+		rng:          rand.New(rand.NewSource(p.opt.controlSeed())),
+		cur:          seeds[0], // warm-start seed when configured, else aux = AuxCounts[0], Algorithm 3 frequencies
+		best:         nil,
+		bestExpected: math.Inf(1),
+	}
+	if err := l.promote(0, l.cur); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// promote runs the full scoring tier on st when it analytically beats
+// everything evaluated so far, updating the lane incumbent and trace.
+func (l *annealLane) promote(step int, st *State) error {
+	if st.Expected >= l.bestExpected {
 		return nil
 	}
-	if err := promote(0, cur); err != nil {
-		return nil, nil, err
+	l.bestExpected = st.Expected
+	e, ok, err := l.ev.evaluate(st)
+	if err != nil || !ok {
+		return err
 	}
+	if better(e, l.best) {
+		l.best = e
+		l.trace = append(l.trace, TracePoint{Step: step, Evals: l.ev.evals, Yield: e.yield, Expected: st.Expected})
+	}
+	return nil
+}
 
-	for step := 0; step < opt.Steps; step++ {
+// units returns the lane's step budget.
+func (l *annealLane) units() int { return l.p.opt.Steps }
+
+// finished reports whether the lane has consumed its step budget.
+func (l *annealLane) finished() bool { return l.step >= l.p.opt.Steps }
+
+// incumbent returns the lane's evaluated best (nil before any
+// evaluation succeeded).
+func (l *annealLane) incumbent() *evaluated { return l.best }
+
+// result returns the lane's incumbent and trace.
+func (l *annealLane) result() (*evaluated, []TracePoint) { return l.best, l.trace }
+
+// advance runs annealing steps up to (but not past) the step barrier
+// until, clamped to the lane's own Steps budget. A cancelled ctx aborts
+// at the next step boundary (and mid-batch via forEach / mid-evaluation
+// via the simulator), returning ctx.Err() with all partial state
+// discarded.
+func (l *annealLane) advance(ctx context.Context, until int) error {
+	opt := l.p.opt
+	if until > opt.Steps {
+		until = opt.Steps
+	}
+	for ; l.step < until; l.step++ {
+		step := l.step
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return err
 		}
 		// Draw the whole batch serially, then build concurrently.
 		moves := make([]move, opt.Proposals)
 		for i := range moves {
-			moves[i] = p.randomMove(rng, cur)
+			moves[i] = l.p.randomMove(l.rng, l.cur)
 		}
 		states := make([]*State, opt.Proposals)
-		origin := cur
+		origin := l.cur
 		opt.forEach(ctx, opt.Proposals, func(i int) {
-			st, err := p.apply(origin, moves[i])
+			st, err := l.p.apply(origin, moves[i])
 			if err == nil {
 				states[i] = st
 			}
 		})
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err // partial batch: discard, don't select from it
+			return err // partial batch: discard, don't select from it
 		}
-		p.proposals += len(moves)
+		l.p.proposals += len(moves)
 
 		// Pick the best candidate: lowest analytic score, key tie-break.
 		var cand *State
 		for _, st := range states {
-			if st == nil || st.key == cur.key {
+			if st == nil || st.key == l.cur.key {
 				continue
 			}
 			if cand == nil || st.Expected < cand.Expected ||
@@ -83,29 +131,72 @@ func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Pro
 
 		// Exactly one uniform per step keeps the RNG stream aligned
 		// whether or not a candidate materialised.
-		u := rng.Float64()
+		u := l.rng.Float64()
 		if cand != nil {
-			dE := cand.Expected - cur.Expected
+			dE := cand.Expected - l.cur.Expected
 			if dE <= 0 || u < math.Exp(-dE/tempAt(opt, step, opt.Steps)) {
-				cur = cand
-				if err := promote(step+1, cur); err != nil {
-					return nil, nil, err
+				l.cur = cand
+				if err := l.promote(step+1, l.cur); err != nil {
+					return err
 				}
 			}
 		}
-		if progress != nil {
+		if l.progress != nil {
 			// Both numbers describe the evaluated incumbent (as in beam);
 			// bestExpected is only the internal promotion threshold.
-			pr := Progress{Step: step + 1, Total: opt.Steps, Evals: ev.evals}
-			pr.CondChecks, pr.CondSkipped = ev.condStats()
-			if best != nil {
-				pr.BestYield = best.yield
-				pr.BestExpected = best.state.Expected
+			pr := Progress{Step: step + 1, Total: opt.Steps, Evals: l.ev.evals}
+			pr.CondChecks, pr.CondSkipped = l.ev.condStats()
+			if l.best != nil {
+				pr.BestYield = l.best.yield
+				pr.BestExpected = l.best.state.Expected
 			}
-			progress(pr)
+			l.progress(pr)
 		}
 	}
-	return best, trace, nil
+	return nil
+}
+
+// inject offers the lane an elite state found elsewhere (the portfolio
+// exchange). The state is re-materialised inside this lane's problem
+// (its own architecture and incremental scorer — lanes never share
+// mutable state), its evaluation is transplanted into the lane's memo —
+// valid because every lane scores under the same noise matrices (common
+// random numbers), so re-evaluating it here would reproduce the exact
+// numbers — and it replaces the lane's current position when strictly
+// better analytically (ties keep the lane's own trajectory, preserving
+// diversity). Runs on the portfolio's serial control path only.
+func (l *annealLane) inject(e *evaluated) error {
+	st, err := l.p.adoptState(e.state)
+	if err != nil {
+		return err
+	}
+	l.ev.transplant(st, e)
+	if st.Expected < l.bestExpected {
+		l.bestExpected = st.Expected
+	}
+	if adopted, ok := l.ev.seen[st.key]; ok && better(adopted, l.best) {
+		l.best = adopted
+		l.trace = append(l.trace, TracePoint{Step: l.step, Evals: l.ev.evals, Yield: adopted.yield, Expected: st.Expected})
+	}
+	if st.Expected < l.cur.Expected {
+		l.cur = st
+	}
+	return nil
+}
+
+// runAnneal drives one anneal lane from seed to the full Steps budget —
+// the single-lane strategy entry point. A cancelled ctx aborts at the
+// next step boundary, returning ctx.Err() with all partial state
+// discarded.
+func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
+	l, err := newAnnealLane(p, ev, progress)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := l.advance(ctx, p.opt.Steps); err != nil {
+		return nil, nil, err
+	}
+	return l.best, l.trace, nil
 }
 
 // randomMove draws one neighbour move of st from the serial RNG. Falls

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"qproc/internal/collision"
 	"qproc/internal/core"
 	"qproc/internal/mapper"
 	"qproc/internal/yield"
@@ -41,7 +42,17 @@ type evaluator struct {
 	// (1). Computed lazily, only when the mapper is needed.
 	baseGates int
 	evals     int
-	seen      map[string]*evaluated
+	// cap, when capSet, overrides Options.MaxEvals as the evaluation
+	// budget (portfolio rebudgeting at exchange barriers). Unlike
+	// MaxEvals, a cap of zero means frozen, not unlimited.
+	cap    int
+	capSet bool
+	seen   map[string]*evaluated
+	// canon memoises the canonical topology key (collision.TopoKey) per
+	// search-local topology key, so each distinct topology pays the
+	// adjacency serialisation once per evaluator instead of once per
+	// evaluation.
+	canon map[string]string
 }
 
 func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
@@ -56,6 +67,7 @@ func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
 	sim.Workers = p.opt.Workers
 	sim.Pool = p.opt.Pool
 	sim.Cache = cache
+	sim.Kernels = p.opt.Kernels
 	kind := "incremental"
 	if p.opt.FullEval {
 		kind = "batch"
@@ -64,14 +76,24 @@ func newEvaluator(p *Problem, cache *yield.NoiseCache) (*evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &evaluator{p: p, sim: sim, est: est, seen: map[string]*evaluated{}}, nil
+	return &evaluator{p: p, sim: sim, est: est,
+		seen: map[string]*evaluated{}, canon: map[string]string{}}, nil
 }
 
 // mcYield scores st's assignment through the evaluator's estimator,
-// keyed by topology so the incremental estimator can reuse its
-// trial-survivor state across promotions that share a coupling graph.
+// keyed by canonical topology (collision.TopoKey) so the incremental
+// estimator can reuse its trial-survivor state across promotions that
+// share a coupling graph — and so the shared kernel cache serves the
+// same compiled kernel to every lane and job that visits the topology,
+// whatever search-local recipe produced it.
 func (ev *evaluator) mcYield(st *State) float64 {
-	return ev.est.Estimate(st.topoKey, st.Arch.AdjList(), st.Freqs())
+	adj := st.Arch.AdjList()
+	key, ok := ev.canon[st.topoKey]
+	if !ok {
+		key = collision.TopoKey(adj)
+		ev.canon[st.topoKey] = key
+	}
+	return ev.est.Estimate(key, adj, st.Freqs())
 }
 
 // condStats reports the cumulative Monte-Carlo condition-bundle
@@ -86,8 +108,14 @@ func (ev *evaluator) condStats() (checked, skipped uint64) {
 
 // budget reports whether another full evaluation is allowed.
 func (ev *evaluator) budget() bool {
+	if ev.capSet {
+		return ev.evals < ev.cap
+	}
 	return ev.p.opt.MaxEvals <= 0 || ev.evals < ev.p.opt.MaxEvals
 }
+
+// setCap overrides the evaluator's evaluation budget; zero freezes it.
+func (ev *evaluator) setCap(n int) { ev.cap, ev.capSet = n, true }
 
 // evaluate runs the full scoring tier on st, memoised by state key. The
 // bool is false when the evaluation budget is exhausted (and the state
@@ -112,6 +140,22 @@ func (ev *evaluator) evaluate(st *State) (*evaluated, bool, error) {
 	}
 	ev.seen[st.key] = e
 	return e, true, nil
+}
+
+// transplant records another lane's finished evaluation for st in this
+// evaluator's memo without spending budget. It is only valid under the
+// portfolio's common-random-numbers discipline: every lane's simulator
+// derives from the same Seed, so re-evaluating st here would reproduce
+// e's numbers exactly — the transplant skips the Monte-Carlo cost, not
+// the contract. An existing memo entry (this lane already evaluated or
+// adopted the state) is kept.
+func (ev *evaluator) transplant(st *State, e *evaluated) {
+	if _, ok := ev.seen[st.key]; ok {
+		return
+	}
+	cp := *e
+	cp.state = st
+	ev.seen[st.key] = &cp
 }
 
 // better ranks two evaluations: higher objective wins, ties break to the

@@ -321,6 +321,22 @@ func (p *Problem) repairState(st *State, seeds []int, keep map[int]bool) {
 	st.key = stateKey(st.topoKey, fr)
 }
 
+// adoptState re-materialises a state from another lane's problem inside
+// this one: same aux variant, bus sites and frequencies, but a fresh
+// architecture and incremental scorer owned by this problem — lanes
+// never share mutable state. The lanes of a portfolio build their base
+// layouts from the same Seed, so the reconstruction is exact (equal
+// canonical key) and cannot fail for a state that was legal in its home
+// lane.
+func (p *Problem) adoptState(st *State) (*State, error) {
+	next, err := p.newState(st.Aux, append([]arch.Site(nil), st.Sites...), st.Freqs())
+	if err != nil {
+		return nil, err
+	}
+	p.proposals++
+	return next, nil
+}
+
 // siteQubits returns the qubit ids a bus at site s would join in the
 // aux variant's layout.
 func (p *Problem) siteQubits(aux int, s arch.Site) []int {

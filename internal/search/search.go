@@ -120,6 +120,13 @@ type Options struct {
 	// respects one global core budget. Nil falls back to per-call
 	// goroutines bounded by Workers.
 	Pool *workpool.Pool
+	// Kernels, when non-nil, is the shared compiled-kernel cache the
+	// Monte-Carlo tier draws from: every evaluation keys its kernel by
+	// canonical topology (collision.TopoKey), so portfolio lanes and
+	// repeated jobs reuse compiled kernels instead of recompiling.
+	// Compilation is pure — results are bit-identical with and without
+	// the cache; like Pool, it never enters a job fingerprint.
+	Kernels *collision.KernelCache
 	// FullEval disables the trial-survivor incremental Monte-Carlo
 	// estimator on the promotion path, running every evaluation from
 	// scratch. Results are bit-identical either way (the incremental
@@ -136,6 +143,22 @@ type Options struct {
 	// sites (chimera, coupler) restrict the move set to aux jumps and
 	// frequency re-seeds automatically.
 	Family topology.Family
+
+	// rngSeed, when non-zero, overrides Seed for the annealing control
+	// RNG only — the problem layouts, frequency seeds and Monte-Carlo
+	// noise still derive from Seed. RunPortfolio uses it to diversify
+	// lane trajectories while every lane scores designs under the same
+	// simulated fabrications (common random numbers), which is what
+	// makes elites comparable — and transferable — across lanes.
+	rngSeed int64
+}
+
+// controlSeed is the seed of the annealing control RNG.
+func (o Options) controlSeed() int64 {
+	if o.rngSeed != 0 {
+		return o.rngSeed
+	}
+	return o.Seed
 }
 
 // WarmStart names the design-space region a search should start from:
@@ -289,6 +312,9 @@ type Progress struct {
 	// from-scratch evaluation. Both are cumulative over the run.
 	CondChecks  uint64
 	CondSkipped uint64
+	// LanesLive and LanesDone describe a portfolio run's lanes: still
+	// advancing vs out of budget. Both zero on single-lane runs.
+	LanesLive, LanesDone int
 }
 
 // TracePoint records one improvement of the incumbent.
@@ -327,8 +353,16 @@ type Result struct {
 	// condition-bundle evaluations performed and avoided (see Progress).
 	CondChecks  uint64 `json:"cond_checks,omitempty"`
 	CondSkipped uint64 `json:"cond_skipped,omitempty"`
-	// Trace logs every incumbent improvement in order.
+	// Trace logs every incumbent improvement in order. On a portfolio
+	// run it is the winning lane's trace; Lanes carries all of them.
 	Trace []TracePoint `json:"trace"`
+	// Lanes carries the per-lane outcomes of a portfolio run (nil on
+	// single-lane runs): each lane's configuration, incumbent and full
+	// trace, the raw material for Pareto-front extraction across lanes.
+	Lanes []LaneResult `json:"lanes,omitempty"`
+	// Exchanges counts the elite-exchange barriers a portfolio run
+	// crossed.
+	Exchanges int `json:"exchanges,omitempty"`
 }
 
 // Run searches the design space of the decomposed program c and returns

@@ -805,12 +805,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // statsView is the GET /v1/stats payload.
 type statsView struct {
-	QueueDepth    int            `json:"queue_depth"`
-	QueueCapacity int            `json:"queue_capacity"`
-	Jobs          map[string]int `json:"jobs"`
-	NoiseCache    noiseCacheView `json:"noise_cache"`
-	Workers       workersView    `json:"workers"`
-	Store         *storeView     `json:"store,omitempty"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	Jobs          map[string]int  `json:"jobs"`
+	NoiseCache    noiseCacheView  `json:"noise_cache"`
+	KernelCache   kernelCacheView `json:"kernel_cache"`
+	Lanes         lanesView       `json:"lanes"`
+	Workers       workersView     `json:"workers"`
+	Store         *storeView      `json:"store,omitempty"`
 }
 
 type counterView struct {
@@ -829,6 +831,24 @@ type noiseCacheView struct {
 	Evictions  uint64 `json:"evictions,omitempty"`
 }
 
+// kernelCacheView reports the shared compiled-kernel cache: hit/miss
+// counters, resident compiled kernels with their byte footprint, and —
+// when a byte bound is configured — the bound and its eviction count.
+type kernelCacheView struct {
+	counterView
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	LimitBytes int64  `json:"limit_bytes,omitempty"`
+	Evictions  uint64 `json:"evictions,omitempty"`
+}
+
+// lanesView reports portfolio search lanes across all jobs the runner
+// has served: currently advancing vs finished (cumulative).
+type lanesView struct {
+	Live int64 `json:"live"`
+	Done int64 `json:"done"`
+}
+
 // workersView reports the shared helper pool.
 type workersView struct {
 	Size  int `json:"size"`
@@ -843,6 +863,9 @@ type storeView struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cache := s.cfg.Runner.NoiseCache()
 	hits, misses := cache.Stats()
+	kernels := s.cfg.Runner.KernelCache()
+	khits, kmisses := kernels.Stats()
+	live, done := s.cfg.Runner.LaneStats()
 	pool := s.cfg.Runner.Pool()
 	s.mu.Lock()
 	depth := len(s.queue)
@@ -861,6 +884,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LimitBytes:  cache.Limit(),
 			Evictions:   cache.Evictions(),
 		},
+		KernelCache: kernelCacheView{
+			counterView: counterView{Hits: khits, Misses: kmisses},
+			Entries:     kernels.Len(),
+			Bytes:       kernels.Bytes(),
+			LimitBytes:  kernels.Limit(),
+			Evictions:   kernels.Evictions(),
+		},
+		Lanes:   lanesView{Live: live, Done: done},
 		Workers: workersView{Size: pool.Size(), InUse: pool.InUse()},
 	}
 	s.mu.Lock()

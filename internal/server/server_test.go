@@ -1021,3 +1021,61 @@ func TestChimeraTopologySurvivesStoreAndJournal(t *testing.T) {
 		t.Fatalf("restored chimera result simulated: %d hits, %d misses", hits, misses)
 	}
 }
+
+// TestPortfolioJobEndToEnd submits a portfolio search over HTTP, waits
+// for it, and checks the outcome carries per-lane results — and that the
+// stats endpoint surfaces the kernel-cache counters and lane lifecycle
+// the run produced.
+func TestPortfolioJobEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, nil, 4)
+
+	v := submit(t, ts.URL,
+		`{"kind":"portfolio","spec":{"benchmark":"sym6_145","strategy":"anneal","steps":12,"proposals":2,"max_evals":8,"lanes":3,"exchange_every":3}}`)
+	if v.Kind != "portfolio" {
+		t.Fatalf("submit view %+v", v)
+	}
+	v = waitDone(t, ts.URL, v.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s", resp.Status)
+	}
+	out, err := experiments.ReadSearchJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Lanes) != 3 {
+		t.Fatalf("outcome has %d lanes, want 3", len(out.Lanes))
+	}
+	if out.Best.Yield <= 0 {
+		t.Errorf("portfolio winner yield %g", out.Best.Yield)
+	}
+
+	var stats statsView
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.KernelCache.Misses == 0 {
+		t.Error("stats report no kernel compiles after a portfolio run")
+	}
+	if stats.KernelCache.Entries == 0 || stats.KernelCache.Bytes == 0 {
+		t.Errorf("stats report an empty kernel cache: %+v", stats.KernelCache)
+	}
+	kh, km := s.cfg.Runner.KernelCache().Stats()
+	if stats.KernelCache.Hits != kh || stats.KernelCache.Misses != km {
+		t.Errorf("stats kernel cache %d/%d, runner %d/%d",
+			stats.KernelCache.Hits, stats.KernelCache.Misses, kh, km)
+	}
+	if stats.Lanes.Live != 0 || stats.Lanes.Done != 3 {
+		t.Errorf("stats lanes %d live / %d done, want 0/3", stats.Lanes.Live, stats.Lanes.Done)
+	}
+}

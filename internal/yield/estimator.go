@@ -15,11 +15,14 @@ import (
 // instead of hard-wiring *Simulator fields.
 //
 // topoKey canonically identifies the coupling graph: equal keys MUST
-// imply equal adjacency lists. Stateless estimators ignore it; stateful
-// ones (mc-incremental) use it to decide whether cached per-topology
-// state applies to this call. An empty key means "unkeyed" and never
-// matches cached state, so passing "" is always correct — merely slower
-// for stateful implementations.
+// imply equal adjacency lists — collision.TopoKey(adj) is the one
+// canonical spelling, and every keyed caller derives from it so the
+// kernel cache and the estimators can never disagree. Stateless
+// estimators pass it through to the simulator's kernel cache; stateful
+// ones (mc-incremental) additionally use it to decide whether cached
+// per-topology state applies to this call. An empty key means "unkeyed"
+// and never matches cached state or cached kernels, so passing "" is
+// always correct — merely slower.
 //
 // Implementations must be deterministic — equal (adj, freqs) inputs
 // return equal float64 results — but are not required to be safe for
@@ -34,8 +37,9 @@ type Estimator interface {
 
 // BatchEstimator scores every call with the simulator's one-shot batch
 // Monte-Carlo estimate (the compiled-kernel sweep of EstimateWithNoise).
-// It is stateless across calls — topoKey is ignored — and safe for
-// concurrent use exactly when the wrapped simulator is.
+// It is stateless across calls — topoKey only routes kernel compilation
+// through the simulator's kernel cache, never changes a number — and
+// safe for concurrent use exactly when the wrapped simulator is.
 type BatchEstimator struct {
 	Sim *Simulator
 }
@@ -44,8 +48,8 @@ type BatchEstimator struct {
 func (b BatchEstimator) Name() string { return "mc-batch" }
 
 // Estimate runs the one-shot batch Monte-Carlo estimate.
-func (b BatchEstimator) Estimate(_ string, adj [][]int, freqs []float64) float64 {
-	return b.Sim.EstimateFreqs(adj, freqs)
+func (b BatchEstimator) Estimate(topoKey string, adj [][]int, freqs []float64) float64 {
+	return b.Sim.EstimateFreqsKeyed(topoKey, adj, freqs)
 }
 
 // IncrementalEstimator scores through a trial-survivor state
@@ -81,7 +85,7 @@ func (e *IncrementalEstimator) Estimate(topoKey string, adj [][]int, freqs []flo
 		e.accChecked += c
 		e.accSkipped += s
 	}
-	e.st = e.Sim.NewTrialState(adj, freqs)
+	e.st = e.Sim.NewTrialStateKeyed(topoKey, adj, freqs)
 	e.topo = topoKey
 	return e.st.Yield()
 }

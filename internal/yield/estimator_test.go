@@ -95,24 +95,6 @@ func TestReferenceEstimateZeroTrials(t *testing.T) {
 	}
 }
 
-// TestEstimateWithNoiseRowsShim checks the deprecated row-major shim
-// returns the exact SoA-path estimate for the same values.
-func TestEstimateWithNoiseRowsShim(t *testing.T) {
-	adj, freqs := trialTestbed()
-	s := New(6)
-	s.Trials = 300
-	noise := s.GenNoise(len(freqs))
-	rows := make([][]float64, noise.Trials())
-	for ti := range rows {
-		rows[ti] = noise.RowInto(nil, ti)
-	}
-	want := s.EstimateWithNoise(adj, freqs, noise)
-	//lint:ignore SA1019 the shim's contract is exactly what this test pins
-	if got := s.EstimateWithNoiseRows(adj, freqs, rows); got != want {
-		t.Fatalf("row shim %v != SoA estimate %v", got, want)
-	}
-}
-
 // TestEstimatorAdaptersAgree checks the two Monte-Carlo adapters return
 // bit-identical numbers through the Estimator interface — whatever mix of
 // shared and distinct topology keys the call sequence uses — and that the

@@ -56,9 +56,20 @@ type TrialState struct {
 // incremental re-estimation. The initial Yield equals EstimateFreqs on
 // the same inputs bit for bit.
 func (s *Simulator) NewTrialState(adj [][]int, freqs []float64) *TrialState {
+	return s.NewTrialStateKeyed("", adj, freqs)
+}
+
+// NewTrialStateKeyed is NewTrialState with the caller vouching for the
+// coupling graph's canonical identity: topoKey must be
+// collision.TopoKey(adj) (or ""), so an attached kernel cache can serve
+// the compiled kernel of a previously seen topology instead of
+// recompiling it. Kernels are stateless per call, so trial states of
+// concurrent estimators may share one; the state itself is bit-identical
+// to the unkeyed call's.
+func (s *Simulator) NewTrialStateKeyed(topoKey string, adj [][]int, freqs []float64) *TrialState {
 	noise := s.noise(len(freqs))
 	st := &TrialState{
-		kern:   collision.NewKernel(adj, s.Params),
+		kern:   s.kernel(topoKey, adj),
 		adj:    adj,
 		freqs:  append([]float64(nil), freqs...),
 		trials: noise.Trials(),

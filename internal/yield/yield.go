@@ -62,6 +62,13 @@ type Simulator struct {
 	// same simulated fabrications without regenerating them. Estimates
 	// are bit-identical with and without a cache.
 	Cache *NoiseCache
+	// Kernels, when non-nil, memoises compiled collision kernels across
+	// estimates keyed by canonical topology (collision.TopoKey), so
+	// keyed estimates of a previously seen coupling graph skip
+	// collision.NewKernel entirely. Compilation is pure, so estimates
+	// are bit-identical with and without the cache; unkeyed calls
+	// (the topology-less entry points) always compile fresh.
+	Kernels *collision.KernelCache
 	// Ctx, when non-nil, is a cooperative cancellation signal: once it is
 	// cancelled, trial-chunk dispatch stops — in-flight chunks finish,
 	// remaining chunks are skipped — so a long estimate returns within
@@ -107,7 +114,26 @@ func (s *Simulator) Estimate(a *arch.Architecture) float64 {
 // EstimateFreqs returns the simulated yield rate of the frequency
 // assignment freqs over the coupling graph adj.
 func (s *Simulator) EstimateFreqs(adj [][]int, freqs []float64) float64 {
-	return s.EstimateWithNoise(adj, freqs, s.noise(len(freqs)))
+	return s.EstimateFreqsKeyed("", adj, freqs)
+}
+
+// EstimateFreqsKeyed is EstimateFreqs with the caller vouching for the
+// coupling graph's canonical identity: topoKey must be
+// collision.TopoKey(adj) (or ""), so a Kernels cache can serve the
+// compiled kernel of a previously seen topology instead of recompiling
+// it. The estimate itself is bit-identical to the unkeyed call.
+func (s *Simulator) EstimateFreqsKeyed(topoKey string, adj [][]int, freqs []float64) float64 {
+	return s.estimateWithNoiseKeyed(topoKey, adj, freqs, s.noise(len(freqs)))
+}
+
+// kernel resolves the compiled kernel for adj: served from the attached
+// Kernels cache when one is attached and the call is keyed, compiled
+// fresh otherwise.
+func (s *Simulator) kernel(topoKey string, adj [][]int) *collision.Kernel {
+	if s.Kernels != nil && topoKey != "" {
+		return s.Kernels.Kernel(topoKey, adj, s.Params)
+	}
+	return collision.NewKernel(adj, s.Params)
 }
 
 // noise returns the trial matrix for n qubits, consulting the cache when
@@ -183,11 +209,18 @@ const ParallelThreshold = 256
 // summed in fixed order; integer sums are order-independent, so the
 // estimate is bit-identical to the serial sweep.
 func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise *NoiseMatrix) float64 {
+	return s.estimateWithNoiseKeyed("", adj, freqs, noise)
+}
+
+// estimateWithNoiseKeyed is EstimateWithNoise with the kernel resolved
+// through the optional kernel cache under the caller's canonical
+// topology key.
+func (s *Simulator) estimateWithNoiseKeyed(topoKey string, adj [][]int, freqs []float64, noise *NoiseMatrix) float64 {
 	trials := noise.Trials()
 	if trials == 0 {
 		return 0
 	}
-	kern := collision.NewKernel(adj, s.Params)
+	kern := s.kernel(topoKey, adj)
 	cols := noise.Cols()
 	total := 0
 	for _, c := range s.overTrialChunks(trials, func(lo, hi int) int {
@@ -196,16 +229,6 @@ func (s *Simulator) EstimateWithNoise(adj [][]int, freqs []float64, noise *Noise
 		total += c
 	}
 	return float64(total) / float64(trials)
-}
-
-// EstimateWithNoiseRows is the pre-SoA spelling of EstimateWithNoise
-// over a row-major matrix (rows[t][q]).
-//
-// Deprecated: transpose once with NoiseMatrixFromRows (or draw directly
-// with GenNoise) and call EstimateWithNoise; this shim re-transposes on
-// every call.
-func (s *Simulator) EstimateWithNoiseRows(adj [][]int, freqs []float64, rows [][]float64) float64 {
-	return s.EstimateWithNoise(adj, freqs, NoiseMatrixFromRows(rows))
 }
 
 // ReferenceEstimate is the retained scalar reference loop: row-major
