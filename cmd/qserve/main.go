@@ -5,15 +5,25 @@
 // client. With -store, finished runs persist content-addressed on disk,
 // repeated submissions — across clients and across restarts — are served
 // without recomputation, and a job-metadata journal next to the store
-// lets a restarted server list prior jobs with their final statuses
-// (jobs that were in flight when the process died are marked
-// "interrupted").
+// lets a restarted server list prior jobs with their final statuses.
+//
+// The service is self-healing: with -store, running searches save
+// resumable checkpoints (-checkpoint-every) next to their run; a job
+// that was in flight when the process died is resubmitted automatically
+// at startup (-retry-interrupted) and resumes from its checkpoint
+// bit-identically instead of recomputing; a failed job is requeued
+// after a capped-exponential backoff (-retry-failed, -retry-backoff).
+// Past its retry budget a dead job surfaces as "interrupted" or
+// "failed". A deterministic fault-injection harness (-fault-spec, or
+// QSERVE_FAULT_SPEC) exercises these paths in tests — never enable it
+// in production.
 //
 // Usage:
 //
 //	qserve -addr :8080 -store runs -queue 16
 //	qserve -quick -addr 127.0.0.1:8080        # reduced Monte-Carlo budgets
 //	qserve -store runs -drain 30s             # SIGTERM: drain 30s, then cancel
+//	qserve -store runs -retry-failed 2 -retry-backoff 1s  # supervised retries
 //
 // Submit and watch a job:
 //
@@ -41,11 +51,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
 	"qproc/internal/cliutil"
 	"qproc/internal/experiments"
+	"qproc/internal/faultinject"
+	"qproc/internal/retry"
 	"qproc/internal/runstore"
 	"qproc/internal/server"
 )
@@ -64,6 +77,16 @@ func main() {
 		kernMB   = flag.Int("kernel-cache-mb", 0, "byte bound on the shared compiled-kernel cache in MiB, LRU-evicted (0 = unbounded)")
 		serial   = flag.Bool("serial", false, "disable all parallelism")
 		drain    = flag.Duration("drain", 10*time.Second, "on SIGTERM, finish queued and running jobs for this long, then cancel the rest cooperatively")
+
+		jfsync  = flag.Bool("journal-fsync", true, "fsync the job journal on every append so lifecycle records survive power loss")
+		ckEvery = flag.Int("checkpoint-every", 25, "with -store, save a resumable search checkpoint every N steps/depths and at every portfolio exchange barrier (0 disables)")
+
+		retryFailed      = flag.Int("retry-failed", 1, "times a failed job is automatically requeued after a backoff (0 disables)")
+		retryInterrupted = flag.Int("retry-interrupted", 2, "times a job interrupted by a process death is resubmitted at startup, resuming from its checkpoint (0 disables)")
+		retryBackoff     = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry; doubles per retry up to 30s, plus 20% deterministic jitter")
+
+		faultSpec = flag.String("fault-spec", "", "deterministic fault-injection schedule, site:action[:k=v]*;... (testing only; also QSERVE_FAULT_SPEC)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault-injection rules (also QSERVE_FAULT_SEED)")
 	)
 	flag.Parse()
 
@@ -74,11 +97,37 @@ func main() {
 	check(cliutil.NonNegative("workers", *workers))
 	check(cliutil.NonNegative("noise-cache-mb", *cacheMB))
 	check(cliutil.NonNegative("kernel-cache-mb", *kernMB))
+	check(cliutil.NonNegative("checkpoint-every", *ckEvery))
+	check(cliutil.NonNegative("retry-failed", *retryFailed))
+	check(cliutil.NonNegative("retry-interrupted", *retryInterrupted))
 	if *drain <= 0 {
 		check(fmt.Errorf("-drain must be positive, got %v", *drain))
 	}
+	if *retryBackoff < 0 {
+		check(fmt.Errorf("-retry-backoff must be non-negative, got %v", *retryBackoff))
+	}
 	if flag.NArg() > 0 {
 		check(fmt.Errorf("unexpected arguments %v", flag.Args()))
+	}
+
+	// Fault injection is off unless explicitly requested; the env fallback
+	// lets test harnesses inject faults into a binary they do not launch
+	// with custom flags.
+	if *faultSpec == "" {
+		*faultSpec = os.Getenv("QSERVE_FAULT_SPEC")
+		if v := os.Getenv("QSERVE_FAULT_SEED"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				check(fmt.Errorf("QSERVE_FAULT_SEED %q: %w", v, err))
+			}
+			*faultSeed = n
+		}
+	}
+	if *faultSpec != "" {
+		plan, err := faultinject.Parse(*faultSpec, *faultSeed)
+		check(err)
+		faultinject.Enable(plan)
+		fmt.Fprintf(os.Stderr, "qserve: FAULT INJECTION ACTIVE: %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 
 	opt := experiments.DefaultOptions()
@@ -92,6 +141,7 @@ func main() {
 	if *serial {
 		opt.Parallel = false
 	}
+	opt.CheckpointEvery = *ckEvery
 
 	var store *runstore.Store
 	var journal *runstore.Journal
@@ -103,7 +153,8 @@ func main() {
 		// The job-metadata journal lives next to the run store: outcomes
 		// are content-addressed in the store, lifecycle metadata here, so
 		// a restart lists prior jobs and re-serves done ones.
-		journal, err = runstore.OpenJournal(filepath.Join(*storeDir, "jobs.ndjson"), *retain)
+		journal, err = runstore.OpenJournal(filepath.Join(*storeDir, "jobs.ndjson"), *retain,
+			runstore.WithFsync(*jfsync))
 		check(err)
 	}
 
@@ -114,10 +165,18 @@ func main() {
 		QueueSize:  *queue,
 		Executors:  *execs,
 		RetainJobs: *retain,
+		Retry: retry.Policy{
+			Failed:      *retryFailed,
+			Interrupted: *retryInterrupted,
+			Base:        *retryBackoff,
+			Cap:         30 * time.Second,
+			JitterFrac:  0.2,
+			Seed:        *seed,
+		},
 	})
 	check(err)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := newHTTPServer(*addr, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 
@@ -154,6 +213,20 @@ func main() {
 		if !errors.Is(err, http.ErrServerClosed) {
 			check(err)
 		}
+	}
+}
+
+// newHTTPServer wraps the API handler in an http.Server hardened for a
+// long-lived listener: connections that never finish sending headers
+// (Slowloris) are dropped after 10s and idle keep-alive connections
+// after two minutes. There is deliberately no global write timeout —
+// event streams legitimately stay open for a job's whole lifetime.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 

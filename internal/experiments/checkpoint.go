@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"context"
+
+	"qproc/internal/search"
+)
+
+// ckControl is the checkpoint plumbing runResolved threads to a search
+// or portfolio run: how often to save (single-lane jobs; portfolios
+// save at every exchange barrier), the checkpoint to resume from, and
+// the sink persisting each snapshot. It rides the context rather than
+// the spec because checkpointing is an executor concern — it never
+// changes a result, so it must not participate in job fingerprints.
+type ckControl struct {
+	every  int
+	resume *search.Checkpoint
+	save   func(*search.Checkpoint)
+}
+
+type ckControlKey struct{}
+
+func withCheckpointControl(ctx context.Context, c ckControl) context.Context {
+	return context.WithValue(ctx, ckControlKey{}, c)
+}
+
+func checkpointControl(ctx context.Context) (ckControl, bool) {
+	if ctx == nil {
+		return ckControl{}, false
+	}
+	c, ok := ctx.Value(ckControlKey{}).(ckControl)
+	return c, ok
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// checkpointSearchJob is a search long enough to cross several
+// checkpoint barriers under CheckpointEvery = 5 but still quick under
+// the tiny Monte-Carlo budgets.
+func checkpointSearchJob() SearchJob {
+	return SearchJob{Spec: SearchSpec{
+		Benchmark: "sym6_145",
+		Strategy:  "anneal",
+		Steps:     40,
+		Proposals: 4,
+		MaxEvals:  6,
+		AuxCounts: []int{0},
+	}}
+}
+
+// TestInterruptedJobResumesFromCheckpoint is the executor-level
+// self-healing loop: a search interrupted mid-run leaves a checkpoint
+// in the run store; re-running the same job resumes from it (reported
+// via an event), completes, matches the uninterrupted outcome
+// bit-identically, and cleans the checkpoint up.
+func TestInterruptedJobResumesFromCheckpoint(t *testing.T) {
+	opt := tinyOptions()
+	opt.CheckpointEvery = 5
+	job := checkpointSearchJob()
+
+	// Uninterrupted baseline on its own store.
+	base, cached, err := NewRunner(opt).RunJob(context.Background(), job, openStore(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("baseline reported cached")
+	}
+	var want bytes.Buffer
+	if err := base.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a second run mid-flight, after enough steps that at
+	// least one barrier checkpoint has been saved.
+	st := openStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, err = NewRunner(opt).RunJob(ctx, job, st, func(e Event) {
+		if e.Done >= 20 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	key, err := JobKey(job, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := st.GetCheckpoint(key); err != nil || data == nil {
+		t.Fatalf("no checkpoint left behind by the interrupted run: %v", err)
+	}
+
+	// Re-running the same job on the same store resumes and completes.
+	var events []string
+	out, cached, err := NewRunner(opt).RunJob(context.Background(), job, st, func(e Event) {
+		if e.Message != "" {
+			events = append(events, e.Message)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("resumed run reported cached")
+	}
+	resumed := false
+	for _, m := range events {
+		if strings.Contains(m, "resuming from checkpoint") {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatalf("no resume event emitted; events: %q", events)
+	}
+	var got bytes.Buffer
+	if err := out.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("resumed outcome differs from uninterrupted run:\n%s\nvs\n%s", want.Bytes(), got.Bytes())
+	}
+	if data, err := st.GetCheckpoint(key); err != nil || data != nil {
+		t.Fatalf("checkpoint not cleaned up after completion: %q, %v", data, err)
+	}
+}
+
+// TestRejectedCheckpointRestartsCold: a checkpoint the engine rejects
+// (here: saved by a different strategy under a forged key) is discarded
+// and the job restarts cold instead of failing.
+func TestRejectedCheckpointRestartsCold(t *testing.T) {
+	opt := tinyOptions()
+	opt.CheckpointEvery = 5
+	job := checkpointSearchJob()
+	st := openStore(t)
+	key, err := JobKey(job, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A decodable checkpoint whose strategy does not match the job's.
+	if err := st.PutCheckpoint(key, []byte(`{"schema":1,"strategy":"beam","lanes":[{"strategy":"beam"}]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []string
+	out, _, err := NewRunner(opt).RunJob(context.Background(), job, st, func(e Event) {
+		if e.Message != "" {
+			events = append(events, e.Message)
+		}
+	})
+	if err != nil {
+		t.Fatalf("job failed instead of restarting cold: %v", err)
+	}
+	rejected := false
+	for _, m := range events {
+		if strings.Contains(m, "checkpoint rejected; restarting cold") {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Fatalf("no rejection event emitted; events: %q", events)
+	}
+
+	base, _, err := NewRunner(opt).RunJob(context.Background(), job, openStore(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := base.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("cold restart after a rejected checkpoint diverged from a clean run")
+	}
+}

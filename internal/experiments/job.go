@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"qproc/internal/mapper"
 	"qproc/internal/runstore"
@@ -31,6 +32,9 @@ type Job interface {
 	// ctx.Err() within one proposal batch / trial chunk; a live ctx
 	// never changes the result.
 	Run(ctx context.Context, r *Runner, progress func(Event)) (Outcome, error)
+	// Timeout is the spec's wall-clock deadline per run; zero means
+	// none. Executors enforce it with a deadline context around Run.
+	Timeout() time.Duration
 	// spec exposes the raw spec for fingerprinting. Unexported: this
 	// package defines the closed set of job kinds.
 	spec() any
@@ -110,6 +114,8 @@ func (j SweepJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Out
 
 func (j SweepJob) spec() any { return j.Spec }
 
+func (j SweepJob) Timeout() time.Duration { return time.Duration(j.Spec.TimeoutSec) * time.Second }
+
 // SearchJob runs a guided design-space search.
 type SearchJob struct {
 	Spec SearchSpec `json:"spec"`
@@ -141,6 +147,8 @@ func (j SearchJob) Run(ctx context.Context, r *Runner, progress func(Event)) (Ou
 
 func (j SearchJob) spec() any { return j.Spec }
 
+func (j SearchJob) Timeout() time.Duration { return time.Duration(j.Spec.TimeoutSec) * time.Second }
+
 // ParseJob builds a Job from a kind name and a raw JSON spec — the shape
 // qserve clients submit. Unknown fields are rejected so a typoed axis
 // name fails loudly instead of silently sweeping the default space.
@@ -169,6 +177,17 @@ func ParseJob(kind string, spec json.RawMessage) (Job, error) {
 		return PortfolioJob{Spec: s}, nil
 	}
 	return nil, fmt.Errorf("experiments: unknown job kind %q (have sweep, search, portfolio)", kind)
+}
+
+// SpecJSON renders job's spec as JSON — what a server journals next to
+// a job's content address so a restart can reconstruct and requeue the
+// exact job (ParseJob(job.Kind(), SpecJSON(job)) round-trips).
+func SpecJSON(job Job) (json.RawMessage, error) {
+	raw, err := json.Marshal(job.spec())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: encoding spec: %w", err)
+	}
+	return raw, nil
 }
 
 // decodeStrict unmarshals JSON rejecting unknown fields.

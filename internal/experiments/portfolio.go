@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"qproc/internal/gen"
 	"qproc/internal/search"
@@ -66,6 +67,8 @@ func (j PortfolioJob) Run(ctx context.Context, r *Runner, progress func(Event)) 
 
 func (j PortfolioJob) spec() any { return j.Spec }
 
+func (j PortfolioJob) Timeout() time.Duration { return time.Duration(j.Spec.TimeoutSec) * time.Second }
+
 // Portfolio runs the portfolio search on one benchmark: spec.Lanes
 // deterministic lanes advancing concurrently on the runner's shared
 // worker pool, all scoring through the runner's noise cache (common
@@ -86,6 +89,9 @@ func (r *Runner) Portfolio(ctx context.Context, spec PortfolioSpec, progress fun
 	so.Pool = r.pool
 	so.Kernels = r.kernels
 	pf.Counters = r.lanes
+	if ck, ok := checkpointControl(ctx); ok {
+		so.Checkpoint = &search.CheckpointOptions{Every: ck.every, Resume: ck.resume, Save: ck.save}
+	}
 
 	var cb func(search.Progress)
 	if progress != nil {

@@ -60,6 +60,14 @@ type Options struct {
 	// compiled collision kernels, so concurrent portfolio lanes (and
 	// successive jobs revisiting a topology) skip recompilation.
 	KernelCacheBytes int64 `json:"kernel_cache_bytes,omitempty"`
+	// CheckpointEvery, when positive and a run store is attached, saves
+	// a resumable checkpoint every N anneal steps / beam depths on
+	// single-lane search jobs (portfolio jobs checkpoint at every
+	// exchange barrier regardless). Zero disables checkpointing. Pure
+	// executor scheduling — a checkpointed or resumed run's results are
+	// bit-identical — so it participates in neither job fingerprints nor
+	// serialised outcomes.
+	CheckpointEvery int `json:"-"`
 	// Estimator selects the yield estimator scoring every design:
 	// ""/"batch" (one-shot batch Monte-Carlo), "incremental" (Monte-Carlo
 	// through a trial-survivor state) or "analytic" (the closed-form

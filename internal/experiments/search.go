@@ -48,6 +48,11 @@ type SearchSpec struct {
 	// store when left nil; it participates in the job fingerprint because
 	// it changes the search trajectory.
 	WarmStart *search.WarmStart `json:"warm_start,omitempty"`
+	// TimeoutSec is the job's wall-clock deadline in seconds; zero means
+	// none. It rides the spec (and therefore the job fingerprint) so a
+	// job killed by its deadline is never served from the store as the
+	// answer to an unbounded submission.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
 }
 
 // withDefaults fills the empty axes; MaxBuses keeps the runner's cap.
@@ -193,6 +198,9 @@ func (r *Runner) Search(ctx context.Context, spec SearchSpec, progress func(Sear
 	// so they stay out of withDefaults and the job fingerprint.
 	so.Pool = r.pool
 	so.Kernels = r.kernels
+	if ck, ok := checkpointControl(ctx); ok {
+		so.Checkpoint = &search.CheckpointOptions{Every: ck.every, Resume: ck.resume, Save: ck.save}
+	}
 
 	var cb func(search.Progress)
 	if progress != nil {

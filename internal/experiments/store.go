@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -44,7 +45,11 @@ func (r *Runner) RunResolvedJob(ctx context.Context, job Job, store *runstore.St
 }
 
 // runResolved is the lookup-before-compute core shared by RunJob and
-// RunResolvedJob.
+// RunResolvedJob. With a store and Options.CheckpointEvery > 0, search
+// and portfolio jobs additionally save resumable checkpoints next to
+// their run, resume from one left by an interrupted execution of the
+// same key, and delete it once the outcome is persisted — the resumed
+// result is bit-identical to an uninterrupted run, just cheaper.
 func (r *Runner) runResolved(ctx context.Context, job Job, store *runstore.Store, progress func(Event)) (Outcome, bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -64,6 +69,8 @@ func (r *Runner) runResolved(ctx context.Context, job Job, store *runstore.Store
 				if progress != nil {
 					progress(Event{Message: fmt.Sprintf("served from run store (%.12s)", key)})
 				}
+				// Any checkpoint left behind is stale: the work is done.
+				_ = store.DeleteCheckpoint(key)
 				return out, true, nil
 			}
 			// Verified bytes the current schema cannot decode: evict and
@@ -71,7 +78,53 @@ func (r *Runner) runResolved(ctx context.Context, job Job, store *runstore.Store
 			_ = store.Discard(key)
 		}
 	}
-	out, err := job.Run(ctx, r, progress)
+	ckpt := store != nil && r.opt.CheckpointEvery > 0 &&
+		(job.Kind() == "search" || job.Kind() == "portfolio")
+	run := func(resume *search.Checkpoint) (Outcome, error) {
+		rctx := ctx
+		if ckpt {
+			rctx = withCheckpointControl(ctx, ckControl{
+				every:  r.opt.CheckpointEvery,
+				resume: resume,
+				save: func(cp *search.Checkpoint) {
+					data, err := cp.Encode()
+					if err == nil {
+						err = store.PutCheckpoint(key, data)
+					}
+					if err != nil && progress != nil {
+						progress(Event{Message: "failed to save checkpoint", Err: err.Error()})
+					}
+				},
+			})
+		}
+		return job.Run(rctx, r, progress)
+	}
+	var resume *search.Checkpoint
+	if ckpt {
+		// Best-effort: any problem reading or decoding the checkpoint
+		// means a cold start, never a failed job.
+		if data, err := store.GetCheckpoint(key); err == nil && data != nil {
+			if cp, derr := search.DecodeCheckpoint(data); derr == nil {
+				resume = cp
+				if progress != nil {
+					progress(Event{Message: fmt.Sprintf(
+						"resuming from checkpoint (unit %d, %d evals spent)", cp.Unit, cp.Evals())})
+				}
+			} else {
+				_ = store.DeleteCheckpoint(key)
+			}
+		}
+	}
+	out, err := run(resume)
+	if err != nil && resume != nil && errors.Is(err, search.ErrBadCheckpoint) {
+		// A checkpoint the engine rejects (spec drift, stale schema) is
+		// discarded and the job restarts cold rather than failing.
+		_ = store.DeleteCheckpoint(key)
+		if progress != nil {
+			progress(Event{Message: "checkpoint rejected; restarting cold", Err: err.Error()})
+		}
+		out, err = run(nil)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -86,6 +139,7 @@ func (r *Runner) runResolved(ctx context.Context, job Job, store *runstore.Store
 		if perr != nil && progress != nil {
 			progress(Event{Message: "failed to persist run; result not stored", Err: perr.Error()})
 		}
+		_ = store.DeleteCheckpoint(key)
 	}
 	return out, false, nil
 }

@@ -29,6 +29,10 @@ type SweepSpec struct {
 	Topology  string    `json:"topology,omitempty"`
 	AuxCounts []int     `json:"aux_counts"`
 	Sigmas    []float64 `json:"sigmas"`
+	// TimeoutSec is the job's wall-clock deadline in seconds; zero means
+	// none. Part of the spec (and the job fingerprint) — see
+	// SearchSpec.TimeoutSec.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
 }
 
 // withDefaults fills the empty axes.

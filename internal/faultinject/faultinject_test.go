@@ -1,0 +1,171 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"store.get",                  // no action
+		"nope.site:error",            // unknown site
+		"store.get:explode",          // unknown action
+		"store.get:delay=notadur",    // bad duration
+		"store.get:error:p=2",        // p out of range
+		"store.get:error:after=-1",   // negative after
+		"store.get:error:every=0",    // every < 1
+		"store.get:error:times=0",    // times < 1
+		"store.get:error:frobnicate", // bad parameter syntax
+		"store.get:error:x=1",        // unknown parameter
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) = nil error, want failure", spec)
+		}
+	}
+}
+
+func TestParseAcceptsEmptyClauses(t *testing.T) {
+	p, err := Parse("store.get:error; ;journal.append:delay=1ms", 1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(p.rules))
+	}
+}
+
+func TestDisabledCheckIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() = true with no plan")
+	}
+	if err := Check(SiteStoreGet); err != nil {
+		t.Fatalf("Check with no plan = %v, want nil", err)
+	}
+}
+
+func TestErrorRuleFiresAndWrapsSentinel(t *testing.T) {
+	p, err := Parse("store.get:error:times=2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	for i := 0; i < 2; i++ {
+		err := Check(SiteStoreGet)
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+		if !strings.Contains(err.Error(), SiteStoreGet) {
+			t.Fatalf("err %q does not name the site", err)
+		}
+	}
+	if err := Check(SiteStoreGet); err != nil {
+		t.Fatalf("after times=2 exhausted: err = %v, want nil", err)
+	}
+	// Other sites are untouched.
+	if err := Check(SiteStorePut); err != nil {
+		t.Fatalf("unrelated site: err = %v, want nil", err)
+	}
+}
+
+func TestAfterAndEverySchedule(t *testing.T) {
+	p, err := Parse("journal.append:error:after=2:every=3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Check(SiteJournalAppend) != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Hits 1,2 skipped; then every 3rd of the remainder: 5, 8, 11.
+	want := []int{5, 8, 11}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbabilisticRuleIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		p, err := Parse("estimator.estimate:error:p=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Enable(p)
+		defer Disable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check(SiteEstimatorEstimate) != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; want a mixture", fires, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	p, err := Parse("workpool.dispatch:panic:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	Check(SiteWorkpoolDispatch)
+}
+
+func TestDelayRule(t *testing.T) {
+	p, err := Parse("checkpoint.put:delay=20ms:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	if err := Check(SiteCheckpointPut); err != nil {
+		t.Fatalf("delay rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= 20ms", d)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"qproc/internal/faultinject"
 )
 
 // JobRecord is one line of the job-metadata journal: the compact,
@@ -34,6 +36,14 @@ type JobRecord struct {
 	Finished  time.Time `json:"finished"`
 	// Err carries the failure message of a failed job.
 	Err string `json:"err,omitempty"`
+	// Attempts counts how many times the job has been started (1 for a
+	// job that never failed). Restart-time resubmission consults it
+	// against the retry budget.
+	Attempts int `json:"attempts,omitempty"`
+	// ResolvedSpec is the normalised spec the job actually ran with —
+	// enough for a restarted server to reconstruct and requeue the job
+	// under the same content address.
+	ResolvedSpec json.RawMessage `json:"resolved_spec,omitempty"`
 }
 
 // Journal is an append-only NDJSON log of job-metadata records, stored
@@ -49,7 +59,19 @@ type Journal struct {
 	mu       sync.Mutex
 	path     string
 	f        *os.File
+	fsync    bool
 	restored []JobRecord
+}
+
+// JournalOption configures OpenJournal.
+type JournalOption func(*Journal)
+
+// WithFsync controls whether every append is fsync'd to stable storage
+// before returning. On (the qserve default) it bounds metadata loss on
+// a power failure to zero appends at the cost of one fsync per
+// lifecycle transition; off leaves flushing to the OS.
+func WithFsync(on bool) JournalOption {
+	return func(j *Journal) { j.fsync = on }
 }
 
 // OpenJournal opens (creating if needed) the journal at path, replays
@@ -61,7 +83,7 @@ type Journal struct {
 // records in a terminal state are dropped first — records still marked
 // queued or running (lost work a restart must surface) are always kept.
 // retain <= 0 keeps everything.
-func OpenJournal(path string, retain int) (*Journal, error) {
+func OpenJournal(path string, retain int, opts ...JournalOption) (*Journal, error) {
 	records, err := replayJournal(path)
 	if err != nil {
 		return nil, err
@@ -85,7 +107,11 @@ func OpenJournal(path string, retain int) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runstore: journal: %w", err)
 	}
-	return &Journal{path: path, f: f, restored: records}, nil
+	j := &Journal{path: path, f: f, restored: records}
+	for _, o := range opts {
+		o(j)
+	}
+	return j, nil
 }
 
 // pruneRecords drops the oldest terminal-state records beyond retain,
@@ -158,10 +184,15 @@ func (j *Journal) Restored() []JobRecord { return j.restored }
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Append writes one record as a single NDJSON line. Appends are
-// buffered by the OS only — metadata loss on a crash is bounded to the
-// transitions since the last append, and replay tolerates a torn tail.
+// Append writes one record as a single NDJSON line. Without WithFsync,
+// appends are buffered by the OS only — metadata loss on a crash is
+// bounded to the transitions since the last append, and replay
+// tolerates a torn tail. With it, the record is on stable storage when
+// Append returns.
 func (j *Journal) Append(rec JobRecord) error {
+	if err := faultinject.Check(faultinject.SiteJournalAppend); err != nil {
+		return fmt.Errorf("runstore: journal: %w", err)
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("runstore: journal: %w", err)
@@ -174,6 +205,11 @@ func (j *Journal) Append(rec JobRecord) error {
 	}
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("runstore: journal: %w", err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("runstore: journal: %w", err)
+		}
 	}
 	return nil
 }

@@ -2,12 +2,15 @@ package runstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"qproc/internal/faultinject"
 )
 
 func journalPath(t *testing.T) string {
@@ -133,6 +136,131 @@ func TestJournalTornTailSkipped(t *testing.T) {
 	got := j2.Restored()
 	if len(got) != 1 || got[0].ID != "dd44" {
 		t.Fatalf("restored %+v, want the single intact record", got)
+	}
+}
+
+// TestJournalTornTailEveryOffset is the torn-write property test: for
+// EVERY byte offset of a multi-record journal, truncating the file
+// there and replaying must (a) never fail, and (b) restore exactly the
+// fold of the lines whose terminating newline survived — a torn tail
+// costs at most the one record that was mid-write, never an earlier
+// one.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []JobRecord{
+		{ID: "aa01", Kind: "sweep", Status: "queued"},
+		{ID: "bb02", Kind: "search", Status: "queued", Attempts: 1},
+		{ID: "aa01", Kind: "sweep", Status: "running", Attempts: 1},
+		{ID: "bb02", Kind: "search", Status: "done", Attempts: 2, ResolvedSpec: json.RawMessage(`{"steps":5}`)},
+		{ID: "aa01", Kind: "sweep", Status: "failed", Err: "boom", Attempts: 1},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// fold the complete lines of a prefix the same way replay does.
+	expect := func(prefix []byte) map[string]string {
+		want := map[string]string{}
+		for _, line := range strings.Split(string(prefix), "\n") {
+			var rec JobRecord
+			if json.Unmarshal([]byte(line), &rec) == nil && rec.ID != "" {
+				want[rec.ID] = rec.Status
+			}
+		}
+		return want
+	}
+
+	dir := t.TempDir()
+	for off := 0; off <= len(full); off++ {
+		torn := filepath.Join(dir, "torn.ndjson")
+		// The oracle folds the prefix the same way replay does: a line is
+		// recovered iff its bytes up to the cut parse as a full record —
+		// which includes a record torn exactly between '}' and '\n'.
+		prefix := full[:off]
+		if err := os.WriteFile(torn, prefix, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(torn, 0)
+		if err != nil {
+			t.Fatalf("offset %d: replay failed: %v", off, err)
+		}
+		got := j2.Restored()
+		j2.Close()
+		want := expect(prefix)
+		if len(got) != len(want) {
+			t.Fatalf("offset %d: restored %d records, want %d", off, len(got), len(want))
+		}
+		for _, rec := range got {
+			if st, ok := want[rec.ID]; !ok || st != rec.Status {
+				t.Fatalf("offset %d: restored %s/%s, want status %q", off, rec.ID, rec.Status, st)
+			}
+		}
+	}
+}
+
+// TestJournalFsyncOption: WithFsync(true) keeps appends working and the
+// records durable and replayable; WithFsync is accepted in both states.
+func TestJournalFsyncOption(t *testing.T) {
+	path := journalPath(t)
+	j, err := OpenJournal(path, 0, WithFsync(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JobRecord{ID: "ab01", Kind: "sweep", Status: "done", Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The record is on disk before Close — read the file directly.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"ab01"`) {
+		t.Fatalf("fsync'd append not on disk: %q", raw)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, 0, WithFsync(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := j2.Restored()
+	if len(got) != 1 || got[0].Attempts != 1 {
+		t.Fatalf("restored %+v", got)
+	}
+}
+
+// TestChaosJournalAppendFault: an injected journal.append fault surfaces
+// as an error wrapping faultinject.ErrInjected and the journal keeps
+// working once the plan is disabled.
+func TestChaosJournalAppendFault(t *testing.T) {
+	j, err := OpenJournal(journalPath(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	plan, err := faultinject.Parse("journal.append:error:times=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+	if err := j.Append(JobRecord{ID: "cd02", Status: "queued"}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append under fault: %v", err)
+	}
+	if err := j.Append(JobRecord{ID: "cd02", Status: "queued"}); err != nil {
+		t.Fatalf("append after fault budget: %v", err)
 	}
 }
 

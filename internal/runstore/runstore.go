@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qproc/internal/faultinject"
 )
 
 // Entry describes one stored run.
@@ -213,6 +215,9 @@ func (s *Store) Put(key, kind, summary string, payload []byte) (Entry, error) {
 	if err := validKey(key); err != nil {
 		return Entry{}, err
 	}
+	if err := faultinject.Check(faultinject.SiteStorePut); err != nil {
+		return Entry{}, fmt.Errorf("runstore: %w", err)
+	}
 	sum := sha256.Sum256(payload)
 	e := Entry{
 		Key:       key,
@@ -261,6 +266,9 @@ func (s *Store) Peek(key string) ([]byte, *Entry, error) { return s.get(key, fal
 func (s *Store) get(key string, count bool) ([]byte, *Entry, error) {
 	if err := validKey(key); err != nil {
 		return nil, nil, err
+	}
+	if err := faultinject.Check(faultinject.SiteStoreGet); err != nil {
+		return nil, nil, fmt.Errorf("runstore: %w", err)
 	}
 	miss := func() ([]byte, *Entry, error) {
 		if count {

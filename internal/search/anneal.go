@@ -21,10 +21,14 @@ type annealLane struct {
 	p        *Problem
 	ev       *evaluator
 	progress func(Progress)
-	rng      *rand.Rand
-	cur      *State
-	best     *evaluated
-	trace    []TracePoint
+	// src is the control RNG's counting source: rng draws flow through
+	// it, so a checkpoint can record the stream position and a resume
+	// can replay to it.
+	src   *countingSource
+	rng   *rand.Rand
+	cur   *State
+	best  *evaluated
+	trace []TracePoint
 	// bestExpected is the internal promotion threshold: only states that
 	// analytically beat everything evaluated so far receive a full
 	// Monte-Carlo evaluation.
@@ -38,11 +42,13 @@ func newAnnealLane(p *Problem, ev *evaluator, progress func(Progress)) (*annealL
 	if err != nil {
 		return nil, err
 	}
+	src := newCountingSource(p.opt.controlSeed())
 	l := &annealLane{
 		p:            p,
 		ev:           ev,
 		progress:     progress,
-		rng:          rand.New(rand.NewSource(p.opt.controlSeed())),
+		src:          src,
+		rng:          rand.New(src),
 		cur:          seeds[0], // warm-start seed when configured, else aux = AuxCounts[0], Algorithm 3 frequencies
 		best:         nil,
 		bestExpected: math.Inf(1),
@@ -73,6 +79,26 @@ func (l *annealLane) promote(step int, st *State) error {
 
 // units returns the lane's step budget.
 func (l *annealLane) units() int { return l.p.opt.Steps }
+
+// unit returns the lane's current step.
+func (l *annealLane) unit() int { return l.step }
+
+// snapshot fills the lane-specific checkpoint fields. Serial control
+// path only.
+func (l *annealLane) snapshot(lc *LaneCheckpoint) {
+	lc.Strategy = Anneal
+	lc.RNGDraws = l.src.n
+	if !math.IsInf(l.bestExpected, 1) {
+		t := l.bestExpected
+		lc.Threshold = &t
+	}
+	cur := recipeOf(l.cur)
+	lc.Cur = &cur
+	if l.best != nil {
+		lc.BestKey = l.best.state.key
+	}
+	lc.Trace = append([]TracePoint(nil), l.trace...)
+}
 
 // finished reports whether the lane has consumed its step budget.
 func (l *annealLane) finished() bool { return l.step >= l.p.opt.Steps }
@@ -182,21 +208,6 @@ func (l *annealLane) inject(e *evaluated) error {
 		l.cur = st
 	}
 	return nil
-}
-
-// runAnneal drives one anneal lane from seed to the full Steps budget —
-// the single-lane strategy entry point. A cancelled ctx aborts at the
-// next step boundary, returning ctx.Err() with all partial state
-// discarded.
-func runAnneal(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
-	l, err := newAnnealLane(p, ev, progress)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := l.advance(ctx, p.opt.Steps); err != nil {
-		return nil, nil, err
-	}
-	return l.best, l.trace, nil
 }
 
 // randomMove draws one neighbour move of st from the serial RNG. Falls

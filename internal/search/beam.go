@@ -80,6 +80,23 @@ func (l *beamLane) evalFrontier(ctx context.Context, depth int) error {
 // units returns the lane's depth budget.
 func (l *beamLane) units() int { return l.p.opt.Depth }
 
+// unit returns the lane's current depth.
+func (l *beamLane) unit() int { return l.depth }
+
+// snapshot fills the lane-specific checkpoint fields. Serial control
+// path only.
+func (l *beamLane) snapshot(lc *LaneCheckpoint) {
+	lc.Strategy = Beam
+	lc.Done = l.done
+	for _, st := range l.frontier {
+		lc.Frontier = append(lc.Frontier, recipeOf(st))
+	}
+	if l.best != nil {
+		lc.BestKey = l.best.state.key
+	}
+	lc.Trace = append([]TracePoint(nil), l.trace...)
+}
+
 // finished reports whether the lane has converged or consumed its depth
 // budget (an injected elite entering the frontier un-latches done).
 func (l *beamLane) finished() bool { return l.done || l.depth >= l.p.opt.Depth }
@@ -232,20 +249,6 @@ func (l *beamLane) inject(e *evaluated) error {
 		l.done = false
 	}
 	return nil
-}
-
-// runBeam drives one beam lane from seed to the full Depth budget — the
-// single-lane strategy entry point. A cancelled ctx aborts at the next
-// depth boundary, returning ctx.Err() with all partial state discarded.
-func runBeam(ctx context.Context, p *Problem, ev *evaluator, progress func(Progress)) (*evaluated, []TracePoint, error) {
-	l, err := newBeamLane(ctx, p, ev, progress)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := l.advance(ctx, p.opt.Depth); err != nil {
-		return nil, nil, err
-	}
-	return l.best, l.trace, nil
 }
 
 // sortStates orders by (analytic score ascending, key) — a total order.

@@ -6,6 +6,7 @@ import (
 
 	"qproc/internal/collision"
 	"qproc/internal/core"
+	"qproc/internal/faultinject"
 	"qproc/internal/mapper"
 	"qproc/internal/yield"
 )
@@ -48,6 +49,12 @@ type evaluator struct {
 	cap    int
 	capSet bool
 	seen   map[string]*evaluated
+	// lastEval is the state of the most recent Monte-Carlo evaluation —
+	// the assignment the incremental estimator's live trial-survivor
+	// state holds. Checkpoints record it so a resume can rebuild that
+	// state and keep the incremental fast path (and its statistics)
+	// bit-identical to an uninterrupted run.
+	lastEval *State
 	// canon memoises the canonical topology key (collision.TopoKey) per
 	// search-local topology key, so each distinct topology pays the
 	// adjacency serialisation once per evaluator instead of once per
@@ -127,8 +134,12 @@ func (ev *evaluator) evaluate(st *State) (*evaluated, bool, error) {
 	if !ev.budget() {
 		return nil, false, nil
 	}
+	if err := faultinject.Check(faultinject.SiteEstimatorEstimate); err != nil {
+		return nil, false, err
+	}
 	ev.evals++
 	e := &evaluated{state: st, yield: ev.mcYield(st)}
+	ev.lastEval = st
 	e.objective = e.yield
 	if ev.p.opt.PerfWeight > 0 {
 		gates, swaps, normPerf, err := ev.performance(st)

@@ -83,7 +83,12 @@ type lane interface {
 	incumbent() *evaluated
 	result() (*evaluated, []TracePoint)
 	units() int
+	// unit is the lane's current position in units (steps / depths).
+	unit() int
 	finished() bool
+	// snapshot fills the lane-specific fields of a checkpoint. Serial
+	// control path only.
+	snapshot(*LaneCheckpoint)
 }
 
 // strategyReady reports whether the options carry valid knobs to run
@@ -226,6 +231,17 @@ func RunPortfolio(ctx context.Context, c *circuit.Circuit, opt Options, pf Portf
 	if n <= 0 {
 		n = DefaultLanes
 	}
+	ck := opt.Checkpoint
+	var resume *Checkpoint
+	if ck != nil && ck.Resume != nil {
+		resume = ck.Resume
+		if !resume.Portfolio || len(resume.Lanes) != n {
+			return nil, fmt.Errorf("%w: not a %d-lane portfolio checkpoint", ErrBadCheckpoint, n)
+		}
+		if resume.Strategy != opt.Strategy {
+			return nil, fmt.Errorf("%w: strategy %s, want %s", ErrBadCheckpoint, resume.Strategy, opt.Strategy)
+		}
+	}
 
 	lanes := make([]*laneRun, n)
 	errs := make([]error, n)
@@ -269,14 +285,65 @@ func RunPortfolio(ctx context.Context, c *circuit.Circuit, opt Options, pf Portf
 			lanes[i] = lr
 		}
 	}
-	// Lane 0 builds first so its seed evaluations can pre-seed every
-	// other lane; the rest fan out concurrently (independent per lane,
-	// landing by index).
-	build(0, nil)
-	if errs[0] != nil {
-		return nil, errs[0]
+	// buildResumed restores lane i from the checkpoint instead: memo
+	// union, estimator state and proposal counter first, then the
+	// strategy-specific lane at its saved unit. No seed promotion or
+	// frontier evaluation runs, so no budget is re-spent. Independent
+	// per lane — all n fan out concurrently.
+	buildResumed := func(i int) {
+		lopt := laneOptions(opt, i, n)
+		if err := lopt.Validate(); err != nil {
+			errs[i] = err
+			return
+		}
+		lc := &resume.Lanes[i]
+		if lc.Strategy != lopt.Strategy {
+			errs[i] = fmt.Errorf("%w: lane %d strategy %s, want %s", ErrBadCheckpoint, i, lc.Strategy, lopt.Strategy)
+			return
+		}
+		p, err := newProblem(c, lopt)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ev, err := newEvaluator(p, cache)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ev.sim.Ctx = ctx
+		if err := ev.restoreMemo(resume.Memo); err != nil {
+			errs[i] = err
+			return
+		}
+		if err := ev.warm(lc); err != nil {
+			errs[i] = err
+			return
+		}
+		p.proposals = lc.Proposals
+		lr := &laneRun{opt: lopt, p: p, ev: ev}
+		switch lopt.Strategy {
+		case Beam:
+			lr.ln, errs[i] = resumeBeamLane(p, ev, nil, lc)
+		default:
+			lr.ln, errs[i] = resumeAnnealLane(p, ev, nil, lc)
+		}
+		if errs[i] == nil {
+			lanes[i] = lr
+		}
 	}
-	opt.forEach(ctx, n-1, func(j int) { build(j+1, lanes[0].ev.seen) })
+	if resume != nil {
+		opt.forEach(ctx, n, buildResumed)
+	} else {
+		// Lane 0 builds first so its seed evaluations can pre-seed every
+		// other lane; the rest fan out concurrently (independent per lane,
+		// landing by index).
+		build(0, nil)
+		if errs[0] != nil {
+			return nil, errs[0]
+		}
+		opt.forEach(ctx, n-1, func(j int) { build(j+1, lanes[0].ev.seen) })
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -336,7 +403,19 @@ func RunPortfolio(ctx context.Context, c *circuit.Circuit, opt Options, pf Portf
 	}
 
 	exchanges := 0
-	for start := 0; start < units; start += ex {
+	startUnit := 0
+	if resume != nil {
+		// A portfolio checkpoint is only ever taken at a crossed barrier
+		// strictly before the end, so a valid resume point divides the
+		// exchange cadence and leaves work to do.
+		if resume.Unit%ex != 0 || resume.Unit < 0 || resume.Unit >= units {
+			return nil, fmt.Errorf("%w: barrier %d does not align with exchange cadence %d over %d units",
+				ErrBadCheckpoint, resume.Unit, ex, units)
+		}
+		startUnit = resume.Unit
+		exchanges = resume.Exchanges
+	}
+	for start := startUnit; start < units; start += ex {
 		until := start + ex
 		if until > units {
 			until = units
@@ -388,6 +467,12 @@ func RunPortfolio(ctx context.Context, c *circuit.Circuit, opt Options, pf Portf
 				}
 			}
 			rebudget(lanes, opt.MaxEvals)
+			// Checkpoint after the merge and rebudget: every lane's memo
+			// is the shared union and every cap is final, so this barrier
+			// is an exact resume point.
+			if ck != nil && ck.Save != nil {
+				ck.Save(checkpointPortfolio(opt.Strategy, lanes, until, exchanges))
+			}
 		}
 		if progress != nil {
 			pr := Progress{Step: until, Total: units}

@@ -143,6 +143,12 @@ type Options struct {
 	// sites (chimera, coupler) restrict the move set to aux jumps and
 	// frequency re-seeds automatically.
 	Family topology.Family
+	// Checkpoint, when non-nil, makes the run resumable: Save receives a
+	// Checkpoint at every Every units (single lane) or exchange barrier
+	// (portfolio), and Resume restores a prior one. Resuming produces a
+	// Result bit-identical to the uninterrupted run. Like Pool, it never
+	// enters a job fingerprint.
+	Checkpoint *CheckpointOptions
 
 	// rngSeed, when non-zero, overrides Seed for the annealing control
 	// RNG only — the problem layouts, frequency seeds and Monte-Carlo
@@ -394,17 +400,45 @@ func Run(ctx context.Context, c *circuit.Circuit, opt Options, cache *yield.Nois
 	// The Monte-Carlo tier inherits the signal, so a cancel lands within
 	// one trial chunk even mid-evaluation.
 	ev.sim.Ctx = ctx
-	var best *evaluated
-	var trace []TracePoint
-	switch opt.Strategy {
-	case Beam:
-		best, trace, err = runBeam(ctx, p, ev, progress)
-	default:
-		best, trace, err = runAnneal(ctx, p, ev, progress)
+	ck := opt.Checkpoint
+	var ln lane
+	if ck != nil && ck.Resume != nil {
+		ln, err = resumeLane(p, ev, progress, ck.Resume, opt.Strategy)
+	} else {
+		switch opt.Strategy {
+		case Beam:
+			ln, err = newBeamLane(ctx, p, ev, progress)
+		default:
+			ln, err = newAnnealLane(p, ev, progress)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
+	units := ln.units()
+	if ck == nil || ck.Save == nil || ck.Every <= 0 {
+		if err := ln.advance(ctx, units); err != nil {
+			return nil, err
+		}
+	} else {
+		// Segmented drive: advance Every units at a time and hand a
+		// checkpoint to Save between segments. Segment boundaries never
+		// touch the RNG stream or the scoring order, so the result is
+		// bit-identical to the single advance above.
+		for !ln.finished() {
+			until := ln.unit() + ck.Every
+			if until > units {
+				until = units
+			}
+			if err := ln.advance(ctx, until); err != nil {
+				return nil, err
+			}
+			if !ln.finished() && ln.unit() < units {
+				ck.Save(checkpointSingle(opt.Strategy, p, ev, ln))
+			}
+		}
+	}
+	best, trace := ln.result()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

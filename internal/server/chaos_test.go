@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qproc/internal/experiments"
+	"qproc/internal/faultinject"
+	"qproc/internal/retry"
+	"qproc/internal/runstore"
+)
+
+// The chaos suite drives the whole service through deterministic fault
+// schedules at the named injection sites and checks the self-healing
+// contract: jobs either complete correctly despite the faults or fail
+// with their cause recorded, and the server itself always survives.
+// Every scenario runs under several plan seeds; the schedules here are
+// count-based, so the seeds pin that behaviour is seed-independent.
+//
+// faultinject state is process-global: these tests never run in
+// parallel, and every plan is disabled again before the server under
+// test is torn down.
+
+var chaosSeeds = []int64{1, 2, 3}
+
+// enableFaults compiles and installs a fault plan, disabling it again
+// when the (sub)test finishes.
+func enableFaults(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	p, err := faultinject.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(p)
+	t.Cleanup(faultinject.Disable)
+}
+
+// waitSettled polls until the job settles in `want`, tolerating
+// transient terminal states on the way — a supervised job is briefly
+// "failed" before its retry requeues it, which waitDone would treat as
+// fatal.
+func waitSettled(t *testing.T, base, id, want string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	var v jobStatus
+	for time.Now().Before(deadline) {
+		v = getStatus(t, base, id)
+		if v.Status == want {
+			return v
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s settled at %q (err %q), want %q", id, v.Status, v.Err, want)
+	return jobStatus{}
+}
+
+// checkpointSearchBody crosses several checkpoint barriers under
+// CheckpointEvery = 5 while staying quick under the tiny Monte-Carlo
+// budgets.
+const checkpointSearchBody = `{"kind":"search","spec":{"benchmark":"sym6_145","strategy":"anneal","steps":40,"proposals":4,"max_evals":6,"aux_counts":[0]}}`
+
+// TestChaosJournalAndPersistFaultsDoNotFailJobs: metadata and
+// persistence are best-effort — with every journal append and store
+// write failing (and store reads delayed), jobs still complete and the
+// persistence failure is reported as an event. Once the faults clear,
+// the same server persists again.
+func TestChaosJournalAndPersistFaultsDoNotFailJobs(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := runstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			journal, err := runstore.OpenJournal(dir+"/jobs.ndjson", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(Config{Runner: experiments.NewRunner(tinyOptions()),
+				Store: store, Journal: journal, QueueSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				s.Close()
+				journal.Close()
+			})
+
+			enableFaults(t, "journal.append:error;store.put:error;store.get:delay=5ms", seed)
+			v := submit(t, ts.URL, sweepBody)
+			waitDone(t, ts.URL, v.ID)
+			if store.Len() != 0 {
+				t.Fatalf("store holds %d entries though every put failed", store.Len())
+			}
+			evs := fetchEvents(t, ts.URL, v.ID)
+			if countEvent(evs, "failed to persist run") == 0 {
+				t.Fatalf("persist failure not reported: %q", evs)
+			}
+
+			faultinject.Disable()
+			b := submit(t, ts.URL,
+				`{"kind":"sweep","spec":{"benchmarks":["dc1_220"],"configs":["eff-full"],"sigmas":[0.03]}}`)
+			waitDone(t, ts.URL, b.ID)
+			if store.Len() != 1 {
+				t.Fatalf("store holds %d entries after the faults cleared, want 1", store.Len())
+			}
+		})
+	}
+}
+
+// TestChaosTransientStoreReadFailureIsRetried: one injected store read
+// failure fails the first attempt; the supervisor requeues it and the
+// second attempt completes and persists.
+func TestChaosTransientStoreReadFailureIsRetried(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			store, err := runstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New(Config{Runner: experiments.NewRunner(tinyOptions()),
+				Store: store, QueueSize: 4,
+				Retry: retry.Policy{Failed: 1, Base: 5 * time.Millisecond}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				s.Close()
+			})
+
+			enableFaults(t, "store.get:error:times=1", seed)
+			v := submit(t, ts.URL, sweepBody)
+			waitSettled(t, ts.URL, v.ID, statusDone)
+			evs := fetchEvents(t, ts.URL, v.ID)
+			if countEvent(evs, "job failed") != 1 || countEvent(evs, "requeued after failure") != 1 {
+				t.Fatalf("want one failure and one requeue before done: %q", evs)
+			}
+			if store.Len() != 1 {
+				t.Fatalf("retried job not persisted: %d entries", store.Len())
+			}
+		})
+	}
+}
+
+// TestChaosCheckpointWriteFailureDoesNotFailJob: checkpoints are an
+// optimisation — a search whose every checkpoint write fails still
+// completes, reporting the save failures as events.
+func TestChaosCheckpointWriteFailureDoesNotFailJob(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			store, err := runstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := tinyOptions()
+			opt.CheckpointEvery = 5
+			s, err := New(Config{Runner: experiments.NewRunner(opt), Store: store, QueueSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				s.Close()
+			})
+
+			enableFaults(t, "checkpoint.put:error", seed)
+			v := submit(t, ts.URL, checkpointSearchBody)
+			waitDone(t, ts.URL, v.ID)
+			evs := fetchEvents(t, ts.URL, v.ID)
+			if countEvent(evs, "failed to save checkpoint") == 0 {
+				t.Fatalf("checkpoint write failures not reported: %q", evs)
+			}
+		})
+	}
+}
+
+// TestChaosEvaluationFaultRetriedToCompletion: a fault inside the
+// Monte-Carlo evaluation fails the attempt; the supervisor's retry
+// completes the search (resuming from a checkpoint when one was saved
+// before the fault).
+func TestChaosEvaluationFaultRetriedToCompletion(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			store, err := runstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := tinyOptions()
+			opt.CheckpointEvery = 5
+			s, err := New(Config{Runner: experiments.NewRunner(opt), Store: store, QueueSize: 4,
+				Retry: retry.Policy{Failed: 1, Base: 5 * time.Millisecond}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(s.Handler())
+			t.Cleanup(func() {
+				ts.Close()
+				s.Close()
+			})
+
+			enableFaults(t, "estimator.estimate:error:times=1", seed)
+			v := submit(t, ts.URL, checkpointSearchBody)
+			waitSettled(t, ts.URL, v.ID, statusDone)
+			evs := fetchEvents(t, ts.URL, v.ID)
+			if countEvent(evs, "job failed") != 1 || countEvent(evs, "requeued after failure") != 1 {
+				t.Fatalf("want one failure and one requeue before done: %q", evs)
+			}
+		})
+	}
+}
+
+// TestChaosDispatchFaultKeepsResultsIdentical: when spawning pool
+// helpers is faulted the engine degrades to inline execution — and the
+// outcome must be bit-identical to an unfaulted run (the parallel ==
+// serial determinism contract, exercised through the whole service).
+func TestChaosDispatchFaultKeepsResultsIdentical(t *testing.T) {
+	fetchResult := func(t *testing.T, base, id string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result: %s", resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			_, tsA := newTestServer(t, nil, 4)
+			enableFaults(t, "workpool.dispatch:error", seed)
+			a := submit(t, tsA.URL, checkpointSearchBody)
+			waitDone(t, tsA.URL, a.ID)
+			faulted := fetchResult(t, tsA.URL, a.ID)
+
+			faultinject.Disable()
+			_, tsB := newTestServer(t, nil, 4)
+			b := submit(t, tsB.URL, checkpointSearchBody)
+			waitDone(t, tsB.URL, b.ID)
+			clean := fetchResult(t, tsB.URL, b.ID)
+
+			if !bytes.Equal(faulted, clean) {
+				t.Fatalf("inline-degraded run diverged from the parallel run:\n%s\nvs\n%s", faulted, clean)
+			}
+		})
+	}
+}
+
+// TestChaosPanicIsolatedExecutorSurvives: a panic out of the storage
+// layer mid-job is converted into a job failure carrying the panic and
+// its stack, and the executor goes on to run the next job.
+func TestChaosPanicIsolatedExecutorSurvives(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			store, err := runstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ts := newTestServer(t, store, 4)
+
+			enableFaults(t, "store.get:panic", seed)
+			v := submit(t, ts.URL, sweepBody)
+			final := waitStatus(t, ts.URL, v.ID, statusFailed)
+			if !bytes.Contains([]byte(final.Err), []byte("job panicked")) {
+				t.Fatalf("panic not reported in the job error: %q", final.Err)
+			}
+			evs := fetchEvents(t, ts.URL, v.ID)
+			if countEvent(evs, "job panicked") == 0 {
+				t.Fatalf("no panic event with the stack: %q", evs)
+			}
+
+			faultinject.Disable()
+			b := submit(t, ts.URL,
+				`{"kind":"sweep","spec":{"benchmarks":["dc1_220"],"configs":["eff-full"],"sigmas":[0.03]}}`)
+			waitDone(t, ts.URL, b.ID)
+		})
+	}
+}

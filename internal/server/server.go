@@ -44,11 +44,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
 	"qproc/internal/experiments"
+	"qproc/internal/retry"
 	"qproc/internal/runstore"
+	"qproc/internal/workpool"
 )
 
 // Config assembles a Server.
@@ -73,6 +77,13 @@ type Config struct {
 	// their outcomes remain retrievable from the run store when one is
 	// configured, and a resubmission is served from it instantly.
 	RetainJobs int
+	// Retry supervises unhealthy jobs: a failed job is automatically
+	// requeued after a backoff delay while its attempt count stays
+	// within Retry.Failed, and a job the journal shows interrupted by a
+	// process death is resubmitted at startup while within
+	// Retry.Interrupted — resuming from its checkpoint when one exists.
+	// The zero value disables all supervision (today's behaviour).
+	Retry retry.Policy
 }
 
 // Server is the HTTP job service. Create with New, serve via Handler,
@@ -132,7 +143,11 @@ type job struct {
 	kind    string
 	summary string
 	spec    json.RawMessage
-	parsed  experiments.Job
+	// resolvedSpec is the normalised spec the job actually runs with,
+	// journaled so a restarted server can reconstruct and requeue the
+	// job under the same content address.
+	resolvedSpec json.RawMessage
+	parsed       experiments.Job
 
 	// ctx is cancelled by DELETE or server shutdown; the runner observes
 	// it within one proposal batch / trial chunk. Restored jobs have no
@@ -140,8 +155,11 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	status    string
+	mu     sync.Mutex
+	status string
+	// attempts counts runs started for this content address, carried
+	// across requeues and restarts; the retry policy budgets against it.
+	attempts  int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -206,9 +224,12 @@ func New(cfg Config) (*Server, error) {
 
 // restoreFromJournal rebuilds the job listing from the journal's folded
 // records: terminal jobs keep their final status (done outcomes are
-// re-served from the run store on demand), jobs the previous process
-// left queued or running become "interrupted" — and that transition is
-// journaled, so the record reflects what this server reports.
+// re-served from the run store on demand). Jobs the previous process
+// left queued or running are resubmitted automatically — resuming from
+// their checkpoint when one exists — while the retry policy's
+// interrupted budget allows; past it (or with no policy) they become
+// "interrupted", and that transition is journaled, so the record
+// reflects what this server reports.
 func (s *Server) restoreFromJournal() {
 	if s.cfg.Journal == nil {
 		return
@@ -220,6 +241,7 @@ func (s *Server) restoreFromJournal() {
 			summary:   rec.Summary,
 			spec:      append(json.RawMessage(nil), rec.Spec...),
 			status:    rec.Status,
+			attempts:  rec.Attempts,
 			submitted: rec.Submitted,
 			started:   rec.Started,
 			finished:  rec.Finished,
@@ -234,6 +256,9 @@ func (s *Server) restoreFromJournal() {
 		case statusFailed, statusCanceled, statusInterrupted:
 			j.events = []experiments.Event{{Message: "job " + rec.Status + " (restored from journal)"}}
 		default: // queued or running when the process died
+			if s.requeueRestoredLocked(rec) {
+				continue
+			}
 			j.status = statusInterrupted
 			if j.finished.IsZero() {
 				j.finished = time.Now().UTC()
@@ -249,6 +274,58 @@ func (s *Server) restoreFromJournal() {
 	s.evictFinishedLocked()
 }
 
+// requeueRestoredLocked resubmits a job the previous process left
+// queued or running, reconstructing it from the journaled resolved
+// spec. The rebuilt job must hash back to the journaled id (spec or
+// options drift across the restart means it is a different job — it is
+// left interrupted instead of silently running other work under the old
+// address) and must fit the queue. Runs during New, before executors
+// start; the caller owns s.mu's data exclusively.
+func (s *Server) requeueRestoredLocked(rec runstore.JobRecord) bool {
+	attempts := rec.Attempts
+	if attempts < 1 {
+		attempts = 1 // journals from before attempt tracking
+	}
+	if !s.cfg.Retry.Allows(retry.StatusInterrupted, attempts) {
+		return false
+	}
+	if len(rec.ResolvedSpec) == 0 || len(s.queue) >= s.cfg.QueueSize {
+		return false
+	}
+	parsed, err := experiments.ParseJob(rec.Kind, rec.ResolvedSpec)
+	if err != nil {
+		return false
+	}
+	parsed = parsed.Normalize(s.cfg.Runner.Options())
+	key, err := s.cfg.Runner.JobKeyFor(parsed)
+	if err != nil || key != rec.ID {
+		return false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:           rec.ID,
+		kind:         rec.Kind,
+		summary:      rec.Summary,
+		spec:         append(json.RawMessage(nil), rec.Spec...),
+		resolvedSpec: append(json.RawMessage(nil), rec.ResolvedSpec...),
+		parsed:       parsed,
+		ctx:          ctx,
+		cancel:       cancel,
+		status:       statusQueued,
+		attempts:     attempts,
+		submitted:    rec.Submitted,
+		done:         make(chan struct{}),
+		wake:         make(chan struct{}),
+		events: []experiments.Event{{
+			Message: "job interrupted by server restart; resuming from checkpoint if present"}},
+	}
+	s.journalAppendLocked(j)
+	s.queue = append(s.queue, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	return true
+}
+
 // journalAppendLocked records the job's current state in the journal,
 // best-effort: metadata loss never fails a job. Callers either hold
 // j.mu or own the job exclusively (submission before the job is
@@ -258,15 +335,17 @@ func (s *Server) journalAppendLocked(j *job) {
 		return
 	}
 	_ = s.cfg.Journal.Append(runstore.JobRecord{
-		ID:        j.id,
-		Kind:      j.kind,
-		Summary:   j.summary,
-		Spec:      j.spec,
-		Status:    j.status,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
-		Err:       j.errMsg,
+		ID:           j.id,
+		Kind:         j.kind,
+		Summary:      j.summary,
+		Spec:         j.spec,
+		Status:       j.status,
+		Submitted:    j.submitted,
+		Started:      j.started,
+		Finished:     j.finished,
+		Err:          j.errMsg,
+		Attempts:     j.attempts,
+		ResolvedSpec: j.resolvedSpec,
 	})
 }
 
@@ -364,7 +443,10 @@ func (s *Server) removeQueuedLocked(j *job) {
 	}
 }
 
-// runJob executes one job through the shared runner and store.
+// runJob executes one job through the shared runner and store,
+// enforcing the spec's deadline and isolating panics: a panicking job
+// fails with its stack in the event log while the executor survives. A
+// failed job with retry budget left is requeued after a backoff delay.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
 	if j.status != statusQueued {
@@ -374,15 +456,22 @@ func (s *Server) runJob(j *job) {
 	}
 	j.status = statusRunning
 	j.started = time.Now().UTC()
+	j.attempts++
 	ctx := j.ctx
 	s.journalAppendLocked(j)
 	j.mu.Unlock()
 
-	// RunResolvedJob, not RunJob: the job was resolved and keyed at
-	// submission; re-resolving here could pick up a warm-start hint from
-	// runs stored since and file the outcome under a different key than
-	// the announced job id.
-	out, cached, err := s.cfg.Runner.RunResolvedJob(ctx, j.parsed, s.cfg.Store, j.publish)
+	// The spec's deadline bounds this attempt's wall clock; the parent
+	// ctx stays the cancellation signal, so "client cancelled" and "ran
+	// out of time" remain distinguishable below.
+	rctx := ctx
+	timeout := j.parsed.Timeout()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	out, cached, err := s.runJobGuarded(rctx, j)
 	var payload []byte
 	if err == nil {
 		payload, err = marshalOutcome(out)
@@ -400,6 +489,13 @@ func (s *Server) runJob(j *job) {
 			msg = "job done (served from run store)"
 		}
 		j.appendEventLocked(experiments.Event{Message: msg})
+	case timeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+		// The deadline fired, not the client: that is a failure (and so
+		// retryable — a retry resumes from the last checkpoint, making
+		// progress across attempts even under a tight deadline).
+		j.status = statusFailed
+		j.errMsg = fmt.Sprintf("job exceeded its %s deadline", timeout)
+		j.appendEventLocked(experiments.Event{Message: "job failed", Err: j.errMsg})
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		// Cancellation is a client decision, not a failure; partial
 		// results were discarded by the engine and never persisted.
@@ -410,11 +506,108 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		j.appendEventLocked(experiments.Event{Message: "job failed", Err: err.Error()})
 	}
+	status := j.status
 	s.journalAppendLocked(j)
 	close(j.done)
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
 	s.markFinished()
+	switch status {
+	case statusCanceled:
+		// A cancelled job's checkpoint is stale by decision: the client
+		// abandoned the work. (Done jobs clean up inside the runner.)
+		s.deleteCheckpoint(j.id)
+	case statusFailed:
+		s.maybeRetry(j)
+	}
+}
+
+// runJobGuarded is the RunResolvedJob call under a panic guard: a
+// panicking job (or a panic escaping a shared worker via
+// workpool.PanicError) is converted into a job failure carrying the
+// original stack, so one poisoned spec cannot take down the executor —
+// or the process — while other jobs run.
+//
+// RunResolvedJob, not RunJob: the job was resolved and keyed at
+// submission; re-resolving here could pick up a warm-start hint from
+// runs stored since and file the outcome under a different key than
+// the announced job id.
+func (s *Server) runJobGuarded(ctx context.Context, j *job) (out experiments.Outcome, cached bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stack := debug.Stack()
+			if pe, ok := v.(*workpool.PanicError); ok {
+				v, stack = pe.Value, pe.Stack
+			}
+			err = fmt.Errorf("job panicked: %v", v)
+			j.publish(experiments.Event{Message: "job panicked",
+				Err: fmt.Sprintf("%v\n%s", v, stack)})
+		}
+	}()
+	return s.cfg.Runner.RunResolvedJob(ctx, j.parsed, s.cfg.Store, j.publish)
+}
+
+// deleteCheckpoint drops any resumable state stored for id.
+func (s *Server) deleteCheckpoint(id string) {
+	if s.cfg.Store != nil {
+		_ = s.cfg.Store.DeleteCheckpoint(id)
+	}
+}
+
+// maybeRetry requeues a failed job after the policy's backoff delay
+// while its attempt count stays within budget; past the budget the
+// failure is final and any checkpoint is cleaned up. (While retries
+// remain, the checkpoint is kept — the next attempt resumes from it.)
+func (s *Server) maybeRetry(j *job) {
+	j.mu.Lock()
+	attempts := j.attempts
+	j.mu.Unlock()
+	if !s.cfg.Retry.Allows(retry.StatusFailed, attempts) {
+		s.deleteCheckpoint(j.id)
+		return
+	}
+	delay := s.cfg.Retry.Delay(j.id, attempts)
+	j.publish(experiments.Event{Message: fmt.Sprintf("retrying in %s (attempt %d)", delay, attempts+1)})
+	time.AfterFunc(delay, func() { s.requeue(j) })
+}
+
+// requeue replaces a terminal failed job with a fresh queued job under
+// the same content address, carrying forward the spec, attempt count
+// and event history. It bails out when the server has closed, when the
+// id no longer maps to the failed job (a client resubmitted or the
+// record was evicted meanwhile), or when the queue is full — a retry
+// never evicts client work.
+func (s *Server) requeue(prev *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.jobs[prev.id] != prev || len(s.queue) >= s.cfg.QueueSize {
+		return
+	}
+	prev.mu.Lock()
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:           prev.id,
+		kind:         prev.kind,
+		summary:      prev.summary,
+		spec:         prev.spec,
+		resolvedSpec: prev.resolvedSpec,
+		parsed:       prev.parsed,
+		ctx:          ctx,
+		cancel:       cancel,
+		status:       statusQueued,
+		attempts:     prev.attempts,
+		submitted:    prev.submitted,
+		events:       append([]experiments.Event(nil), prev.events...),
+		done:         make(chan struct{}),
+		wake:         make(chan struct{}),
+	}
+	prev.mu.Unlock()
+	j.events = append(j.events, experiments.Event{Message: "requeued after failure"})
+	s.journalAppendLocked(j)
+	s.queue = append(s.queue, j)
+	s.jobs[j.id] = j
+	s.finished-- // the terminal job left the books; its slot runs again
+	s.qcond.Signal()
 }
 
 // markFinished bumps the terminal-job counter the eviction scan reads.
@@ -446,6 +639,9 @@ func (s *Server) cancelJob(j *job) bool {
 		j.mu.Unlock()
 		s.mu.Unlock()
 		j.cancel()
+		// A checkpoint left by an earlier failed attempt is stale once
+		// the client abandons the work.
+		s.deleteCheckpoint(j.id)
 		return true
 	case statusRunning:
 		j.mu.Unlock()
@@ -571,10 +767,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Journaled alongside the submitted spec so a restart can rebuild
+	// the exact job; best-effort (nil just disables restart-resume for
+	// this job).
+	resolvedSpec, _ := experiments.SpecJSON(parsed)
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down"))
+		writeErrorRetry(w, http.StatusServiceUnavailable,
+			fmt.Errorf("server is shutting down"), s.cfg.Retry.RetryAfter())
 		return
 	}
 	replacing := false
@@ -593,24 +795,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("job queue full (%d waiting); retry later", s.cfg.QueueSize))
+		writeErrorRetry(w, http.StatusServiceUnavailable,
+			fmt.Errorf("job queue full (%d waiting); retry later", s.cfg.QueueSize),
+			s.cfg.Retry.RetryAfter())
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:        key,
-		kind:      parsed.Kind(),
-		summary:   parsed.Normalize(s.cfg.Runner.Options()).Summary(),
-		spec:      append(json.RawMessage(nil), req.Spec...),
-		parsed:    parsed,
-		ctx:       ctx,
-		cancel:    cancel,
-		status:    statusQueued,
-		submitted: time.Now().UTC(),
-		done:      make(chan struct{}),
-		wake:      make(chan struct{}),
+		id:           key,
+		kind:         parsed.Kind(),
+		summary:      parsed.Normalize(s.cfg.Runner.Options()).Summary(),
+		spec:         append(json.RawMessage(nil), req.Spec...),
+		resolvedSpec: resolvedSpec,
+		parsed:       parsed,
+		ctx:          ctx,
+		cancel:       cancel,
+		status:       statusQueued,
+		submitted:    time.Now().UTC(),
+		done:         make(chan struct{}),
+		wake:         make(chan struct{}),
 	}
 	// Journaled before an executor can see it (the queue append and the
 	// executor's pop both happen under s.mu), so the "running" record
@@ -916,4 +1119,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeErrorRetry is writeError plus back-off guidance: the Retry-After
+// header and a retry_after_sec field in the error JSON, both in whole
+// seconds, derived from the server's retry policy. Used on 503s so
+// well-behaved clients pace their resubmissions instead of hammering a
+// full queue.
+func writeErrorRetry(w http.ResponseWriter, code int, err error, sec int) {
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	writeJSON(w, code, map[string]any{"error": err.Error(), "retry_after_sec": sec})
 }

@@ -17,10 +17,28 @@ package workpool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"qproc/internal/faultinject"
 )
+
+// PanicError carries a panic that happened inside a helper goroutine
+// across to the ForEachCtx caller: the helper recovers (so the shared
+// pool never loses a goroutine to someone else's bug), records the
+// value and stack, and the caller re-panics with this after all
+// in-flight work has drained. A supervisor above the call (e.g. the
+// server's per-job recover) can then fail just the offending job with
+// the original stack while the process keeps serving.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
 
 // Pool is a shared budget of helper goroutines. The zero value is not
 // usable; create with New. A nil *Pool is valid everywhere and means
@@ -95,35 +113,64 @@ func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(int)) error {
 		}
 		return ctx.Err()
 	}
-	var next atomic.Int64
+	// A panic inside fn must not kill a pooled goroutine (the pool is
+	// shared by unrelated jobs) nor deadlock the caller. Each runner
+	// recovers, the first panic is captured with its stack, dispatch
+	// stops, and the caller re-panics with a *PanicError once all
+	// in-flight work has drained.
+	var (
+		next      atomic.Int64
+		aborted   atomic.Bool
+		panicOnce sync.Once
+		pe        *PanicError
+	)
+	safe := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				panicOnce.Do(func() {
+					pe = &PanicError{Value: v, Stack: debug.Stack()}
+				})
+				aborted.Store(true)
+			}
+		}()
+		fn(i)
+	}
 	work := func() {
 		for {
-			if canceled() {
+			if canceled() || aborted.Load() {
 				return
 			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
-			fn(i)
+			safe(i)
 		}
 	}
 	var wg sync.WaitGroup
-	for h := 0; h < n-1; h++ {
-		select {
-		case p.sem <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-p.sem }()
-				work()
-			}()
-			continue
-		default:
+	// An injected dispatch fault degrades to inline execution on the
+	// caller — the scheduling discipline makes that indistinguishable
+	// from a saturated pool, so results are identical either way.
+	if faultinject.Check(faultinject.SiteWorkpoolDispatch) == nil {
+		for h := 0; h < n-1; h++ {
+			select {
+			case p.sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-p.sem }()
+					work()
+				}()
+				continue
+			default:
+			}
+			break // budget exhausted right now: the caller picks up the rest
 		}
-		break // budget exhausted right now: the caller picks up the rest
 	}
 	work()
 	wg.Wait()
+	if pe != nil {
+		panic(pe)
+	}
 	return ctx.Err()
 }

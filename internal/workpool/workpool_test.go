@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"qproc/internal/faultinject"
 )
 
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
@@ -138,6 +140,62 @@ func TestForEachCtxPreCancelled(t *testing.T) {
 	}
 }
 
+// TestPanicInHelperSurfacesToCaller: a panic inside fn re-surfaces on
+// the calling goroutine as a *PanicError with the original value and a
+// stack, after all in-flight work drains — the pool never loses a
+// goroutine and the semaphore is fully released.
+func TestPanicInHelperSurfacesToCaller(t *testing.T) {
+	p := New(4)
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.ForEach(64, func(i int) {
+			if i == 7 {
+				panic("boom at 7")
+			}
+		})
+	}()
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *PanicError", recovered, recovered)
+	}
+	if pe.Value != "boom at 7" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("%d helpers still marked in use after the panic", p.InUse())
+	}
+	// The pool still works afterwards.
+	var ran atomic.Int64
+	p.ForEach(32, func(int) { ran.Add(1) })
+	if ran.Load() != 32 {
+		t.Fatalf("pool ran %d/32 bodies after a panic", ran.Load())
+	}
+}
+
+// TestPanicStopsDispatch: after the first panic no further index is
+// handed out, so a poisoned batch fails fast instead of running every
+// remaining body.
+func TestPanicStopsDispatch(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	const n = 100000
+	func() {
+		defer func() { _ = recover() }()
+		p.ForEach(n, func(i int) {
+			if ran.Add(1) == 5 {
+				panic("poison")
+			}
+		})
+	}()
+	if got := ran.Load(); got >= n {
+		t.Fatalf("all %d indices ran despite a panic", n)
+	}
+}
+
 func TestDeterministicByIndex(t *testing.T) {
 	p := New(8)
 	out := make([]int, 512)
@@ -146,5 +204,35 @@ func TestDeterministicByIndex(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
+	}
+}
+
+// TestChaosDispatchFaultDegradesInline: an injected workpool.dispatch
+// error makes ForEach run everything on the caller — every index still
+// runs exactly once, same results, no helpers used.
+func TestChaosDispatchFaultDegradesInline(t *testing.T) {
+	plan, err := faultinject.Parse("workpool.dispatch:error", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	p := New(8)
+	out := make([]int, 256)
+	var helpers atomic.Int32
+	p.ForEach(len(out), func(i int) {
+		out[i] = i * i
+		if u := int32(p.InUse()); u > helpers.Load() {
+			helpers.Store(u)
+		}
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if helpers.Load() != 0 {
+		t.Fatalf("%d helpers spawned despite a dispatch fault", helpers.Load())
 	}
 }

@@ -67,8 +67,10 @@ type IncrementalEstimator struct {
 	st   *TrialState
 	topo string
 	// accChecked/accSkipped accumulate the condition statistics of
-	// retired trial states; Stats folds in the live one.
-	accChecked, accSkipped uint64
+	// retired trial states; Stats folds in the live one. Signed so Warm
+	// can bias them negative against a freshly built state, restoring a
+	// checkpointed total exactly.
+	accChecked, accSkipped int64
 }
 
 // Name returns "mc-incremental".
@@ -82,25 +84,48 @@ func (e *IncrementalEstimator) Estimate(topoKey string, adj [][]int, freqs []flo
 	}
 	if e.st != nil {
 		c, s := e.st.Stats()
-		e.accChecked += c
-		e.accSkipped += s
+		e.accChecked += int64(c)
+		e.accSkipped += int64(s)
 	}
 	e.st = e.Sim.NewTrialStateKeyed(topoKey, adj, freqs)
 	e.topo = topoKey
 	return e.st.Yield()
 }
 
+// Warm rebuilds the estimator's trial-survivor state for the given
+// assignment — as if the previous Estimate call had scored it — and
+// pins the cumulative condition statistics to (checked, skipped). A
+// resumed search uses it to restore the incremental fast path exactly:
+// the next Estimate on the same topoKey re-estimates from this state,
+// and Stats continues from the checkpointed totals, so an interrupted
+// run and an uninterrupted one report identical numbers.
+func (e *IncrementalEstimator) Warm(topoKey string, adj [][]int, freqs []float64, checked, skipped uint64) {
+	e.st = e.Sim.NewTrialStateKeyed(topoKey, adj, freqs)
+	e.topo = topoKey
+	c0, s0 := e.st.Stats()
+	e.accChecked = int64(checked) - int64(c0)
+	e.accSkipped = int64(skipped) - int64(s0)
+}
+
 // Stats reports the cumulative bundle-trial evaluations performed and
 // the ones incremental re-estimation skipped relative to from-scratch
 // loops, across every trial state the estimator has held.
 func (e *IncrementalEstimator) Stats() (checked, skipped uint64) {
-	checked, skipped = e.accChecked, e.accSkipped
+	c, s := e.accChecked, e.accSkipped
 	if e.st != nil {
-		c, s := e.st.Stats()
-		checked += c
-		skipped += s
+		lc, ls := e.st.Stats()
+		c += int64(lc)
+		s += int64(ls)
 	}
-	return checked, skipped
+	// The accumulators can sit below zero between Warm and the live
+	// state's first re-estimates; totals never should.
+	if c < 0 {
+		c = 0
+	}
+	if s < 0 {
+		s = 0
+	}
+	return uint64(c), uint64(s)
 }
 
 // AnalyticEstimator scores with the sampling-noise-free closed-form
