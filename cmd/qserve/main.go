@@ -32,6 +32,7 @@
 //	curl -sN localhost:8080/v1/jobs/<id>/events     # one JSON line per event
 //	curl -s  localhost:8080/v1/jobs/<id>/result
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>   # cancel mid-flight
+//	curl -s 'localhost:8080/v1/jobs/<id>/metrics?metric=yield&step_window=10'
 //	curl -s  localhost:8080/v1/stats
 //
 // On SIGTERM/SIGINT the server stops accepting submissions, drains
@@ -58,6 +59,7 @@ import (
 	"qproc/internal/cliutil"
 	"qproc/internal/experiments"
 	"qproc/internal/faultinject"
+	"qproc/internal/metrics"
 	"qproc/internal/retry"
 	"qproc/internal/runstore"
 	"qproc/internal/server"
@@ -81,6 +83,9 @@ func main() {
 		jfsync  = flag.Bool("journal-fsync", true, "fsync the job journal on every append so lifecycle records survive power loss")
 		ckEvery = flag.Int("checkpoint-every", 25, "with -store, save a resumable search checkpoint every N steps/depths and at every portfolio exchange barrier (0 disables)")
 
+		metricsMB  = flag.Int("metrics-retain-mb", 64, "with -store, byte bound on the per-job metrics time series in MiB; oldest sealed chunks are evicted first (0 = unbounded)")
+		metricsAge = flag.Duration("metrics-retain-age", 0, "with -store, evict metrics chunks whose newest point is older than this (0 = no age bound)")
+
 		retryFailed      = flag.Int("retry-failed", 1, "times a failed job is automatically requeued after a backoff (0 disables)")
 		retryInterrupted = flag.Int("retry-interrupted", 2, "times a job interrupted by a process death is resubmitted at startup, resuming from its checkpoint (0 disables)")
 		retryBackoff     = flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before the first retry; doubles per retry up to 30s, plus 20% deterministic jitter")
@@ -98,6 +103,10 @@ func main() {
 	check(cliutil.NonNegative("noise-cache-mb", *cacheMB))
 	check(cliutil.NonNegative("kernel-cache-mb", *kernMB))
 	check(cliutil.NonNegative("checkpoint-every", *ckEvery))
+	check(cliutil.NonNegative("metrics-retain-mb", *metricsMB))
+	if *metricsAge < 0 {
+		check(fmt.Errorf("-metrics-retain-age must be non-negative, got %v", *metricsAge))
+	}
 	check(cliutil.NonNegative("retry-failed", *retryFailed))
 	check(cliutil.NonNegative("retry-interrupted", *retryInterrupted))
 	if *drain <= 0 {
@@ -145,6 +154,7 @@ func main() {
 
 	var store *runstore.Store
 	var journal *runstore.Journal
+	var mstore *metrics.Store
 	if *storeDir != "" {
 		check(cliutil.StoreDir("store", *storeDir))
 		var err error
@@ -156,12 +166,20 @@ func main() {
 		journal, err = runstore.OpenJournal(filepath.Join(*storeDir, "jobs.ndjson"), *retain,
 			runstore.WithFsync(*jfsync))
 		check(err)
+		// Per-job progress series live under the store too, bounded by
+		// the retention flags so the footprint never grows with uptime.
+		mstore, err = metrics.Open(filepath.Join(*storeDir, "metrics"), metrics.Retention{
+			MaxBytes: int64(*metricsMB) << 20,
+			MaxAge:   *metricsAge,
+		})
+		check(err)
 	}
 
 	srv, err := server.New(server.Config{
 		Runner:     experiments.NewRunner(opt),
 		Store:      store,
 		Journal:    journal,
+		Metrics:    mstore,
 		QueueSize:  *queue,
 		Executors:  *execs,
 		RetainJobs: *retain,
@@ -208,6 +226,9 @@ func main() {
 		cancelHTTP()
 		if journal != nil {
 			_ = journal.Close()
+		}
+		if mstore != nil {
+			_ = mstore.Close()
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {

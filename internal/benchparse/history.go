@@ -19,10 +19,36 @@ import (
 // renders as "—" (benchmarks come and go across history; a hole is data,
 // not an error).
 func History(results []*Result, names []string) string {
+	rows := make([]HistoryRow, 0, len(results))
+	for _, r := range results {
+		row := HistoryRow{Commit: r.Commit, Cells: map[string]float64{}}
+		for _, n := range r.Names() {
+			if v, ok := r.GeoMean(n, "ns/op"); ok {
+				row.Cells[n] = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	return HistoryTable(rows, names)
+}
+
+// HistoryRow is one trend-table row: a commit and its ns/op geomean per
+// benchmark. The artifact path (History) and the metrics-store path
+// (benchjson -history-store, querying bench: series) both normalise to
+// this shape before rendering.
+type HistoryRow struct {
+	Commit string
+	Cells  map[string]float64
+}
+
+// HistoryTable renders rows as the markdown trend table. names selects
+// and orders the columns; empty selects every benchmark present in any
+// row, sorted.
+func HistoryTable(rows []HistoryRow, names []string) string {
 	if len(names) == 0 {
 		seen := map[string]bool{}
-		for _, r := range results {
-			for _, n := range r.Names() {
+		for _, r := range rows {
+			for n := range r.Cells {
 				if !seen[n] {
 					seen[n] = true
 					names = append(names, n)
@@ -33,7 +59,7 @@ func History(results []*Result, names []string) string {
 	}
 	var b strings.Builder
 	b.WriteString("# Benchmark history\n\n")
-	fmt.Fprintf(&b, "%d commits × %d benchmarks, ns/op geomean per cell (lower is better).\n\n", len(results), len(names))
+	fmt.Fprintf(&b, "%d commits × %d benchmarks, ns/op geomean per cell (lower is better).\n\n", len(rows), len(names))
 	b.WriteString("| commit |")
 	for _, n := range names {
 		fmt.Fprintf(&b, " %s |", strings.TrimPrefix(n, "Benchmark"))
@@ -41,7 +67,7 @@ func History(results []*Result, names []string) string {
 	b.WriteString("\n|---|")
 	b.WriteString(strings.Repeat("---:|", len(names)))
 	b.WriteString("\n")
-	for _, r := range results {
+	for _, r := range rows {
 		commit := r.Commit
 		if len(commit) > 12 {
 			commit = commit[:12]
@@ -51,7 +77,7 @@ func History(results []*Result, names []string) string {
 		}
 		fmt.Fprintf(&b, "| %s |", commit)
 		for _, n := range names {
-			v, ok := r.GeoMean(n, "ns/op")
+			v, ok := r.Cells[n]
 			if !ok {
 				b.WriteString(" — |")
 				continue

@@ -57,11 +57,18 @@ type Event struct {
 	// Err carries a cell failure, rendered (errors do not round-trip
 	// through JSON).
 	Err string `json:"err,omitempty"`
+	// Series carries the numeric facets of the report, keyed by metric
+	// name — what a metrics store records as per-step time-series points
+	// alongside the human-readable Message.
+	Series map[string]float64 `json:"series,omitempty"`
 }
 
 // Event converts a sweep progress report.
 func (p SweepProgress) Event() Event {
-	e := Event{Done: p.Done, Total: p.Total, Message: p.Cell.String()}
+	e := Event{
+		Done: p.Done, Total: p.Total, Message: p.Cell.String(),
+		Series: map[string]float64{"cells_done": float64(p.Done)},
+	}
 	if p.Err != nil {
 		e.Err = p.Err.Error()
 	}
@@ -76,10 +83,17 @@ func (p SearchProgress) Event() Event {
 		msg += fmt.Sprintf(", %.0f%% cond-checks skipped",
 			100*float64(p.CondSkipped)/float64(p.CondChecks+p.CondSkipped))
 	}
+	series := map[string]float64{
+		"yield":    p.BestYield,
+		"expected": p.BestExpected,
+		"evals":    float64(p.Evals),
+	}
 	if p.LanesLive+p.LanesDone > 0 {
 		msg += fmt.Sprintf(", lanes %d live / %d done", p.LanesLive, p.LanesDone)
+		series["lanes_live"] = float64(p.LanesLive)
+		series["lanes_done"] = float64(p.LanesDone)
 	}
-	return Event{Done: p.Step, Total: p.Total, Message: msg}
+	return Event{Done: p.Step, Total: p.Total, Message: msg, Series: series}
 }
 
 // SweepJob runs an exhaustive design-space sweep.

@@ -48,6 +48,7 @@ const (
 	SiteCheckpointGet     = "checkpoint.get"
 	SiteWorkpoolDispatch  = "workpool.dispatch"
 	SiteEstimatorEstimate = "estimator.estimate"
+	SiteMetricsAppend     = "metrics.append"
 )
 
 // knownSites is the parser's allow-list.
@@ -59,6 +60,7 @@ var knownSites = map[string]bool{
 	SiteCheckpointGet:     true,
 	SiteWorkpoolDispatch:  true,
 	SiteEstimatorEstimate: true,
+	SiteMetricsAppend:     true,
 }
 
 // ErrInjected is the sentinel wrapped by every injected error, so

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsAppend measures the per-point append cost on the
+// event layer's hot path — what a progress callback pays per step —
+// including chunk rolls and byte-bound retention checks.
+func BenchmarkMetricsAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Retention{MaxBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append("job:bench/yield", Point{
+			T: t0.Add(time.Duration(i) * time.Millisecond), Step: int64(i), V: float64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsWindowQuery measures a windowed aggregation over a
+// multi-chunk series — the /v1/jobs/{id}/metrics serving path.
+func BenchmarkMetricsWindowQuery(b *testing.B) {
+	s, err := Open(b.TempDir(), Retention{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	t0 := time.Unix(1_700_000_000, 0).UTC()
+	const points = 4096
+	for i := 0; i < points; i++ {
+		if err := s.Append("job:bench/yield", Point{
+			T: t0.Add(time.Duration(i) * 100 * time.Millisecond), Step: int64(i), V: float64(i % 251),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggs, err := s.Query("job:bench/yield", Query{StepWindow: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(aggs) != points/100+1 {
+			b.Fatal(fmt.Errorf("got %d buckets", len(aggs)))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testRecord mirrors the shape runstore journals: a keyed lifecycle
+// record whose terminal states are evictable.
+type testRecord struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+func testLogConfig(retain int) EventLogConfig {
+	key := func(line []byte) string {
+		var r testRecord
+		if json.Unmarshal(line, &r) != nil {
+			return ""
+		}
+		return r.ID
+	}
+	return EventLogConfig{
+		Key: key,
+		Evictable: func(line []byte) bool {
+			var r testRecord
+			json.Unmarshal(line, &r)
+			return r.Status == "done"
+		},
+		Retain: retain,
+	}
+}
+
+func appendRecord(t *testing.T, l *EventLog, id, status string) {
+	t.Helper()
+	line, _ := json.Marshal(testRecord{ID: id, Status: status})
+	if err := l.Append(line); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogFoldsLastPerKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.ndjson")
+	l, err := OpenEventLog(path, testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, l, "a", "queued")
+	appendRecord(t, l, "b", "queued")
+	appendRecord(t, l, "a", "running")
+	appendRecord(t, l, "a", "done")
+	l.Close()
+
+	l2, err := OpenEventLog(path, testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Restored()
+	if len(got) != 2 {
+		t.Fatalf("restored %d lines, want 2", len(got))
+	}
+	// First-appearance order, last record per key.
+	if !strings.Contains(string(got[0]), `"a"`) || !strings.Contains(string(got[0]), `"done"`) {
+		t.Fatalf("line 0: %s", got[0])
+	}
+	if !strings.Contains(string(got[1]), `"b"`) || !strings.Contains(string(got[1]), `"queued"`) {
+		t.Fatalf("line 1: %s", got[1])
+	}
+	// Compacted on open: the file holds exactly the folded lines.
+	raw, _ := os.ReadFile(path)
+	if n := strings.Count(string(raw), "\n"); n != 2 {
+		t.Fatalf("compacted file holds %d lines, want 2:\n%s", n, raw)
+	}
+}
+
+func TestEventLogTornTailSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.ndjson")
+	l, err := OpenEventLog(path, testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, l, "a", "done")
+	l.Close()
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"id":"b","sta`)
+	f.Close()
+
+	l2, err := OpenEventLog(path, testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.Restored(); len(got) != 1 || !strings.Contains(string(got[0]), `"a"`) {
+		t.Fatalf("restored %q", got)
+	}
+}
+
+// TestEventLogRetention: the oldest evictable records beyond Retain are
+// pruned on open; non-evictable ones always survive.
+func TestEventLogRetention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.ndjson")
+	l, err := OpenEventLog(path, testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		appendRecord(t, l, fmt.Sprintf("t%d", i), "done")
+	}
+	appendRecord(t, l, "live", "running")
+	l.Close()
+
+	l2, err := OpenEventLog(path, testLogConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Restored()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	joined := string(append(append([]byte{}, got[0]...), append(got[1], got[2]...)...))
+	for _, want := range []string{"t4", "t5", "live"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("retention dropped %q: %s", want, joined)
+		}
+	}
+}
+
+func TestEventLogAppendAfterCloseFails(t *testing.T) {
+	l, err := OpenEventLog(filepath.Join(t.TempDir(), "log.ndjson"), testLogConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append([]byte(`{"id":"x","status":"queued"}`)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestEventLogRequiresKey(t *testing.T) {
+	if _, err := OpenEventLog(filepath.Join(t.TempDir(), "log.ndjson"), EventLogConfig{}); err == nil {
+		t.Fatal("open without Key succeeded")
+	}
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Query selects and buckets a series' points. Exactly one windowing
+// mode applies: StepWindow > 0 buckets by the points' step counter,
+// otherwise Window buckets by wall clock (Window == 0 aggregates the
+// whole selection into a single bucket).
+type Query struct {
+	// From/To bound the selection by wall clock, inclusive on both ends;
+	// zero values leave the respective end open.
+	From, To time.Time
+	// Window is the wall-clock bucket width. Buckets are aligned to From
+	// when set, to the first selected point's timestamp otherwise, so a
+	// fixed query over fixed data is deterministic.
+	Window time.Duration
+	// StepWindow is the step-counter bucket width; it takes precedence
+	// over Window. Buckets are aligned to the minimum selected step.
+	StepWindow int64
+}
+
+// Agg is one aggregation bucket. Count/Min/Max/Mean summarise the
+// bucket's values; Last is the most recently appended value (append
+// order, which is also the serving order of /v1/jobs/{id}/events).
+// Start names the bucket: its wall-clock start in time mode, its first
+// step in step mode (StartStep, with Start carrying the bucket's first
+// point's timestamp for reference).
+type Agg struct {
+	Start     time.Time `json:"start"`
+	StartStep int64     `json:"start_step,omitempty"`
+	Count     int       `json:"count"`
+	Min       float64   `json:"min"`
+	Max       float64   `json:"max"`
+	Mean      float64   `json:"mean"`
+	Last      float64   `json:"last"`
+}
+
+// Query buckets and aggregates one series. Empty buckets are omitted,
+// so the result length is the number of populated windows, in ascending
+// window order. A missing series returns nil, not an error — series
+// come and go with retention.
+func (s *Store) Query(name string, q Query) ([]Agg, error) {
+	if q.StepWindow < 0 {
+		return nil, fmt.Errorf("metrics: negative step window")
+	}
+	if q.Window < 0 {
+		return nil, fmt.Errorf("metrics: negative window")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.series == nil {
+		return nil, fmt.Errorf("metrics: store closed")
+	}
+	ser := s.series[name]
+	if ser == nil {
+		return nil, nil
+	}
+	pts, err := s.readSeriesLocked(ser)
+	if err != nil {
+		return nil, err
+	}
+	// Select by wall clock.
+	sel := pts[:0]
+	for _, p := range pts {
+		if !q.From.IsZero() && p.T.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && p.T.After(q.To) {
+			continue
+		}
+		sel = append(sel, p)
+	}
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	index := bucketIndexer(q, sel)
+	// Aggregate in append order so Last is the newest appended value per
+	// bucket; buckets emit in ascending index order.
+	byIdx := map[int64]*Agg{}
+	var order []int64
+	for _, p := range sel {
+		idx, start, startStep := index(p)
+		a, ok := byIdx[idx]
+		if !ok {
+			a = &Agg{Start: start, StartStep: startStep, Min: p.V, Max: p.V}
+			byIdx[idx] = a
+			order = append(order, idx)
+		}
+		if p.V < a.Min {
+			a.Min = p.V
+		}
+		if p.V > a.Max {
+			a.Max = p.V
+		}
+		a.Mean += p.V // running sum; divided below
+		a.Last = p.V
+		a.Count++
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Agg, 0, len(order))
+	for _, idx := range order {
+		a := byIdx[idx]
+		a.Mean /= float64(a.Count)
+		out = append(out, *a)
+	}
+	return out, nil
+}
+
+// bucketIndexer returns the bucket classifier for the query over the
+// selected points: point → (bucket index, bucket start, bucket start
+// step).
+func bucketIndexer(q Query, sel []Point) func(Point) (int64, time.Time, int64) {
+	if q.StepWindow > 0 {
+		minStep := sel[0].Step
+		for _, p := range sel {
+			if p.Step < minStep {
+				minStep = p.Step
+			}
+		}
+		return func(p Point) (int64, time.Time, int64) {
+			idx := (p.Step - minStep) / q.StepWindow
+			return idx, p.T, minStep + idx*q.StepWindow
+		}
+	}
+	if q.Window > 0 {
+		origin := q.From
+		if origin.IsZero() {
+			origin = sel[0].T
+			for _, p := range sel {
+				if p.T.Before(origin) {
+					origin = p.T
+				}
+			}
+		}
+		return func(p Point) (int64, time.Time, int64) {
+			idx := int64(p.T.Sub(origin) / q.Window)
+			return idx, origin.Add(time.Duration(idx) * q.Window), 0
+		}
+	}
+	// Single bucket over the whole selection.
+	start := sel[0].T
+	for _, p := range sel {
+		if p.T.Before(start) {
+			start = p.T
+		}
+	}
+	return func(Point) (int64, time.Time, int64) { return 0, start, 0 }
+}

@@ -1,14 +1,12 @@
 package runstore
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
-	"sync"
 	"time"
 
 	"qproc/internal/faultinject"
+	"qproc/internal/metrics"
 )
 
 // JobRecord is one line of the job-metadata journal: the compact,
@@ -46,20 +44,30 @@ type JobRecord struct {
 	ResolvedSpec json.RawMessage `json:"resolved_spec,omitempty"`
 }
 
-// Journal is an append-only NDJSON log of job-metadata records, stored
-// next to the run store so a restarted service can list prior jobs and
-// their final statuses. Each lifecycle transition appends one full
-// record; replay keeps the last record per job ID, in first-submission
-// order. The file is compacted to that folded form on every open, so
-// its size stays proportional to the number of distinct jobs rather
-// than to the append count. A torn final line (the process died
-// mid-append) is skipped on replay, never fatal. A Journal is safe for
-// concurrent use.
+// terminalRecordStatus reports whether a journaled status means the job
+// will never run again — the states retention may evict. In-flight
+// records (queued, running) are lost work a restart must surface, so
+// they survive any retention bound.
+func terminalRecordStatus(st string) bool {
+	switch st {
+	case "done", "failed", "canceled", "interrupted":
+		return true
+	}
+	return false
+}
+
+// Journal is the job-lifecycle view over a metrics.EventLog series:
+// each lifecycle transition appends one full JobRecord as a keyed
+// event, and the event layer owns the storage semantics — NDJSON lines,
+// last-record-per-ID fold in first-submission order, compaction on
+// open, torn-tail tolerance, and retention (the -retain bound maps onto
+// the log's fold retention, which never evicts in-flight records). The
+// file lives next to the run store as jobs.ndjson, unchanged across the
+// refactor: outcomes are content-addressed in the store, metadata here.
+// A Journal is safe for concurrent use.
 type Journal struct {
-	mu       sync.Mutex
-	path     string
-	f        *os.File
 	fsync    bool
+	log      *metrics.EventLog
 	restored []JobRecord
 }
 
@@ -84,96 +92,40 @@ func WithFsync(on bool) JournalOption {
 // queued or running (lost work a restart must surface) are always kept.
 // retain <= 0 keeps everything.
 func OpenJournal(path string, retain int, opts ...JournalOption) (*Journal, error) {
-	records, err := replayJournal(path)
-	if err != nil {
-		return nil, err
-	}
-	records = pruneRecords(records, retain)
-	// Compact: rewrite the folded records atomically, then append from
-	// there.
-	var buf []byte
-	for _, rec := range records {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			return nil, fmt.Errorf("runstore: journal: %w", err)
-		}
-		buf = append(buf, line...)
-		buf = append(buf, '\n')
-	}
-	if err := atomicWrite(path, buf); err != nil {
-		return nil, fmt.Errorf("runstore: journal: %w", err)
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("runstore: journal: %w", err)
-	}
-	j := &Journal{path: path, f: f, restored: records}
+	j := &Journal{}
 	for _, o := range opts {
 		o(j)
 	}
-	return j, nil
-}
-
-// pruneRecords drops the oldest terminal-state records beyond retain,
-// so the journal's size (and the restore work it implies) stays
-// proportional to the retention bound instead of to the server's
-// lifetime. In-flight records survive regardless.
-func pruneRecords(records []JobRecord, retain int) []JobRecord {
-	if retain <= 0 || len(records) <= retain {
-		return records
-	}
-	drop := len(records) - retain
-	kept := records[:0]
-	for _, rec := range records {
-		if drop > 0 {
-			switch rec.Status {
-			case "done", "failed", "canceled", "interrupted":
-				drop--
-				continue
+	log, err := metrics.OpenEventLog(path, metrics.EventLogConfig{
+		Key: func(line []byte) string {
+			var rec JobRecord
+			if json.Unmarshal(line, &rec) != nil {
+				return ""
 			}
-		}
-		kept = append(kept, rec)
-	}
-	return kept
-}
-
-// replayJournal reads the NDJSON file at path and folds it to the last
-// record per ID, preserving first-appearance order. A missing file is
-// an empty journal; unparsable lines (a torn tail from a crash) are
-// skipped.
-func replayJournal(path string) ([]JobRecord, error) {
-	f, err := os.Open(path)
+			return rec.ID
+		},
+		Evictable: func(line []byte) bool {
+			var rec JobRecord
+			if json.Unmarshal(line, &rec) != nil {
+				return true
+			}
+			return terminalRecordStatus(rec.Status)
+		},
+		Retain: retain,
+		Fsync:  j.fsync,
+	})
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
 		return nil, fmt.Errorf("runstore: journal: %w", err)
 	}
-	defer f.Close()
-	byID := map[string]int{}
-	var records []JobRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	j.log = log
+	for _, line := range log.Restored() {
 		var rec JobRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.ID == "" {
-			continue // torn or foreign line: skip, never fail the replay
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // unreachable: the fold only kept keyable lines
 		}
-		if i, ok := byID[rec.ID]; ok {
-			records[i] = rec
-			continue
-		}
-		byID[rec.ID] = len(records)
-		records = append(records, rec)
+		j.restored = append(j.restored, rec)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("runstore: journal: %w", err)
-	}
-	return records, nil
+	return j, nil
 }
 
 // Restored returns the folded records that were on disk when the
@@ -182,7 +134,7 @@ func replayJournal(path string) ([]JobRecord, error) {
 func (j *Journal) Restored() []JobRecord { return j.restored }
 
 // Path returns the journal's file path.
-func (j *Journal) Path() string { return j.path }
+func (j *Journal) Path() string { return j.log.Path() }
 
 // Append writes one record as a single NDJSON line. Without WithFsync,
 // appends are buffered by the OS only — metadata loss on a crash is
@@ -197,31 +149,11 @@ func (j *Journal) Append(rec JobRecord) error {
 	if err != nil {
 		return fmt.Errorf("runstore: journal: %w", err)
 	}
-	line = append(line, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return fmt.Errorf("runstore: journal: closed")
-	}
-	if _, err := j.f.Write(line); err != nil {
+	if err := j.log.Append(line); err != nil {
 		return fmt.Errorf("runstore: journal: %w", err)
-	}
-	if j.fsync {
-		if err := j.f.Sync(); err != nil {
-			return fmt.Errorf("runstore: journal: %w", err)
-		}
 	}
 	return nil
 }
 
 // Close flushes and closes the journal file. Appends after Close fail.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return nil
-	}
-	err := j.f.Close()
-	j.f = nil
-	return err
-}
+func (j *Journal) Close() error { return j.log.Close() }

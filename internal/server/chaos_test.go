@@ -101,7 +101,7 @@ func TestChaosJournalAndPersistFaultsDoNotFailJobs(t *testing.T) {
 			}
 			evs := fetchEvents(t, ts.URL, v.ID)
 			if countEvent(evs, "failed to persist run") == 0 {
-				t.Fatalf("persist failure not reported: %q", evs)
+				t.Fatalf("persist failure not reported: %v", evs)
 			}
 
 			faultinject.Disable()
@@ -142,7 +142,7 @@ func TestChaosTransientStoreReadFailureIsRetried(t *testing.T) {
 			waitSettled(t, ts.URL, v.ID, statusDone)
 			evs := fetchEvents(t, ts.URL, v.ID)
 			if countEvent(evs, "job failed") != 1 || countEvent(evs, "requeued after failure") != 1 {
-				t.Fatalf("want one failure and one requeue before done: %q", evs)
+				t.Fatalf("want one failure and one requeue before done: %v", evs)
 			}
 			if store.Len() != 1 {
 				t.Fatalf("retried job not persisted: %d entries", store.Len())
@@ -178,7 +178,7 @@ func TestChaosCheckpointWriteFailureDoesNotFailJob(t *testing.T) {
 			waitDone(t, ts.URL, v.ID)
 			evs := fetchEvents(t, ts.URL, v.ID)
 			if countEvent(evs, "failed to save checkpoint") == 0 {
-				t.Fatalf("checkpoint write failures not reported: %q", evs)
+				t.Fatalf("checkpoint write failures not reported: %v", evs)
 			}
 		})
 	}
@@ -213,7 +213,7 @@ func TestChaosEvaluationFaultRetriedToCompletion(t *testing.T) {
 			waitSettled(t, ts.URL, v.ID, statusDone)
 			evs := fetchEvents(t, ts.URL, v.ID)
 			if countEvent(evs, "job failed") != 1 || countEvent(evs, "requeued after failure") != 1 {
-				t.Fatalf("want one failure and one requeue before done: %q", evs)
+				t.Fatalf("want one failure and one requeue before done: %v", evs)
 			}
 		})
 	}
@@ -281,7 +281,7 @@ func TestChaosPanicIsolatedExecutorSurvives(t *testing.T) {
 			}
 			evs := fetchEvents(t, ts.URL, v.ID)
 			if countEvent(evs, "job panicked") == 0 {
-				t.Fatalf("no panic event with the stack: %q", evs)
+				t.Fatalf("no panic event with the stack: %v", evs)
 			}
 
 			faultinject.Disable()

@@ -73,7 +73,7 @@ func TestDeadlineFailsRunawayJob(t *testing.T) {
 	// No retry policy: the failure is final, no requeue happened.
 	evs := fetchEvents(t, ts.URL, v.ID)
 	if countEvent(evs, "retrying in") != 0 {
-		t.Fatalf("unsupervised server scheduled a retry: %q", evs)
+		t.Fatalf("unsupervised server scheduled a retry: %v", evs)
 	}
 }
 
@@ -107,13 +107,13 @@ func TestFailedJobRetriedThenExhausted(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	if got := countEvent(evs, "job failed"); got != 2 {
-		t.Fatalf("%d failure events, want 2 (budget of one retry): %q", got, evs)
+		t.Fatalf("%d failure events, want 2 (budget of one retry): %v", got, evs)
 	}
 	if countEvent(evs, "retrying in") != 1 {
-		t.Fatalf("retry announcements != 1: %q", evs)
+		t.Fatalf("retry announcements != 1: %v", evs)
 	}
 	if countEvent(evs, "requeued after failure") != 1 {
-		t.Fatalf("requeue events != 1: %q", evs)
+		t.Fatalf("requeue events != 1: %v", evs)
 	}
 	final := waitStatus(t, ts.URL, v.ID, statusFailed)
 	if !strings.Contains(final.Err, "deadline") {
@@ -261,7 +261,7 @@ func TestRestartRequeuesInterruptedJobs(t *testing.T) {
 	}
 	evs := fetchEvents(t, ts.URL, key)
 	if countEvent(evs, "job interrupted by server restart; resuming from checkpoint if present") == 0 {
-		t.Fatalf("requeued job carries no restart event: %q", evs)
+		t.Fatalf("requeued job carries no restart event: %v", evs)
 	}
 
 	// The budget-exhausted record stayed interrupted.

@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"qproc/internal/experiments"
+	"qproc/internal/metrics"
 	"qproc/internal/retry"
 	"qproc/internal/runstore"
 	"qproc/internal/workpool"
@@ -66,6 +67,11 @@ type Config struct {
 	// in it at startup are restored into the listing: terminal ones with
 	// their final status, in-flight ones as "interrupted".
 	Journal *runstore.Journal
+	// Metrics records per-job progress series (yield, evals, lane
+	// counters) as retention-bounded time-series points and serves the
+	// windowed-query endpoints; optional. Recording is best-effort: a
+	// metrics-write fault never fails a job.
+	Metrics *metrics.Store
 	// QueueSize bounds the number of jobs waiting to run; <= 0 means 16.
 	QueueSize int
 	// Executors is the number of jobs running concurrently; <= 0 means 1
@@ -544,7 +550,10 @@ func (s *Server) runJobGuarded(ctx context.Context, j *job) (out experiments.Out
 				Err: fmt.Sprintf("%v\n%s", v, stack)})
 		}
 	}()
-	return s.cfg.Runner.RunResolvedJob(ctx, j.parsed, s.cfg.Store, j.publish)
+	return s.cfg.Runner.RunResolvedJob(ctx, j.parsed, s.cfg.Store, func(e experiments.Event) {
+		j.publish(e)
+		s.recordEventMetrics(j.id, e)
+	})
 }
 
 // deleteCheckpoint drops any resumable state stored for id.
@@ -675,6 +684,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleJobMetrics)
+	mux.HandleFunc("GET /v1/metrics/bench", s.handleBenchMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -1016,6 +1027,9 @@ type statsView struct {
 	Lanes         lanesView       `json:"lanes"`
 	Workers       workersView     `json:"workers"`
 	Store         *storeView      `json:"store,omitempty"`
+	// Metrics reports the time-series event store: footprint, retention
+	// bounds and eviction counters.
+	Metrics *metrics.StoreStats `json:"metrics,omitempty"`
 }
 
 type counterView struct {
@@ -1105,6 +1119,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st := s.cfg.Store; st != nil {
 		sh, sm := st.Stats()
 		v.Store = &storeView{counterView: counterView{Hits: sh, Misses: sm}, Entries: st.Len()}
+	}
+	if m := s.cfg.Metrics; m != nil {
+		ms := m.Stats()
+		v.Metrics = &ms
 	}
 	writeJSON(w, http.StatusOK, v)
 }
